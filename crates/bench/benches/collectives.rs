@@ -1,0 +1,50 @@
+//! Simulated ring reduce-scatter cost by wire precision and ring size —
+//! the compute side of the paper's low-precision-collectives future work
+//! (§2.2), complementing the error/bytes sweep in the `comm_precision`
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snip_pipeline::collective::{ring_reduce_scatter, QuantizePolicy, Wire};
+use snip_tensor::rng::Rng;
+
+fn grads(ranks: usize, n: usize) -> Vec<Vec<f32>> {
+    let mut rng = Rng::seed_from(3);
+    (0..ranks)
+        .map(|_| (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+        .collect()
+}
+
+fn bench_wires(c: &mut Criterion) {
+    let g = grads(8, 16_384);
+    let mut group = c.benchmark_group("reduce_scatter_wire");
+    group.throughput(Throughput::Elements((8 * 16_384) as u64));
+    for (name, wire) in [
+        ("exact", Wire::exact()),
+        ("bf16", Wire::bf16()),
+        ("fp8", Wire::fp8(128)),
+        ("fp4", Wire::fp4(128)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wire, |b, w| {
+            let mut rng = Rng::seed_from(4);
+            b.iter(|| ring_reduce_scatter(&g, w, QuantizePolicy::EveryHop, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_scatter_ranks");
+    for ranks in [2usize, 4, 8, 16] {
+        let g = grads(ranks, 16_384);
+        group.throughput(Throughput::Elements((ranks * 16_384) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &g, |b, g| {
+            let wire = Wire::fp8(128);
+            let mut rng = Rng::seed_from(5);
+            b.iter(|| ring_reduce_scatter(g, &wire, QuantizePolicy::EveryHop, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wires, bench_ring_sizes);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Throughput of the pluggable quantization options (§5.2 extensions):
+//! RHT pre-rotation, integer grids, outlier splitting and MX block scales,
+//! against the plain FP4 recipe — the cost side of the quality trade the
+//! `ablation_rht` experiment measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::int::{IntFormat, IntQuantizer};
+use snip_quant::mx::MxQuantizer;
+use snip_quant::outlier::OutlierQuantizer;
+use snip_quant::rht::{fwht_inplace, RhtQuantizer};
+use snip_quant::{Quantizer, Rounding};
+use snip_tensor::{rng::Rng, Tensor};
+
+fn fp4_tile() -> Quantizer {
+    Quantizer::new(
+        FloatFormat::e2m1(),
+        Granularity::Tile { nb: 128 },
+        Rounding::Nearest,
+    )
+}
+
+fn bench_option_kernels(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let t = Tensor::randn(128, 128, 1.0, &mut rng);
+    let mut group = c.benchmark_group("quant_option_kernels");
+    group.throughput(Throughput::Elements(t.len() as u64));
+
+    group.bench_function("fp4_plain", |b| {
+        let q = fp4_tile();
+        b.iter(|| q.fake_quantize(&t, &mut rng))
+    });
+    group.bench_function("rht_fp4", |b| {
+        let q = RhtQuantizer::new(fp4_tile(), 128, 7);
+        b.iter(|| q.fake_quantize(&t, &mut rng))
+    });
+    group.bench_function("mxfp4", |b| {
+        let q = MxQuantizer::mxfp4();
+        b.iter(|| q.fake_quantize(&t, &mut rng))
+    });
+    group.bench_function("int4", |b| {
+        let q = IntQuantizer::new(
+            IntFormat::int4(),
+            Granularity::Tile { nb: 128 },
+            Rounding::Nearest,
+        );
+        b.iter(|| q.fake_quantize(&t, &mut rng))
+    });
+    group.bench_function("fp4_outlier1pct", |b| {
+        let q = OutlierQuantizer::new(fp4_tile(), 0.01);
+        b.iter(|| q.fake_quantize(&t, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_fwht_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    for pow in [5u32, 7, 9, 11] {
+        let n = 1usize << pow;
+        let mut rng = Rng::seed_from(2);
+        let v: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| {
+                let mut x = v.clone();
+                fwht_inplace(&mut x);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_option_kernels, bench_fwht_sizes);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! ILP solve time at paper-scale instance sizes (§6.1: 30 s limit, "usually
+//! takes a few seconds" — ours solves in microseconds at these sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snip_ilp::{contiguous_stages, solve, solve_grouped, Choice, McKnapsack, SolveOptions};
+use snip_tensor::rng::Rng;
+
+fn instance(n_layers: usize, n_options: usize, seed: u64) -> McKnapsack {
+    let mut rng = Rng::seed_from(seed);
+    let groups = (0..n_layers)
+        .map(|_| {
+            (0..n_options)
+                .map(|j| {
+                    Choice::new(
+                        rng.next_f64() * (j as f64 + 0.1),
+                        j as f64 / (n_options - 1).max(1) as f64 / n_layers as f64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    McKnapsack::new(groups, 0.5)
+}
+
+fn bench_model_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_layers");
+    // 154 = tinyllama (22×7), 224 = 7B (32×7), 560 = 70B (80×7).
+    for &layers in &[154usize, 224, 560] {
+        let p = instance(layers, 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &p, |b, p| {
+            b.iter(|| solve(p, &SolveOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_option_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_options");
+    for &opts in &[2usize, 4, 8] {
+        let p = instance(154, opts, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(opts), &p, |b, p| {
+            b.iter(|| solve(p, &SolveOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped(c: &mut Criterion) {
+    let p = instance(154, 2, 11);
+    let stages = contiguous_stages(154, 4);
+    let targets = vec![0.125f64; 4];
+    c.bench_function("ilp_grouped_4stages", |b| {
+        b.iter(|| solve_grouped(&p, &stages, &targets, &SolveOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_model_sizes, bench_option_counts, bench_grouped);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! GEMM kernel benchmarks (the three orientations of a linear layer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use snip_tensor::{rng::Rng, Tensor};
+
+fn bench_orientations(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let m = 128;
+    let k = 64;
+    let n = 96;
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b_nn = Tensor::randn(k, n, 1.0, &mut rng);
+    let b_nt = Tensor::randn(n, k, 1.0, &mut rng);
+    let a_tn = Tensor::randn(k, m, 1.0, &mut rng);
+    let mut group = c.benchmark_group("gemm_orientation");
+    group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+    group.bench_function("nn_dx", |bch| bch.iter(|| matmul(&a, &b_nn)));
+    group.bench_function("nt_fwd", |bch| bch.iter(|| matmul_nt(&a, &b_nt)));
+    group.bench_function("tn_dw", |bch| bch.iter(|| matmul_tn(&a_tn, &b_nn)));
+    group.finish();
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let mut group = c.benchmark_group("gemm_size");
+    for &dim in &[32usize, 64, 128] {
+        let a = Tensor::randn(dim, dim, 1.0, &mut rng);
+        let b = Tensor::randn(dim, dim, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * dim * dim * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientations, bench_sizes);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! 1F1B pipeline-simulation cost and the simulated speedups of the
+//! precision ladder (BF16 → FP8 → FP4), the throughput story of §2.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snip_core::Scheme;
+use snip_nn::ModelConfig;
+use snip_pipeline::{simulate_1f1b, stage_costs, StagePartition};
+use snip_quant::Precision;
+
+fn bench_simulation_cost(c: &mut Criterion) {
+    let cfg = ModelConfig::tinyllama_1b_sim();
+    let partition = StagePartition::even(cfg.n_layers, 4);
+    let scheme = Scheme::uniform(Precision::Fp8, cfg.n_linear_layers());
+    let costs = stage_costs(&cfg, &scheme, &partition, 128);
+    let mut group = c.benchmark_group("pipeline_sim");
+    for &mb in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(mb), &mb, |b, &mb| {
+            b.iter(|| simulate_1f1b(&costs, mb))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cfg = ModelConfig::llama_70b_sim();
+    let partition = StagePartition::even(cfg.n_layers, 8);
+    let scheme = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+    c.bench_function("stage_costs_70b_pp8", |b| {
+        b.iter(|| stage_costs(&cfg, &scheme, &partition, 128))
+    });
+}
+
+criterion_group!(benches, bench_simulation_cost, bench_cost_model);
+criterion_main!(benches);

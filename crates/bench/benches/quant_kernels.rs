@@ -1,0 +1,73 @@
+//! Fake-quantization kernel throughput by format and granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snip_quant::format::{bf16_round_slice, FloatFormat};
+use snip_quant::granularity::Granularity;
+use snip_quant::{Quantizer, Rounding};
+use snip_tensor::{rng::Rng, Tensor};
+
+fn bench_formats(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let t = Tensor::randn(128, 128, 1.0, &mut rng);
+    let mut group = c.benchmark_group("fake_quantize_format");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for (name, fmt) in [
+        ("e2m1", FloatFormat::e2m1()),
+        ("e4m3", FloatFormat::e4m3()),
+        ("e5m2", FloatFormat::e5m2()),
+    ] {
+        let q = Quantizer::new(fmt, Granularity::Tile { nb: 128 }, Rounding::Nearest);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| q.fake_quantize(&t, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_granularities(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let t = Tensor::randn(128, 128, 1.0, &mut rng);
+    let mut group = c.benchmark_group("fake_quantize_granularity");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for (name, g) in [
+        ("tensorwise", Granularity::Tensorwise),
+        ("rowwise", Granularity::Rowwise),
+        ("tile128", Granularity::Tile { nb: 128 }),
+        ("block128", Granularity::Block { nb: 128 }),
+        ("tile16", Granularity::Tile { nb: 16 }),
+    ] {
+        let q = Quantizer::new(FloatFormat::e2m1(), g, Rounding::Nearest);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| q.fake_quantize(&t, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let t = Tensor::randn(128, 128, 1.0, &mut rng);
+    let mut group = c.benchmark_group("rounding_mode");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for (name, mode) in [
+        ("nearest", Rounding::Nearest),
+        ("stochastic", Rounding::Stochastic),
+    ] {
+        let q = Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb: 128 }, mode);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| q.fake_quantize(&t, &mut rng))
+        });
+    }
+    // The BF16 fast path for comparison.
+    group.bench_function("bf16_bit_path", |b| {
+        b.iter(|| {
+            let mut x = t.clone();
+            bf16_round_slice(x.as_mut_slice());
+            x
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_granularities, bench_rounding);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! SNIP's own overhead (paper §6.3): Steps 1–3 cost "roughly 2-3× a normal
+//! training iteration" each; Steps 4–5 run on the CPU without blocking
+//! training. This bench measures our measurement pass, analysis and solve
+//! against a plain training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snip_bench::fixtures::bench_trainer;
+use snip_core::{analyze, decide_scheme, measure, FlopModel, OptionSet, PolicyConfig};
+use snip_tensor::rng::Rng;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snip_overhead");
+    group.sample_size(15);
+
+    group.bench_function("plain_train_step", |b| {
+        let mut t = bench_trainer();
+        b.iter(|| t.train_step())
+    });
+
+    group.bench_function("steps1to3_measure", |b| {
+        let mut t = bench_trainer();
+        let batch = t.peek_batch();
+        let optimizer = t.optimizer.clone();
+        let mut rng = Rng::seed_from(1);
+        b.iter(|| measure(&mut t.model, &optimizer, &batch, &mut rng, 1e-2))
+    });
+
+    // Steps 4–5 on a fixed measurement.
+    let mut t = bench_trainer();
+    let batch = t.peek_batch();
+    let optimizer = t.optimizer.clone();
+    let mut rng = Rng::seed_from(2);
+    let m = measure(&mut t.model, &optimizer, &batch, &mut rng, 1e-2);
+    let cfg = t.config().model.clone();
+    let options = OptionSet::fp8_fp4();
+    let flops = FlopModel::new(&cfg);
+    group.bench_function("step4_analyze", |b| {
+        b.iter(|| analyze(&m, &cfg, &options, &flops))
+    });
+    let analysis = analyze(&m, &cfg, &options, &flops);
+    let policy = PolicyConfig {
+        target_fp4: 0.5,
+        ..Default::default()
+    };
+    group.bench_function("step5_solve", |b| {
+        b.iter(|| decide_scheme(&analysis, &options, &cfg, &policy, "bench").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Training-step latency by precision scheme — the simulation-side analogue
+//! of the paper's throughput motivation (§2.2). In fake quantization, lower
+//! precision *costs* time (quantize/dequantize work) rather than saving it;
+//! real savings appear in the `pipeline_sim` model instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snip_bench::fixtures::bench_trainer;
+use snip_core::Scheme;
+use snip_quant::Precision;
+
+fn bench_step_by_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+    for p in [Precision::Bf16, Precision::Fp8, Precision::Fp4] {
+        group.bench_with_input(BenchmarkId::from_parameter(p.label()), &p, |b, &p| {
+            let mut t = bench_trainer();
+            let scheme = Scheme::uniform(p, t.config().model.n_linear_layers());
+            t.apply_scheme(&scheme);
+            b.iter(|| t.train_step())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_item(c: &mut Criterion) {
+    use snip_data::{LanguageConfig, SyntheticLanguage};
+    use snip_eval::{score_item, Task};
+    use snip_tensor::rng::Rng;
+    let t = bench_trainer();
+    let lang = SyntheticLanguage::new(
+        LanguageConfig {
+            vocab: t.config().model.vocab_size,
+            ..Default::default()
+        },
+        0,
+    );
+    let items = Task::CompletionEasy.generate(&lang, 4, 1);
+    let mut rng = Rng::seed_from(2);
+    c.bench_function("eval_score_item", |b| {
+        b.iter(|| {
+            items
+                .iter()
+                .map(|i| score_item(&t.model, i, &mut rng))
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_step_by_precision, bench_eval_item);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! # snip-bench
+//!
+//! Criterion micro-benchmarks for the SNIP stack. Each bench file maps to a
+//! cost the paper discusses:
+//!
+//! * `quant_kernels` — fake-quantization throughput per format/granularity
+//!   (the per-GEMM overhead of the Fig. 5 framework).
+//! * `matmul` — GEMM kernels of the tensor substrate.
+//! * `ilp_solver` — Step-5 solve times at paper-scale layer counts (§6.1
+//!   reports "usually a few seconds" under a 30 s limit).
+//! * `train_step` — full training-step latency by precision scheme.
+//! * `snip_overhead` — Steps 1–4 measurement/analysis cost relative to a
+//!   training step (§6.3: "2-3 times that of a normal training iteration").
+//! * `pipeline_sim` — 1F1B schedule simulation cost.
+
+/// Shared fixtures for benches.
+pub mod fixtures {
+    use snip_core::{Trainer, TrainerConfig};
+    use snip_nn::ModelConfig;
+    use snip_optim::{AdamWConfig, LrSchedule};
+
+    /// A small warmed-up trainer used by training-step benches.
+    pub fn bench_trainer() -> Trainer {
+        let cfg = TrainerConfig {
+            model: ModelConfig::tiny_test(),
+            adamw: AdamWConfig::default(),
+            schedule: LrSchedule::Constant { lr: 1e-3 },
+            batch_size: 2,
+            seq_len: 16,
+            grad_clip: Some(1.0),
+            data_seed: 0,
+            init_seed: 0,
+            language: snip_data::LanguageConfig::default(),
+        };
+        let mut t = Trainer::new(cfg).expect("valid config");
+        let _ = t.train(3);
+        t
+    }
+}

@@ -1,0 +1,291 @@
+//! The periodic SNIP workflow engine (paper Fig. 6 / §3).
+//!
+//! Steps 1–3 (statistics + probes) must run where the model lives — in the
+//! paper, on the GPUs; here, on the training thread. Steps 4–5 (divergence
+//! analysis + ILP) are "offloaded to the CPU, allowing the normal training
+//! process to continue seamlessly": [`SnipEngine`] runs them on a worker
+//! thread connected by channels, and the new scheme is applied (Step 6)
+//! whenever it becomes ready. A synchronous path is provided for
+//! deterministic tests and one-shot use.
+
+use crate::divergence::analyze;
+use crate::options::{FlopModel, OptionSet};
+use crate::policy::{decide_scheme, PolicyConfig};
+use crate::probe::{measure, SnipMeasurement};
+use crate::scheme::Scheme;
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use serde::{Deserialize, Serialize};
+use snip_nn::{Batch, Model, ModelConfig};
+use snip_optim::AdamW;
+use snip_tensor::rng::Rng;
+use std::thread::JoinHandle;
+
+/// Engine configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnipConfig {
+    /// ILP policy (efficiency target, time limit, pipeline stages).
+    pub policy: PolicyConfig,
+    /// Candidate precision options per layer.
+    pub options: OptionSet,
+    /// Probe noise norm `ε` (Steps 2–3).
+    pub probe_epsilon: f64,
+    /// Steps between scheme regenerations (the paper recommends ~100k steps
+    /// at full scale; scaled-down runs use far fewer).
+    pub update_period: u64,
+}
+
+impl Default for SnipConfig {
+    fn default() -> Self {
+        SnipConfig {
+            policy: PolicyConfig::default(),
+            options: OptionSet::default(),
+            probe_epsilon: 1e-2,
+            update_period: 100,
+        }
+    }
+}
+
+struct Job {
+    measurement: SnipMeasurement,
+    name: String,
+}
+
+/// Asynchronous Step 4–5 worker plus the synchronous fast path.
+#[derive(Debug)]
+pub struct SnipEngine {
+    cfg: SnipConfig,
+    model_cfg: ModelConfig,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<Result<Scheme, String>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl SnipEngine {
+    /// Creates the engine and spawns its analysis worker thread.
+    pub fn new(cfg: SnipConfig, model_cfg: ModelConfig) -> Self {
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (result_tx, result_rx) = unbounded::<Result<Scheme, String>>();
+        let worker_cfg = cfg.clone();
+        let worker_model_cfg = model_cfg.clone();
+        let worker = std::thread::spawn(move || {
+            let flops = FlopModel::new(&worker_model_cfg);
+            for job in job_rx.iter() {
+                let analysis = analyze(
+                    &job.measurement,
+                    &worker_model_cfg,
+                    &worker_cfg.options,
+                    &flops,
+                );
+                let result = decide_scheme(
+                    &analysis,
+                    &worker_cfg.options,
+                    &worker_model_cfg,
+                    &worker_cfg.policy,
+                    job.name,
+                )
+                .map_err(|e| e.to_string());
+                if result_tx.send(result).is_err() {
+                    break;
+                }
+            }
+        });
+        SnipEngine {
+            cfg,
+            model_cfg,
+            job_tx: Some(job_tx),
+            result_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SnipConfig {
+        &self.cfg
+    }
+
+    /// Whether a scheme regeneration is due at `step`.
+    pub fn is_update_due(&self, step: u64) -> bool {
+        self.cfg.update_period > 0 && step > 0 && step % self.cfg.update_period == 0
+    }
+
+    /// Runs Steps 1–5 synchronously and returns the new scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns the solver error message if the ILP is infeasible.
+    pub fn generate_scheme_sync(
+        &self,
+        model: &mut Model,
+        optimizer: &AdamW,
+        batch: &Batch,
+        rng: &mut Rng,
+        name: impl Into<String>,
+    ) -> Result<Scheme, String> {
+        let measurement = measure(model, optimizer, batch, rng, self.cfg.probe_epsilon);
+        self.analyze_and_solve(&measurement, name)
+    }
+
+    /// Runs only Steps 4–5 on an existing measurement (synchronously).
+    ///
+    /// # Errors
+    ///
+    /// Returns the solver error message if the ILP is infeasible.
+    pub fn analyze_and_solve(
+        &self,
+        measurement: &SnipMeasurement,
+        name: impl Into<String>,
+    ) -> Result<Scheme, String> {
+        let flops = FlopModel::new(&self.model_cfg);
+        let analysis = analyze(measurement, &self.model_cfg, &self.cfg.options, &flops);
+        decide_scheme(
+            &analysis,
+            &self.cfg.options,
+            &self.model_cfg,
+            &self.cfg.policy,
+            name,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    /// Runs Steps 1–3 on the training thread and queues Steps 4–5 on the
+    /// worker. Training can continue; poll [`SnipEngine::try_collect`].
+    pub fn submit(
+        &self,
+        model: &mut Model,
+        optimizer: &AdamW,
+        batch: &Batch,
+        rng: &mut Rng,
+        name: impl Into<String>,
+    ) {
+        let measurement = measure(model, optimizer, batch, rng, self.cfg.probe_epsilon);
+        let job = Job {
+            measurement,
+            name: name.into(),
+        };
+        if let Some(tx) = &self.job_tx {
+            let _ = tx.send(job);
+        }
+    }
+
+    /// Non-blocking poll for a finished scheme (Step 6 readiness).
+    pub fn try_collect(&self) -> Option<Result<Scheme, String>> {
+        match self.result_rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks until the next queued scheme is ready.
+    pub fn collect_blocking(&self) -> Option<Result<Scheme, String>> {
+        self.result_rx.recv().ok()
+    }
+}
+
+impl Drop for SnipEngine {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop.
+        self.job_tx.take();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::model::StepOptions;
+    use snip_optim::AdamWConfig;
+    use snip_quant::{LinearPrecision, Precision};
+
+    fn setup() -> (Model, AdamW, Batch, Rng, ModelConfig) {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 51).unwrap();
+        let mut rng = Rng::seed_from(52);
+        let batch = Batch::from_sequences(
+            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![8, 6, 4, 2, 1, 3, 5, 7, 9]],
+            8,
+        );
+        let mut opt = AdamW::new(AdamWConfig::default());
+        for _ in 0..2 {
+            model.zero_grads();
+            let _ = model.step(&batch, &mut rng, &StepOptions::train());
+            opt.update(&mut model);
+        }
+        (model, opt, batch, rng, cfg)
+    }
+
+    fn engine(target: f64, cfg: &ModelConfig) -> SnipEngine {
+        SnipEngine::new(
+            SnipConfig {
+                policy: PolicyConfig {
+                    target_fp4: target,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            cfg.clone(),
+        )
+    }
+
+    #[test]
+    fn sync_scheme_meets_budget() {
+        let (mut model, opt, batch, mut rng, cfg) = setup();
+        let eng = engine(0.5, &cfg);
+        let scheme = eng
+            .generate_scheme_sync(&mut model, &opt, &batch, &mut rng, "snip@50")
+            .unwrap();
+        let flops = FlopModel::new(&cfg);
+        assert!(scheme.fp4_fraction(&flops) + 1e-9 >= 0.5);
+        assert!(scheme.fp4_layer_count() > 0);
+        assert!(scheme.fp4_layer_count() < cfg.n_linear_layers());
+    }
+
+    #[test]
+    fn async_round_trip_matches_sync() {
+        let (mut model, opt, batch, rng, cfg) = setup();
+        let eng = engine(0.5, &cfg);
+        let sync = eng
+            .generate_scheme_sync(&mut model, &opt, &batch, &mut rng.clone(), "s")
+            .unwrap();
+        eng.submit(&mut model, &opt, &batch, &mut rng.clone(), "s");
+        let async_scheme = eng.collect_blocking().unwrap().unwrap();
+        assert_eq!(sync.assignments(), async_scheme.assignments());
+    }
+
+    #[test]
+    fn extreme_budgets_are_uniform() {
+        let (mut model, opt, batch, mut rng, cfg) = setup();
+        let flops = FlopModel::new(&cfg);
+        let e0 = engine(0.0, &cfg)
+            .generate_scheme_sync(&mut model, &opt, &batch, &mut rng, "e0")
+            .unwrap();
+        assert_eq!(e0.fp4_layer_count(), 0);
+        assert_eq!(e0.fp4_fraction(&flops), 0.0);
+        let e1 = engine(1.0, &cfg)
+            .generate_scheme_sync(&mut model, &opt, &batch, &mut rng, "e1")
+            .unwrap();
+        assert_eq!(e1.fp4_layer_count(), cfg.n_linear_layers());
+        assert!(
+            e1.assignments()
+                .iter()
+                .all(|&p| p == LinearPrecision::uniform(Precision::Fp4))
+        );
+    }
+
+    #[test]
+    fn update_schedule() {
+        let (.., cfg) = setup();
+        let eng = engine(0.5, &cfg);
+        assert!(!eng.is_update_due(0));
+        assert!(eng.is_update_due(eng.config().update_period));
+        assert!(!eng.is_update_due(eng.config().update_period + 1));
+    }
+
+    #[test]
+    fn try_collect_is_non_blocking() {
+        let (.., cfg) = setup();
+        let eng = engine(0.5, &cfg);
+        assert!(eng.try_collect().is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-layer precision option sets and FLOP accounting.
+//!
+//! Each layer picks one option from a set (paper §5.2: "For each layer i,
+//! the options are combinations of FP8 and FP4 formats for inputs, weights,
+//! and gradients"). The headline experiments use the two uniform options
+//! {all-FP8, all-FP4}; [`OptionSet::mixed`] exposes the full combination
+//! space, and new quantization techniques can be added as further options.
+
+use serde::{Deserialize, Serialize};
+use snip_nn::{LayerId, ModelConfig};
+use snip_quant::{LinearPrecision, Precision};
+
+/// The candidate precision assignments every layer chooses from.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptionSet {
+    options: Vec<LinearPrecision>,
+}
+
+impl OptionSet {
+    /// The paper's headline option pair: uniform FP8 vs uniform FP4.
+    pub fn fp8_fp4() -> Self {
+        OptionSet {
+            options: vec![
+                LinearPrecision::uniform(Precision::Fp8),
+                LinearPrecision::uniform(Precision::Fp4),
+            ],
+        }
+    }
+
+    /// All 8 FP8/FP4 combinations over (input, weight, grad).
+    pub fn mixed() -> Self {
+        let ps = [Precision::Fp8, Precision::Fp4];
+        let mut options = Vec::with_capacity(8);
+        for &input in &ps {
+            for &weight in &ps {
+                for &grad in &ps {
+                    options.push(LinearPrecision {
+                        input,
+                        weight,
+                        grad,
+                    });
+                }
+            }
+        }
+        OptionSet { options }
+    }
+
+    /// A custom option set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn custom(options: Vec<LinearPrecision>) -> Self {
+        assert!(!options.is_empty(), "option set must be non-empty");
+        OptionSet { options }
+    }
+
+    /// The options, in decision-variable order.
+    pub fn options(&self) -> &[LinearPrecision] {
+        &self.options
+    }
+
+    /// Number of options per layer (`n` in the ILP).
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Whether the set is empty (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+}
+
+impl Default for OptionSet {
+    fn default() -> Self {
+        OptionSet::fp8_fp4()
+    }
+}
+
+/// FLOP accounting for a model: how much each layer contributes to total
+/// linear-layer training FLOPs, and what fraction of FLOPs runs in FP4 under
+/// a given option (the paper's efficiency metric, §5.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlopModel {
+    /// `flops_fraction[i]` = layer i's share of total linear FLOPs.
+    flops_fraction: Vec<f64>,
+}
+
+impl FlopModel {
+    /// Builds the FLOP model for a config (token count cancels out).
+    pub fn new(cfg: &ModelConfig) -> Self {
+        let per_layer: Vec<u64> = LayerId::enumerate(cfg.n_layers)
+            .iter()
+            .map(|id| id.training_flops(cfg, 1))
+            .collect();
+        let total: u64 = per_layer.iter().sum();
+        FlopModel {
+            flops_fraction: per_layer
+                .iter()
+                .map(|&f| f as f64 / total as f64)
+                .collect(),
+        }
+    }
+
+    /// Number of layers covered.
+    pub fn n_layers(&self) -> usize {
+        self.flops_fraction.len()
+    }
+
+    /// Layer `i`'s share of total linear FLOPs.
+    pub fn fraction(&self, i: usize) -> f64 {
+        self.flops_fraction[i]
+    }
+
+    /// Efficiency saving `e_{i,j}`: the fraction of the *model's* linear
+    /// FLOPs that run in FP4 if layer `i` picks `option`.
+    pub fn efficiency(&self, i: usize, option: LinearPrecision) -> f64 {
+        self.flops_fraction[i] * option.fp4_gemm_fraction()
+    }
+
+    /// Total FP4 FLOP fraction of a full scheme.
+    pub fn scheme_fp4_fraction(&self, scheme: &[LinearPrecision]) -> f64 {
+        assert_eq!(scheme.len(), self.flops_fraction.len(), "scheme length");
+        scheme
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| self.efficiency(i, p))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_is_fp8_fp4() {
+        let s = OptionSet::default();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.options()[0], LinearPrecision::uniform(Precision::Fp8));
+        assert_eq!(s.options()[1], LinearPrecision::uniform(Precision::Fp4));
+    }
+
+    #[test]
+    fn mixed_set_has_eight_unique_options() {
+        let s = OptionSet::mixed();
+        assert_eq!(s.len(), 8);
+        let mut set = std::collections::HashSet::new();
+        for &o in s.options() {
+            set.insert(o);
+        }
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn flop_fractions_sum_to_one() {
+        let fm = FlopModel::new(&ModelConfig::tinyllama_1b_sim());
+        let total: f64 = (0..fm.n_layers()).map(|i| fm.fraction(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlp_layers_carry_more_flops_than_attention() {
+        let cfg = ModelConfig::tinyllama_1b_sim();
+        let fm = FlopModel::new(&cfg);
+        use snip_nn::LayerKind;
+        let q = LayerId::new(0, LayerKind::Q).linear_index();
+        let gate = LayerId::new(0, LayerKind::Gate).linear_index();
+        assert!(fm.fraction(gate) > fm.fraction(q));
+    }
+
+    #[test]
+    fn all_fp4_scheme_has_unit_efficiency() {
+        let cfg = ModelConfig::tiny_test();
+        let fm = FlopModel::new(&cfg);
+        let scheme = vec![LinearPrecision::uniform(Precision::Fp4); cfg.n_linear_layers()];
+        assert!((fm.scheme_fp4_fraction(&scheme) - 1.0).abs() < 1e-9);
+        let scheme8 = vec![LinearPrecision::uniform(Precision::Fp8); cfg.n_linear_layers()];
+        assert_eq!(fm.scheme_fp4_fraction(&scheme8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_custom_set_rejected() {
+        let _ = OptionSet::custom(vec![]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Steps 1–3 of the SNIP workflow (paper Fig. 6): collect statistics on a
+//! high-precision iteration, then run the two noise-injection probe passes
+//! that estimate second-order error propagation (Theorem 4.2).
+
+use crate::stats::StepStats;
+use serde::{Deserialize, Serialize};
+use snip_nn::inject::{Injection, InjectionSite};
+use snip_nn::model::{Model, StepOptions};
+use snip_nn::{Batch, LayerId};
+use snip_optim::AdamW;
+use snip_quant::{LinearPrecision, Precision};
+use snip_tensor::rng::Rng;
+
+/// Everything the divergence analysis needs, extracted from one batch.
+/// Cheap to send to a worker thread (norms only, no tensors).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SnipMeasurement {
+    /// Step-1 statistics (norms + per-precision quantization errors).
+    pub stats: StepStats,
+    /// Per-layer gradient response to *forward* top noise:
+    /// `‖g_l(noise) − g_l‖ / ε` (Step 3).
+    pub p_fwd: Vec<f64>,
+    /// Per-layer gradient response to *backward* top noise (Step 2).
+    pub p_bwd: Vec<f64>,
+    /// AdamW update sensitivity `h′(g_l)` per layer (§4.3.2), including the
+    /// learning-rate prefactor and dimensional normalization.
+    pub h_sens: Vec<f64>,
+    /// The `ε` used by the probes.
+    pub probe_epsilon: f64,
+    /// `|L(noise@fwd) − L|` — a free validation sample of Theorem 4.1.
+    pub fwd_loss_delta: f64,
+}
+
+/// Runs Steps 1–3 on the given batch. The model's weights are untouched
+/// (probes never call the optimizer) and all gradients are zeroed on exit.
+///
+/// Statistics are collected with the model temporarily forced to its
+/// high-precision (BF16) scheme, matching the paper: "we collect statistics
+/// during a standard training iteration using high precision".
+pub fn measure(
+    model: &mut Model,
+    optimizer: &AdamW,
+    batch: &Batch,
+    rng: &mut Rng,
+    epsilon: f64,
+) -> SnipMeasurement {
+    let cfg = model.config().clone();
+    let n = cfg.n_linear_layers();
+    // Force BF16 for measurement, restore afterwards.
+    let saved_scheme = model.scheme();
+    model.set_scheme(&vec![LinearPrecision::uniform(Precision::Bf16); n]);
+
+    // Step 1: baseline recorded iteration.
+    model.zero_grads();
+    let base = model
+        .step(batch, rng, &StepOptions::record())
+        .record
+        .expect("recording requested");
+
+    // Step 2: backward-top noise.
+    model.zero_grads();
+    let bwd = model
+        .step(
+            batch,
+            rng,
+            &StepOptions::probe(Injection {
+                site: InjectionSite::BackwardTop,
+                epsilon,
+                seed: 0x5712_0002,
+            }),
+        )
+        .record
+        .expect("recording requested");
+
+    // Step 3: forward-top noise.
+    model.zero_grads();
+    let fwd_out = model.step(
+        batch,
+        rng,
+        &StepOptions::probe(Injection {
+            site: InjectionSite::ForwardTop,
+            epsilon,
+            seed: 0x5712_0003,
+        }),
+    );
+    let fwd = fwd_out.record.expect("recording requested");
+
+    // Gradient responses per layer (Theorem 4.2 single-sample estimate).
+    let p_bwd: Vec<f64> = (0..n)
+        .map(|i| base.linears[i].dw.distance(&bwd.linears[i].dw) / epsilon)
+        .collect();
+    let p_fwd: Vec<f64> = (0..n)
+        .map(|i| base.linears[i].dw.distance(&fwd.linears[i].dw) / epsilon)
+        .collect();
+
+    // AdamW update sensitivity at the current moments and gradients.
+    let h_sens: Vec<f64> = (0..n)
+        .map(|i| {
+            let id = LayerId::from_linear_index(i);
+            optimizer.update_sensitivity(model.param_index_of(id), &base.linears[i].dw)
+        })
+        .collect();
+
+    let fwd_loss_delta = (fwd.loss - base.loss).abs();
+    let stats = StepStats::from_record(&base, &cfg);
+
+    model.zero_grads();
+    model.set_scheme(&saved_scheme);
+
+    SnipMeasurement {
+        stats,
+        p_fwd,
+        p_bwd,
+        h_sens,
+        probe_epsilon: epsilon,
+        fwd_loss_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::model::StepOptions as SO;
+    use snip_nn::ModelConfig;
+    use snip_optim::AdamWConfig;
+
+    fn setup() -> (Model, AdamW, Batch, Rng) {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg, 21).unwrap();
+        let mut rng = Rng::seed_from(22);
+        let batch = Batch::from_sequences(
+            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![4, 8, 12, 16, 3, 7, 11, 15, 2]],
+            8,
+        );
+        // Warm the optimizer so moments exist.
+        let mut opt = AdamW::new(AdamWConfig::default());
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &SO::train());
+        opt.update(&mut model);
+        (model, opt, batch, rng)
+    }
+
+    #[test]
+    fn measurement_has_full_coverage() {
+        let (mut model, opt, batch, mut rng) = setup();
+        let m = measure(&mut model, &opt, &batch, &mut rng, 1e-2);
+        let n = model.config().n_linear_layers();
+        assert_eq!(m.stats.layers.len(), n);
+        assert_eq!(m.p_fwd.len(), n);
+        assert_eq!(m.p_bwd.len(), n);
+        assert_eq!(m.h_sens.len(), n);
+        assert!(m.p_bwd.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(m.p_fwd.iter().all(|&p| p.is_finite()));
+        assert!(m.h_sens.iter().all(|&h| h > 0.0));
+    }
+
+    #[test]
+    fn backward_noise_perturbs_gradients() {
+        let (mut model, opt, batch, mut rng) = setup();
+        let m = measure(&mut model, &opt, &batch, &mut rng, 1e-2);
+        // At least the early layers must respond to top-injected noise.
+        let responding = m.p_bwd.iter().filter(|&&p| p > 0.0).count();
+        assert!(responding > m.p_bwd.len() / 2, "{responding} responding layers");
+    }
+
+    #[test]
+    fn model_state_is_restored() {
+        let (mut model, opt, batch, mut rng) = setup();
+        let scheme_before = model.scheme();
+        let loss_before = model.forward_loss(&batch, &mut rng.clone());
+        let _ = measure(&mut model, &opt, &batch, &mut rng, 1e-2);
+        assert_eq!(model.scheme(), scheme_before, "scheme must be restored");
+        assert_eq!(
+            model.forward_loss(&batch, &mut rng.clone()),
+            loss_before,
+            "weights must be untouched"
+        );
+        assert_eq!(model.grad_norm(), 0.0, "gradients must be zeroed");
+    }
+
+    #[test]
+    fn probe_responses_scale_roughly_linearly_with_epsilon() {
+        // Theorem 4.2: the response ‖Δg‖/ε should be ~constant in ε for
+        // small ε (we allow generous slack — single sample, bf16 noise).
+        let (mut model, opt, batch, mut rng) = setup();
+        let m1 = measure(&mut model, &opt, &batch, &mut rng, 5e-3);
+        let m2 = measure(&mut model, &opt, &batch, &mut rng, 2e-2);
+        let s1: f64 = m1.p_bwd.iter().sum();
+        let s2: f64 = m2.p_bwd.iter().sum();
+        assert!(s1 > 0.0 && s2 > 0.0);
+        let ratio = s1 / s2;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "responses not comparable: {s1} vs {s2}"
+        );
+    }
+
+    #[test]
+    fn forward_loss_delta_is_positive() {
+        let (mut model, opt, batch, mut rng) = setup();
+        let m = measure(&mut model, &opt, &batch, &mut rng, 1e-1);
+        assert!(m.fwd_loss_delta > 0.0);
+    }
+}

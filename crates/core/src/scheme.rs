@@ -1,0 +1,162 @@
+//! Layer-wise quantization schemes (the "FPX scheme" of paper Fig. 6).
+
+use crate::options::FlopModel;
+use serde::{Deserialize, Serialize};
+use snip_nn::{LayerId, LayerKind, Model, ModelConfig};
+use snip_quant::{LinearPrecision, Precision};
+
+/// A complete per-layer precision assignment, indexed by
+/// [`LayerId::linear_index`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Short name ("snip@75", "min-abs-err@50", "fp8", …).
+    pub name: String,
+    assignments: Vec<LinearPrecision>,
+}
+
+impl Scheme {
+    /// Creates a named scheme.
+    pub fn new(name: impl Into<String>, assignments: Vec<LinearPrecision>) -> Self {
+        Scheme {
+            name: name.into(),
+            assignments,
+        }
+    }
+
+    /// A uniform scheme over `n_linear` layers.
+    pub fn uniform(p: Precision, n_linear: usize) -> Self {
+        Scheme {
+            name: p.label().to_string(),
+            assignments: vec![LinearPrecision::uniform(p); n_linear],
+        }
+    }
+
+    /// The per-layer assignments.
+    pub fn assignments(&self) -> &[LinearPrecision] {
+        &self.assignments
+    }
+
+    /// Assignment of one layer.
+    pub fn layer(&self, id: LayerId) -> LinearPrecision {
+        self.assignments[id.linear_index()]
+    }
+
+    /// Overrides one layer's assignment.
+    pub fn set_layer(&mut self, id: LayerId, p: LinearPrecision) {
+        self.assignments[id.linear_index()] = p;
+    }
+
+    /// Number of linear layers covered.
+    pub fn n_layers(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Applies this scheme to a model (SNIP Step 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme length doesn't match the model.
+    pub fn apply(&self, model: &mut Model) {
+        model.set_scheme(&self.assignments);
+    }
+
+    /// FP4 FLOP fraction under the given FLOP model (the paper's efficiency
+    /// metric).
+    pub fn fp4_fraction(&self, flops: &FlopModel) -> f64 {
+        flops.scheme_fp4_fraction(&self.assignments)
+    }
+
+    /// Renders the scheme as the layer-id × layer-type grid used in paper
+    /// Figs. 7/11/12 (`4` = FP4, `8` = FP8, `-` = BF16), one row per block.
+    pub fn render_grid(&self, cfg: &ModelConfig) -> String {
+        let mut out = String::new();
+        out.push_str("        ");
+        for kind in LayerKind::ALL {
+            out.push_str(&format!("{:>5}", kind.label()));
+        }
+        out.push('\n');
+        for block in 0..cfg.n_layers {
+            out.push_str(&format!("L{block:<3}    "));
+            for kind in LayerKind::ALL {
+                let p = self.layer(LayerId::new(block, kind));
+                let c = if p == LinearPrecision::uniform(Precision::Fp4) {
+                    '4'
+                } else if p == LinearPrecision::uniform(Precision::Fp8) {
+                    '8'
+                } else if p == LinearPrecision::uniform(Precision::Bf16) {
+                    '-'
+                } else {
+                    'm' // mixed triple
+                };
+                out.push_str(&format!("{c:>5}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Count of layers assigned uniform FP4.
+    pub fn fp4_layer_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|&&p| p == LinearPrecision::uniform(Precision::Fp4))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_construction() {
+        let s = Scheme::uniform(Precision::Fp8, 14);
+        assert_eq!(s.n_layers(), 14);
+        assert_eq!(s.name, "fp8");
+        assert!(s
+            .assignments()
+            .iter()
+            .all(|&p| p == LinearPrecision::uniform(Precision::Fp8)));
+    }
+
+    #[test]
+    fn layer_access_round_trip() {
+        let mut s = Scheme::uniform(Precision::Fp8, 14);
+        let id = LayerId::new(1, LayerKind::Down);
+        s.set_layer(id, LinearPrecision::uniform(Precision::Fp4));
+        assert_eq!(s.layer(id), LinearPrecision::uniform(Precision::Fp4));
+        assert_eq!(s.fp4_layer_count(), 1);
+    }
+
+    #[test]
+    fn apply_to_model() {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 0).unwrap();
+        let mut s = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+        s.set_layer(
+            LayerId::new(0, LayerKind::Q),
+            LinearPrecision::uniform(Precision::Fp8),
+        );
+        s.apply(&mut model);
+        assert_eq!(model.scheme(), s.assignments());
+    }
+
+    #[test]
+    fn grid_rendering_shows_rows_and_columns() {
+        let cfg = ModelConfig::tiny_test();
+        let s = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+        let grid = s.render_grid(&cfg);
+        assert!(grid.contains("Down"));
+        assert!(grid.contains("L0"));
+        assert!(grid.contains("L1"));
+        assert_eq!(grid.matches('4').count(), 14);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Scheme::uniform(Precision::Fp4, 7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

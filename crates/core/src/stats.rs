@@ -1,0 +1,193 @@
+//! Per-layer statistics derived from a recorded training step
+//! (SNIP Step 1, paper Fig. 6).
+//!
+//! Besides the raw Frobenius norms, this module pre-computes the
+//! quantization-error norms `‖δX‖`, `‖δW‖`, `‖δ∇Y‖` for every candidate
+//! precision, which is everything the divergence analysis (§4.2–§4.3)
+//! needs — after this step the model tensors can be dropped.
+
+use serde::{Deserialize, Serialize};
+use snip_nn::record::StepRecord;
+use snip_nn::{LayerId, ModelConfig};
+use snip_quant::{Precision, TensorRole};
+
+/// Quantization-error norms of one tensor under each candidate precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorByPrecision {
+    /// Error under FP4 (E2M1).
+    pub fp4: f64,
+    /// Error under FP8 (E4M3).
+    pub fp8: f64,
+    /// Error under BF16 (usually negligible).
+    pub bf16: f64,
+}
+
+impl ErrorByPrecision {
+    /// Error norm for a given precision.
+    pub fn get(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Fp4 => self.fp4,
+            Precision::Fp8 => self.fp8,
+            Precision::Bf16 => self.bf16,
+        }
+    }
+}
+
+/// Statistics of one quantizable linear layer from one recorded step.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Tokens in the recorded batch (`M` of the activations).
+    pub tokens: usize,
+    /// Layer output features (`N`).
+    pub out_features: usize,
+    /// Layer input features (`K`).
+    pub in_features: usize,
+    /// `‖X‖_F` — input activations.
+    pub x_norm: f64,
+    /// `‖W‖_F` — weights.
+    pub w_norm: f64,
+    /// `‖Y‖_F` — forward output.
+    pub y_norm: f64,
+    /// `‖∇Y‖_F` — output gradient.
+    pub dy_norm: f64,
+    /// `‖∇X‖_F` — input gradient (`‖∇_{X_l} L‖`, used by loss divergence).
+    pub dx_norm: f64,
+    /// `‖∇W‖_F` — weight gradient (`‖∇_{W_l} L‖`).
+    pub dw_norm: f64,
+    /// Quantization error of the input activations per candidate precision.
+    pub x_err: ErrorByPrecision,
+    /// Quantization error of the weights per candidate precision.
+    pub w_err: ErrorByPrecision,
+    /// Quantization error of the output gradients per candidate precision.
+    pub dy_err: ErrorByPrecision,
+}
+
+/// Statistics for every layer of a recorded step.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Training loss of the recorded (high-precision) step.
+    pub loss: f64,
+    /// Tokens in the recorded batch.
+    pub ntokens: usize,
+    /// Per-layer stats, indexed by [`LayerId::linear_index`].
+    pub layers: Vec<LayerStats>,
+}
+
+impl StepStats {
+    /// Derives statistics from a recorded step.
+    ///
+    /// `quant_group` is the scale-group length used when measuring
+    /// quantization errors (pass `cfg.quant_group`).
+    pub fn from_record(record: &StepRecord, cfg: &ModelConfig) -> Self {
+        let nb = cfg.quant_group;
+        let mut layers = Vec::with_capacity(record.linears.len());
+        for lr in &record.linears {
+            let (out_features, in_features) = lr.w.shape();
+            let err = |role: TensorRole, t: &snip_tensor::Tensor| -> ErrorByPrecision {
+                ErrorByPrecision {
+                    fp4: Precision::Fp4.quantizer_with_group(role, nb).error_norm(t),
+                    fp8: Precision::Fp8.quantizer_with_group(role, nb).error_norm(t),
+                    bf16: Precision::Bf16.quantizer_with_group(role, nb).error_norm(t),
+                }
+            };
+            layers.push(LayerStats {
+                tokens: lr.x.rows(),
+                out_features,
+                in_features,
+                x_norm: lr.x_norm(),
+                w_norm: lr.w_norm(),
+                y_norm: lr.y_norm,
+                dy_norm: lr.dy_norm(),
+                dx_norm: lr.dx_norm,
+                dw_norm: lr.dw_norm(),
+                x_err: err(TensorRole::Input, &lr.x),
+                w_err: err(TensorRole::Weight, &lr.w),
+                dy_err: err(TensorRole::OutputGrad, &lr.dy),
+            });
+        }
+        StepStats {
+            loss: record.loss,
+            ntokens: record.ntokens,
+            layers,
+        }
+    }
+
+    /// Stats for one layer.
+    pub fn layer(&self, id: LayerId) -> &LayerStats {
+        &self.layers[id.linear_index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::{batch::Batch, model::{Model, StepOptions}};
+    use snip_tensor::rng::Rng;
+
+    fn collect() -> (StepStats, ModelConfig) {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 11).unwrap();
+        let mut rng = Rng::seed_from(12);
+        let batch = Batch::from_sequences(
+            &[vec![1, 5, 2, 8, 3, 9, 4, 10, 6], vec![2, 6, 3, 9, 4, 10, 5, 11, 7]],
+            8,
+        );
+        model.zero_grads();
+        let out = model.step(&batch, &mut rng, &StepOptions::record());
+        (
+            StepStats::from_record(&out.record.unwrap(), &cfg),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn stats_cover_all_layers_with_positive_norms() {
+        let (stats, cfg) = collect();
+        assert_eq!(stats.layers.len(), cfg.n_linear_layers());
+        assert!(stats.loss > 0.0);
+        for (i, l) in stats.layers.iter().enumerate() {
+            assert!(l.x_norm > 0.0, "layer {i} x_norm");
+            assert!(l.w_norm > 0.0, "layer {i} w_norm");
+            assert!(l.dy_norm > 0.0, "layer {i} dy_norm");
+            assert!(l.dw_norm > 0.0, "layer {i} dw_norm");
+        }
+    }
+
+    #[test]
+    fn error_ordering_fp4_gt_fp8_gt_bf16() {
+        let (stats, _) = collect();
+        for (i, l) in stats.layers.iter().enumerate() {
+            assert!(
+                l.x_err.fp4 > l.x_err.fp8 && l.x_err.fp8 > l.x_err.bf16,
+                "layer {i} x errors: {:?}",
+                l.x_err
+            );
+            assert!(l.w_err.fp4 > l.w_err.fp8, "layer {i} w errors");
+        }
+    }
+
+    #[test]
+    fn dims_match_layer_kinds() {
+        let (stats, cfg) = collect();
+        use snip_nn::LayerKind;
+        let gate = stats.layer(LayerId::new(0, LayerKind::Gate));
+        assert_eq!(gate.out_features, cfg.ffn_hidden);
+        assert_eq!(gate.in_features, cfg.hidden);
+        let down = stats.layer(LayerId::new(1, LayerKind::Down));
+        assert_eq!(down.out_features, cfg.hidden);
+        assert_eq!(down.in_features, cfg.ffn_hidden);
+        assert_eq!(gate.tokens, 16);
+    }
+
+    #[test]
+    fn error_by_precision_get() {
+        let e = ErrorByPrecision {
+            fp4: 3.0,
+            fp8: 2.0,
+            bf16: 1.0,
+        };
+        assert_eq!(e.get(Precision::Fp4), 3.0);
+        assert_eq!(e.get(Precision::Fp8), 2.0);
+        assert_eq!(e.get(Precision::Bf16), 1.0);
+    }
+}

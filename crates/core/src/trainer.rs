@@ -1,0 +1,285 @@
+//! Training-loop orchestration with periodic SNIP scheme updates and
+//! checkpointing.
+//!
+//! The paper's evaluation protocol (§6.1) resumes pretraining from saved
+//! intermediate checkpoints under different quantization schemes. [`Trainer`]
+//! packages model + optimizer + data stream + RNG into one serializable unit
+//! so experiments can create checkpoints and branch from them exactly.
+
+use crate::engine::SnipEngine;
+use crate::scheme::Scheme;
+use serde::{Deserialize, Serialize};
+use snip_data::BatchStream;
+use snip_nn::model::{Model, StepOptions};
+use snip_nn::ModelConfig;
+use snip_optim::{clip::clip_global_norm, AdamW, AdamWConfig, LrSchedule};
+use snip_tensor::rng::Rng;
+use std::path::Path;
+
+/// Full trainer configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Model hyperparameters.
+    pub model: ModelConfig,
+    /// Optimizer hyperparameters.
+    pub adamw: AdamWConfig,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Sequences per batch.
+    pub batch_size: usize,
+    /// Tokens per sequence.
+    pub seq_len: usize,
+    /// Global gradient-norm clip (None = no clipping).
+    pub grad_clip: Option<f64>,
+    /// Seed for the data stream.
+    pub data_seed: u64,
+    /// Seed for parameter initialization.
+    pub init_seed: u64,
+    /// Synthetic-language parameters (vocab is overridden by the model's
+    /// vocab size). Defaults match [`snip_data::LanguageConfig::default`].
+    #[serde(default)]
+    pub language: snip_data::LanguageConfig,
+}
+
+impl TrainerConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn tiny() -> Self {
+        TrainerConfig {
+            model: ModelConfig::tiny_test(),
+            adamw: AdamWConfig {
+                lr: 3e-3,
+                ..Default::default()
+            },
+            schedule: LrSchedule::Constant { lr: 3e-3 },
+            batch_size: 2,
+            seq_len: 16,
+            grad_clip: Some(1.0),
+            data_seed: 0,
+            init_seed: 0,
+            language: snip_data::LanguageConfig::default(),
+        }
+    }
+}
+
+/// A resumable trainer (model + optimizer + data + RNG + step counter).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+    /// The model being trained.
+    pub model: Model,
+    /// The optimizer.
+    pub optimizer: AdamW,
+    stream: BatchStream,
+    rng: Rng,
+    step: u64,
+}
+
+impl Trainer {
+    /// Builds a fresh trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the model-config validation message on inconsistency.
+    pub fn new(cfg: TrainerConfig) -> Result<Self, String> {
+        let model = Model::new(cfg.model.clone(), cfg.init_seed)?;
+        let optimizer = AdamW::new(cfg.adamw);
+        let language = snip_data::SyntheticLanguage::new(
+            snip_data::LanguageConfig {
+                vocab: cfg.model.vocab_size,
+                ..cfg.language.clone()
+            },
+            cfg.data_seed,
+        );
+        let stream = BatchStream::new(language, cfg.data_seed, cfg.batch_size, cfg.seq_len);
+        Ok(Trainer {
+            rng: Rng::seed_from(cfg.init_seed ^ 0x7841_1234),
+            cfg,
+            model,
+            optimizer,
+            stream,
+            step: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Steps taken so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies a quantization scheme to the model (SNIP Step 6).
+    pub fn apply_scheme(&mut self, scheme: &Scheme) {
+        scheme.apply(&mut self.model);
+    }
+
+    /// Runs one training step; returns the batch loss.
+    pub fn train_step(&mut self) -> f64 {
+        let lr = self.cfg.schedule.lr_at(self.step);
+        self.optimizer.set_lr(lr);
+        let batch = self.stream.next_batch();
+        self.model.zero_grads();
+        let out = self.model.step(&batch, &mut self.rng, &StepOptions::train());
+        if let Some(max) = self.cfg.grad_clip {
+            clip_global_norm(&mut self.model, max);
+        }
+        self.optimizer.update(&mut self.model);
+        self.step += 1;
+        out.loss
+    }
+
+    /// Runs `n` steps, returning each step's loss.
+    pub fn train(&mut self, n: u64) -> Vec<f64> {
+        (0..n).map(|_| self.train_step()).collect()
+    }
+
+    /// Runs `n` steps with a periodic SNIP engine: statistics are collected
+    /// and a new scheme solved every `engine.config().update_period` steps
+    /// (asynchronously), and applied as soon as it is ready — the Fig. 6
+    /// integration. Returns each step's loss.
+    pub fn train_with_engine(&mut self, n: u64, engine: &SnipEngine) -> Vec<f64> {
+        let mut losses = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            if engine.is_update_due(self.step) {
+                let batch = self.stream.next_batch();
+                let name = format!("snip@step{}", self.step);
+                engine.submit(
+                    &mut self.model,
+                    &self.optimizer,
+                    &batch,
+                    &mut self.rng,
+                    name,
+                );
+            }
+            if let Some(Ok(scheme)) = engine.try_collect() {
+                self.apply_scheme(&scheme);
+            }
+            losses.push(self.train_step());
+        }
+        losses
+    }
+
+    /// Mean loss over `batches` held-out batches (fixed by `seed`).
+    pub fn validation_loss(&mut self, seed: u64, batches: usize) -> f64 {
+        let mut total = 0.0;
+        for b in 0..batches {
+            let batch = self.stream.validation_batch(seed.wrapping_add(b as u64));
+            total += self.model.forward_loss(&batch, &mut self.rng);
+        }
+        total / batches.max(1) as f64
+    }
+
+    /// Draws the next training batch without consuming it for training
+    /// (useful for measurement probes).
+    pub fn peek_batch(&mut self) -> snip_nn::Batch {
+        self.stream.next_batch()
+    }
+
+    /// Saves the full trainer state as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), std::io::Error> {
+        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Restores a trainer saved by [`Trainer::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O or deserialization failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, std::io::Error> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SnipConfig;
+    use crate::policy::PolicyConfig;
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut t = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let first = t.train(5).iter().sum::<f64>() / 5.0;
+        let _ = t.train(60);
+        let last = t.train(5).iter().sum::<f64>() / 5.0;
+        assert!(last < first, "loss {first} -> {last}");
+        assert_eq!(t.step_count(), 70);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_exact() {
+        let dir = std::env::temp_dir().join("snip_trainer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut t = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let _ = t.train(10);
+        t.save(&path).unwrap();
+        let mut restored = Trainer::load(&path).unwrap();
+        assert_eq!(restored.step_count(), t.step_count());
+        // Continuing from the checkpoint must match continuing the original.
+        let a = t.train(3);
+        let b = restored.train(3);
+        assert_eq!(a, b, "checkpoint resume must be bit-exact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scheme_application_persists_through_steps() {
+        use snip_quant::Precision;
+        let mut t = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let scheme = Scheme::uniform(Precision::Fp4, t.config().model.n_linear_layers());
+        t.apply_scheme(&scheme);
+        let _ = t.train(3);
+        assert_eq!(t.model.scheme(), scheme.assignments());
+    }
+
+    #[test]
+    fn engine_integration_applies_schemes_periodically() {
+        let cfg = TrainerConfig::tiny();
+        let mut t = Trainer::new(cfg.clone()).unwrap();
+        let _ = t.train(5); // warm the optimizer
+        let engine = SnipEngine::new(
+            SnipConfig {
+                policy: PolicyConfig {
+                    target_fp4: 0.5,
+                    ..Default::default()
+                },
+                update_period: 5,
+                ..Default::default()
+            },
+            cfg.model.clone(),
+        );
+        let losses = t.train_with_engine(20, &engine);
+        assert_eq!(losses.len(), 20);
+        assert!(losses.iter().all(|l| l.is_finite()));
+        // After at least one update cycle the model should not be uniformly
+        // BF16 anymore.
+        use snip_quant::{LinearPrecision, Precision};
+        let scheme = t.model.scheme();
+        assert!(
+            scheme
+                .iter()
+                .any(|&p| p != LinearPrecision::uniform(Precision::Bf16)),
+            "engine never applied a scheme"
+        );
+    }
+
+    #[test]
+    fn validation_loss_is_deterministic_given_seed() {
+        let mut t = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let _ = t.train(5);
+        let a = t.validation_loss(9, 2);
+        let b = t.validation_loss(9, 2);
+        assert_eq!(a, b);
+    }
+}

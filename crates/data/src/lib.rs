@@ -1,0 +1,26 @@
+//! # snip-data
+//!
+//! Synthetic pretraining corpora for the SNIP reproduction.
+//!
+//! The paper trains on web-scale corpora (SlimPajama, RedPajama); this crate
+//! substitutes a seeded generative language with Zipfian unigrams, Markov
+//! topic structure and copy/induction spans (see [`synthetic`] for the
+//! rationale), plus [`stream::BatchStream`] to feed reproducible batches to
+//! the trainer.
+//!
+//! # Example
+//!
+//! ```
+//! use snip_data::{synthetic::{LanguageConfig, SyntheticLanguage}, stream::BatchStream};
+//!
+//! let lang = SyntheticLanguage::new(LanguageConfig::default(), 42);
+//! let mut stream = BatchStream::new(lang, 0, 4, 32);
+//! let batch = stream.next_batch();
+//! assert_eq!(batch.num_tokens(), 4 * 32);
+//! ```
+
+pub mod stream;
+pub mod synthetic;
+
+pub use stream::BatchStream;
+pub use synthetic::{LanguageConfig, SyntheticLanguage};

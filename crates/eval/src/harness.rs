@@ -1,0 +1,234 @@
+//! Zero-shot log-likelihood evaluation harness (the LM-Evaluation-Harness
+//! role in the paper's §6.1).
+
+use crate::tasks::{Task, TaskItem};
+use serde::{Deserialize, Serialize};
+use snip_data::SyntheticLanguage;
+use snip_nn::loss::token_log_probs;
+use snip_nn::Model;
+use snip_tensor::rng::Rng;
+
+/// Accuracy of one suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskScore {
+    /// Suite name.
+    pub task: String,
+    /// Accuracy in percent.
+    pub accuracy: f64,
+    /// Items evaluated.
+    pub n_items: usize,
+}
+
+/// A full evaluation report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Per-suite scores, in [`Task::ALL`] order.
+    pub scores: Vec<TaskScore>,
+}
+
+impl EvalReport {
+    /// Unweighted mean accuracy across suites (the paper's "Average" column).
+    pub fn average(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        self.scores.iter().map(|s| s.accuracy).sum::<f64>() / self.scores.len() as f64
+    }
+
+    /// Score of one suite by name.
+    pub fn score(&self, name: &str) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|s| s.task == name)
+            .map(|s| s.accuracy)
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Items per suite.
+    pub items_per_task: usize,
+    /// Item-generation seed (fixed across schemes for paired comparison).
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            items_per_task: 40,
+            seed: 2024,
+        }
+    }
+}
+
+/// Scores one item: every choice is appended to the context, all choices run
+/// as one batch, and the choice with the highest total log-likelihood over
+/// its tokens wins.
+pub fn score_item(model: &Model, item: &TaskItem, rng: &mut Rng) -> usize {
+    let n_choices = item.choices.len();
+    let choice_len = item.choices[0].len();
+    let ctx_len = item.context.len();
+    let total_len = ctx_len + choice_len;
+    let max_seq = model.config().max_seq;
+    // Trim the context from the left if the window is too long.
+    let (ctx, ctx_len) = if total_len > max_seq {
+        let drop = total_len - max_seq;
+        (&item.context[drop..], ctx_len - drop)
+    } else {
+        (&item.context[..], ctx_len)
+    };
+    let seq = ctx_len + choice_len;
+    let mut tokens = Vec::with_capacity(n_choices * seq);
+    for choice in &item.choices {
+        tokens.extend_from_slice(ctx);
+        tokens.extend_from_slice(choice);
+    }
+    let logits = model.logits(&tokens, n_choices, seq, rng);
+    // For row r, the choice tokens occupy positions [ctx_len, seq); each is
+    // predicted by the logits at the previous position.
+    let mut best = 0usize;
+    let mut best_lp = f64::NEG_INFINITY;
+    for (r, choice) in item.choices.iter().enumerate() {
+        let mut lp = 0.0;
+        for (k, &tok) in choice.iter().enumerate() {
+            let pos = r * seq + ctx_len + k - 1;
+            let row_logits = snip_tensor::Tensor::from_vec(
+                1,
+                logits.cols(),
+                logits.row(pos).to_vec(),
+            );
+            lp += token_log_probs(&row_logits, &[tok])[0];
+        }
+        if lp > best_lp {
+            best_lp = lp;
+            best = r;
+        }
+    }
+    best
+}
+
+/// Evaluates a model on all suites.
+pub fn evaluate(
+    model: &Model,
+    language: &SyntheticLanguage,
+    cfg: &EvalConfig,
+) -> EvalReport {
+    let mut rng = Rng::seed_from(cfg.seed ^ 0xE7A1);
+    let scores = Task::ALL
+        .iter()
+        .map(|&task| {
+            let items = task.generate(language, cfg.items_per_task, cfg.seed);
+            let correct = items
+                .iter()
+                .filter(|item| score_item(model, item, &mut rng) == item.correct)
+                .count();
+            TaskScore {
+                task: task.name().to_string(),
+                accuracy: 100.0 * correct as f64 / items.len().max(1) as f64,
+                n_items: items.len(),
+            }
+        })
+        .collect();
+    EvalReport { scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_data::LanguageConfig;
+    use snip_nn::ModelConfig;
+
+    fn setup() -> (Model, SyntheticLanguage) {
+        let model = Model::new(ModelConfig::tiny_test(), 61).unwrap();
+        let lang = SyntheticLanguage::new(
+            LanguageConfig {
+                vocab: 17,
+                ..Default::default()
+            },
+            62,
+        );
+        (model, lang)
+    }
+
+    #[test]
+    fn untrained_model_scores_near_chance() {
+        let (model, lang) = setup();
+        let report = evaluate(
+            &model,
+            &lang,
+            &EvalConfig {
+                items_per_task: 30,
+                seed: 1,
+            },
+        );
+        assert_eq!(report.scores.len(), 8);
+        // Untrained tiny model: each suite near its chance floor (generous
+        // band — 30 items is noisy).
+        for (score, task) in report.scores.iter().zip(Task::ALL) {
+            let chance = task.chance();
+            assert!(
+                (score.accuracy - chance).abs() <= 35.0,
+                "{}: {} vs chance {}",
+                score.task,
+                score.accuracy,
+                chance
+            );
+        }
+    }
+
+    #[test]
+    fn report_average_and_lookup() {
+        let report = EvalReport {
+            scores: vec![
+                TaskScore {
+                    task: "a".into(),
+                    accuracy: 40.0,
+                    n_items: 10,
+                },
+                TaskScore {
+                    task: "b".into(),
+                    accuracy: 60.0,
+                    n_items: 10,
+                },
+            ],
+        };
+        assert_eq!(report.average(), 50.0);
+        assert_eq!(report.score("a"), Some(40.0));
+        assert_eq!(report.score("zzz"), None);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (model, lang) = setup();
+        let cfg = EvalConfig {
+            items_per_task: 10,
+            seed: 5,
+        };
+        let a = evaluate(&model, &lang, &cfg);
+        let b = evaluate(&model, &lang, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn score_item_prefers_likely_choice() {
+        // A model trained briefly on the language should beat chance on the
+        // easy completion suite (random distractors are wildly unlikely).
+        use snip_core::trainer::{Trainer, TrainerConfig};
+        let mut tcfg = TrainerConfig::tiny();
+        tcfg.model.vocab_size = 96;
+        let mut t = Trainer::new(tcfg).unwrap();
+        let _ = t.train(150);
+        let lang = SyntheticLanguage::new(LanguageConfig::default(), t.config().data_seed);
+        let report = evaluate(
+            &t.model,
+            &lang,
+            &EvalConfig {
+                items_per_task: 30,
+                seed: 3,
+            },
+        );
+        let easy = report.score("ARC_e-syn").unwrap();
+        assert!(easy > 40.0, "trained model easy-completion accuracy {easy}");
+    }
+}

@@ -1,0 +1,87 @@
+//! **Ablation (design choice §5.1)** — SNIP's quality metric is the sum
+//! `Q = ΔL + ΔW`. This ablation re-solves the ILP with ΔL only, ΔW only and
+//! the combination at a 75% FP4 budget, then resumes training under each
+//! scheme to compare stability. It quantifies how much each divergence term
+//! contributes to the final decision.
+
+use snip_core::{analyze, decide_scheme, measure, Analysis, FlopModel, OptionSet, PolicyConfig};
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_tensor::rng::Rng;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Ablation: quality metric Q = loss-div + weight-div (75% FP4 budget)");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
+    let cfg = ckpt.config().model.clone();
+
+    let mut t = ckpt.clone();
+    let batch = t.peek_batch();
+    let mut rng = Rng::seed_from(0xAB1A);
+    let optimizer = t.optimizer.clone();
+    let m = measure(&mut t.model, &optimizer, &batch, &mut rng, 1e-2);
+    let options = OptionSet::fp8_fp4();
+    let flops = FlopModel::new(&cfg);
+    let full = analyze(&m, &cfg, &options, &flops);
+
+    let variant = |name: &str, quality: Vec<Vec<f64>>| -> snip_core::Scheme {
+        let analysis = Analysis {
+            quality,
+            ..full.clone()
+        };
+        decide_scheme(
+            &analysis,
+            &options,
+            &cfg,
+            &PolicyConfig {
+                target_fp4: 0.75,
+                ..Default::default()
+            },
+            name,
+        )
+        .expect("feasible")
+    };
+
+    let schemes = [
+        variant("loss-div-only", full.loss_div.clone()),
+        variant("weight-div-only", full.weight_div.clone()),
+        variant("both (SNIP)", full.quality.clone()),
+    ];
+
+    // Agreement between variants.
+    println!("\nassignment agreement between metric variants:");
+    for i in 0..schemes.len() {
+        for j in (i + 1)..schemes.len() {
+            let same = schemes[i]
+                .assignments()
+                .iter()
+                .zip(schemes[j].assignments())
+                .filter(|(a, b)| a == b)
+                .count();
+            println!(
+                "  {:<18} vs {:<18}: {}/{} layers agree",
+                schemes[i].name,
+                schemes[j].name,
+                same,
+                cfg.n_linear_layers()
+            );
+        }
+    }
+
+    println!(
+        "\n{:<20} {:>10} {:>12} {:>10}",
+        "metric", "fp4(%)", "final loss", "accuracy"
+    );
+    for scheme in &schemes {
+        let (losses, trained) = resume_with_scheme(&ckpt, scheme, p.resume_steps);
+        let fin: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
+        let report = evaluate_trainer(&trained, p.eval_items);
+        println!(
+            "{:<20} {:>10.1} {:>12.4} {:>10.2}",
+            scheme.name,
+            100.0 * fp4_fraction(scheme, &cfg),
+            fin,
+            report.average()
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! **Ablation: quantization-option families** — the pluggable alternatives
+//! §5.2 anticipates ("new methods can be incorporated as additional
+//! quantization options"), measured on real checkpoint tensors.
+//!
+//! Compares, per tensor role (activations X, weights W, output gradients
+//! ∇Y), the mean relative quantization error of: plain FP4 (the paper's
+//! DeepSeek-style recipe), MXFP4 (power-of-two block scales), RHT-FP4
+//! (randomized Hadamard pre-rotation, the MXFP4-training trick [68]),
+//! outlier-split FP4 (dense FP4 + BF16 outliers, the [73] mechanism), INT4,
+//! and FP8/INT8 references.
+
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::granularity::Granularity;
+use snip_quant::int::IntQuantizer;
+use snip_quant::mx::MxQuantizer;
+use snip_quant::outlier::OutlierQuantizer;
+use snip_quant::rht::RhtQuantizer;
+use snip_quant::{Precision, TensorRole};
+use snip_tensor::Tensor;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Ablation: quantization options on checkpoint tensors");
+    println!("# tinyllama-1b-sim @ 3-unit checkpoint; mean relative error over layers\n");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
+    let cfg = ckpt.config().model.clone();
+    let record = checkpoint_record(&ckpt);
+    let nb = cfg.quant_group;
+    // RHT blocks must be powers of two; use the largest ≤ nb.
+    let rht_block = (1usize << (usize::BITS - 1 - (nb.leading_zeros().min(usize::BITS - 1)))).max(2);
+
+    let tensors_of = |role: TensorRole| -> Vec<&Tensor> {
+        record
+            .linears
+            .iter()
+            .map(|lr| match role {
+                TensorRole::Input => &lr.x,
+                TensorRole::Weight => &lr.w,
+                TensorRole::OutputGrad => &lr.dy,
+            })
+            .collect()
+    };
+
+    let mean = |errs: Vec<f64>| errs.iter().sum::<f64>() / errs.len() as f64;
+
+    for (role, label) in [
+        (TensorRole::Input, "activations X"),
+        (TensorRole::Weight, "weights W"),
+        (TensorRole::OutputGrad, "output grads dY"),
+    ] {
+        let ts = tensors_of(role);
+        let fp4 = Precision::Fp4.quantizer_with_group(role, nb);
+        let fp8 = Precision::Fp8.quantizer_with_group(role, nb);
+        let rows = vec![
+            (
+                "fp4 (paper recipe)",
+                mean(ts.iter().map(|t| fp4.relative_error(t)).collect()),
+            ),
+            (
+                "mxfp4 (E8M0 scales)",
+                mean(ts.iter().map(|t| MxQuantizer::mxfp4().relative_error(t)).collect()),
+            ),
+            (
+                "rht-fp4",
+                mean(
+                    ts.iter()
+                        .map(|t| RhtQuantizer::new(fp4, rht_block, 17).relative_error(t))
+                        .collect(),
+                ),
+            ),
+            (
+                "fp4+outliers(1%)",
+                mean(
+                    ts.iter()
+                        .map(|t| OutlierQuantizer::new(fp4, 0.01).relative_error(t))
+                        .collect(),
+                ),
+            ),
+            (
+                "int4",
+                mean(
+                    ts.iter()
+                        .map(|t| {
+                            IntQuantizer::new(
+                                snip_quant::int::IntFormat::int4(),
+                                Granularity::Tile { nb },
+                                snip_quant::Rounding::Nearest,
+                            )
+                            .relative_error(t)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fp8 (reference)",
+                mean(ts.iter().map(|t| fp8.relative_error(t)).collect()),
+            ),
+            (
+                "int8 (reference)",
+                mean(
+                    ts.iter()
+                        .map(|t| {
+                            IntQuantizer::new(
+                                snip_quant::int::IntFormat::int8(),
+                                Granularity::Tile { nb },
+                                snip_quant::Rounding::Nearest,
+                            )
+                            .relative_error(t)
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        println!("## {label}");
+        println!("{:<22} {:>12}", "option", "rel. error");
+        for (name, err) in rows {
+            println!("{name:<22} {err:>12.5}");
+        }
+        println!();
+    }
+    println!("# Expected shape: all FP4-class options sit an order of magnitude");
+    println!("# above FP8/INT8; outlier splitting and (on outlier-heavy tensors)");
+    println!("# RHT shave the FP4 error; MXFP4's power-of-two scales cost a");
+    println!("# little accuracy vs f32 scales. Any of these can enter SNIP's ILP");
+    println!("# as an extra per-layer option (examples/custom_quantizer.rs).");
+}

@@ -1,0 +1,78 @@
+//! **Figure 12** — pipeline-parallel timeline of the TinyLlama model under
+//! SNIP with a 50% efficiency budget and 4 stages.
+//!
+//! The paper splits TinyLlama's 22 blocks as 6/6/6/4, solves the
+//! stage-balanced ILP (§5.3), and shows the resulting 1F1B timeline plus the
+//! per-stage precision heat maps.
+
+use snip_core::Scheme;
+use snip_experiments::*;
+use snip_nn::{LayerId, LayerKind, ModelConfig};
+use snip_pipeline::{render_timeline, simulate_1f1b, stage_costs, StagePartition};
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Figure 12: pipeline timeline, tinyllama-1b-sim, 4 stages, 50% FP4 budget");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
+    let cfg = ckpt.config().model.clone();
+    let partition = StagePartition::even(cfg.n_layers, 4);
+
+    // Stage-balanced SNIP scheme (grouped ILP, §5.3).
+    let scheme = snip_scheme_with(&ckpt, 0.5, Some(4));
+    println!(
+        "\nscheme {} achieves {:.1}% FP4 FLOPs overall",
+        scheme.name,
+        100.0 * fp4_fraction(&scheme, &cfg)
+    );
+
+    // Per-stage precision heat maps (Fig. 12's 2D insets).
+    for k in 0..partition.n_stages() {
+        let blocks: Vec<usize> = partition.blocks(k).collect();
+        println!(
+            "\nstage {k} (blocks {}..={}):",
+            blocks[0],
+            blocks.last().unwrap()
+        );
+        print!("{:<6}", "block");
+        for kind in LayerKind::ALL {
+            print!("{:>5}", kind.label());
+        }
+        println!();
+        for &b in &blocks {
+            print!("L{b:<5}");
+            for kind in LayerKind::ALL {
+                let pr = scheme.layer(LayerId::new(b, kind));
+                let c = if pr.forward_gemm() == Precision::Fp4 { '4' } else { '8' };
+                print!("{c:>5}");
+            }
+            println!();
+        }
+        // Fraction of this stage's FLOPs in FP4.
+        let stage_linears = partition.linears(k);
+        let flops = snip_core::FlopModel::new(&cfg);
+        let stage_total: f64 = stage_linears.iter().map(|id| flops.fraction(id.linear_index())).sum();
+        let stage_fp4: f64 = stage_linears
+            .iter()
+            .map(|id| flops.efficiency(id.linear_index(), scheme.layer(*id)))
+            .sum();
+        println!("stage FP4 fraction: {:.1}% of stage FLOPs", 100.0 * stage_fp4 / stage_total);
+    }
+
+    // Timelines: SNIP-balanced vs unbalanced (global ILP) vs uniform FP8.
+    let tokens = p.batch_size * p.seq_len;
+    let microbatches = 8;
+    println!("\n## 1F1B timelines ({microbatches} microbatches)");
+    for (label, s) in [
+        ("SNIP stage-balanced @50%", scheme.clone()),
+        ("SNIP global ILP @50% (unbalanced)", snip_scheme(&ckpt, 0.5)),
+        ("uniform FP8", Scheme::uniform(Precision::Fp8, cfg.n_linear_layers())),
+    ] {
+        let costs = stage_costs(&cfg, &s, &partition, tokens);
+        let sim = simulate_1f1b(&costs, microbatches);
+        println!("\n--- {label} ---");
+        println!("{}", render_timeline(&sim, 100));
+        let busy: Vec<String> = sim.stage_busy.iter().map(|b| format!("{b:.2e}")).collect();
+        println!("stage busy times: [{}]", busy.join(", "));
+    }
+}

@@ -1,0 +1,75 @@
+//! **Figure 3** — accuracy vs. efficiency (fraction of FP4 FLOPs) for the
+//! TinyLlama-class model: SNIP vs min-rel-err, min-abs-err, E-layer-type,
+//! E-layer-id and random, with FP8 (0%) and FP4 (100%) as endpoints.
+//!
+//! Resumes a *mature* checkpoint (the paper's setting — its checkpoints are
+//! 10B–503B tokens in) where the subbyte contrast is above the noise floor
+//! (see `sanity_maturity`). Validation loss is reported next to suite
+//! accuracy: at simulation scale the loss separates schemes more finely
+//! than the accuracy metric, whose per-item quantum is several points.
+
+use snip_core::baselines::{self, ErrorMetric};
+use snip_core::Scheme;
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Figure 3: accuracy & val loss vs fraction of FP4 FLOPs, tinyllama-1b-sim");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), p.headline_ckpt, &p);
+    let cfg = ckpt.config().model.clone();
+    let n = cfg.n_linear_layers();
+    let stats = checkpoint_stats(&ckpt);
+    println!(
+        "# checkpoint step {}, resume {} steps, {} eval items/suite",
+        ckpt.step_count(),
+        p.resume_steps,
+        p.eval_items
+    );
+
+    let run = |scheme: &Scheme| -> (f64, f64, f64) {
+        let (_, t) = resume_with_scheme(&ckpt, scheme, p.resume_steps);
+        let report = evaluate_trainer(&t, p.eval_items);
+        let mut tm = t.clone();
+        (
+            fp4_fraction(scheme, &cfg),
+            report.average(),
+            tm.validation_loss(2, 3),
+        )
+    };
+    let print_run = |label: &str, scheme: &Scheme| {
+        let (e, a, v) = run(scheme);
+        println!("{label:<16} {:>10.1} {a:>10.2} {v:>10.4}", 100.0 * e);
+    };
+
+    println!("\n{:<16} {:>10} {:>10} {:>10}", "method", "fp4(%)", "accuracy", "val loss");
+    // Endpoints.
+    print_run("BF16", &Scheme::uniform(Precision::Bf16, n));
+    print_run("FP8", &Scheme::uniform(Precision::Fp8, n));
+    print_run("FP4", &Scheme::uniform(Precision::Fp4, n));
+
+    let budgets = [0.25, 0.5, 0.75, 0.8];
+    for &b in &budgets {
+        let s = snip_scheme(&ckpt, b);
+        print_run(&s.name.clone(), &s);
+    }
+    for &b in &budgets {
+        let s = baselines::error_minimizing_scheme(&stats, &cfg, ErrorMetric::Relative, b).unwrap();
+        print_run(&s.name.clone(), &s);
+    }
+    for &b in &budgets {
+        let s = baselines::error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, b).unwrap();
+        print_run(&s.name.clone(), &s);
+    }
+    for &b in &budgets {
+        let s = baselines::random_scheme(&cfg, b, 0);
+        print_run(&s.name.clone(), &s);
+    }
+    for &b in &budgets {
+        let s = baselines::e_layer_id(&cfg, b);
+        print_run(&s.name.clone(), &s);
+    }
+    let s = baselines::e_layer_type(&cfg);
+    print_run(&s.name.clone(), &s);
+}

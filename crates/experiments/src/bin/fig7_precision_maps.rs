@@ -1,0 +1,31 @@
+//! **Figure 7** — per-layer precision assignments at 25%, 50% and 75% FP4
+//! FLOPs for SNIP, min-abs-err and min-rel-err.
+
+use snip_core::baselines::{error_minimizing_scheme, ErrorMetric};
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Figure 7: per-layer precision assignments (4 = FP4, 8 = FP8)");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
+    let cfg = ckpt.config().model.clone();
+    let stats = checkpoint_stats(&ckpt);
+
+    for budget in [0.25, 0.50, 0.75] {
+        let snip = snip_scheme(&ckpt, budget);
+        let min_abs =
+            error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, budget).unwrap();
+        let min_rel =
+            error_minimizing_scheme(&stats, &cfg, ErrorMetric::Relative, budget).unwrap();
+        for scheme in [&snip, &min_abs, &min_rel] {
+            println!(
+                "\n## {:.0}% FP4 FLOPs — {} (achieved {:.1}%)",
+                budget * 100.0,
+                scheme.name,
+                100.0 * fp4_fraction(scheme, &cfg)
+            );
+            println!("{}", scheme.render_grid(&cfg));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! **Figure 8** — from-scratch training-loss curves at a 75% FP4 FLOPs
+//! budget: BF16 and SNIP should nearly overlap; the error-minimizing and
+//! random baselines destabilize or diverge.
+
+use snip_core::{Scheme, Trainer};
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    let steps = 4 * p.resume_steps;
+    println!("# Figure 8: from-scratch training loss, 75% FP4 budget, tinyllama-1b-sim, {steps} steps");
+
+    // From-scratch run needs a brief warmup before SNIP statistics mean
+    // anything (the optimizer moments must exist) — we probe at 10 steps.
+    let mut warm = Trainer::new(trainer_config(ModelConfig::tinyllama_1b_sim(), &p)).unwrap();
+    let _ = warm.train(10);
+    let cfg = warm.config().model.clone();
+    let n = cfg.n_linear_layers();
+
+    let mut schemes = vec![
+        Scheme::uniform(Precision::Bf16, n),
+        snip_scheme(&warm, 0.75),
+    ];
+    schemes.extend(baseline_schemes(&warm, 0.75));
+    // Figure 8 plots BF16, SNIP, min-abs-err, min-rel-err, random 0-2.
+    schemes.retain(|s| !s.name.starts_with("E-layer"));
+
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for scheme in &schemes {
+        let mut t = Trainer::new(trainer_config(ModelConfig::tinyllama_1b_sim(), &p)).unwrap();
+        t.apply_scheme(scheme);
+        let losses = t.train(steps);
+        curves.push((scheme.name.clone(), losses));
+    }
+
+    // Print a loss table every steps/20 interval (the figure's x-axis).
+    let stride = (steps as usize / 20).max(1);
+    print!("{:<6}", "step");
+    for (name, _) in &curves {
+        print!("{name:>18}");
+    }
+    println!();
+    let mut i = stride - 1;
+    while i < steps as usize {
+        print!("{:<6}", i + 1);
+        for (_, losses) in &curves {
+            print!("{:>18.4}", losses[i]);
+        }
+        println!();
+        i += stride;
+    }
+
+    println!("\nfinal losses (mean of last 5 steps):");
+    let bf16_final: f64 = curves[0].1.iter().rev().take(5).sum::<f64>() / 5.0;
+    for (name, losses) in &curves {
+        let fin: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
+        println!("  {name:<22} {fin:.4}  (gap over BF16: {:+.4})", fin - bf16_final);
+    }
+}

@@ -1,0 +1,84 @@
+//! **Figure 9** — relative training-loss difference vs BF16 for the
+//! 80-block ("70B-class") dense model from the 10k-step-equivalent
+//! checkpoint onward, under a 50% FP4 budget.
+//!
+//! Paper findings to reproduce in shape: full-FP4 drifts *slowly* (large
+//! models are more resilient); SNIP and E-layer-id stay closest to BF16;
+//! min-rel-err and E-layer-type show larger deviations/spikes.
+
+use snip_core::Scheme;
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Figure 9: relative loss difference vs BF16, llama-70b-sim (80 blocks), 50% FP4 budget");
+    let ckpt = checkpoint(ModelConfig::llama_70b_sim(), 2 * p.ckpt_unit, &p);
+    let cfg = ckpt.config().model.clone();
+    let n = cfg.n_linear_layers();
+    let steps = 2 * p.resume_steps;
+
+    let mut schemes: Vec<Scheme> = vec![
+        Scheme::uniform(Precision::Fp4, n),
+        snip_scheme(&ckpt, 0.5),
+    ];
+    let stats = checkpoint_stats(&ckpt);
+    schemes.push(
+        snip_core::baselines::error_minimizing_scheme(
+            &stats,
+            &cfg,
+            snip_core::baselines::ErrorMetric::Absolute,
+            0.5,
+        )
+        .unwrap(),
+    );
+    schemes.push(
+        snip_core::baselines::error_minimizing_scheme(
+            &stats,
+            &cfg,
+            snip_core::baselines::ErrorMetric::Relative,
+            0.5,
+        )
+        .unwrap(),
+    );
+    schemes.push(snip_core::baselines::e_layer_id(&cfg, 0.5));
+    schemes.push(snip_core::baselines::e_layer_type(&cfg));
+
+    // BF16 reference curve.
+    let (bf16_losses, _) = resume_with_scheme(&ckpt, &Scheme::uniform(Precision::Bf16, n), steps);
+
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for scheme in &schemes {
+        let (losses, _) = resume_with_scheme(&ckpt, scheme, steps);
+        // Relative loss difference (%) over BF16 at each step, smoothed by 5.
+        let rel: Vec<f64> = losses
+            .iter()
+            .zip(&bf16_losses)
+            .map(|(l, b)| 100.0 * (l - b) / b)
+            .collect();
+        curves.push((scheme.name.clone(), rel));
+    }
+
+    let stride = (steps as usize / 15).max(1);
+    print!("{:<6}", "step");
+    for (name, _) in &curves {
+        print!("{name:>18}");
+    }
+    println!();
+    let smooth = |v: &[f64], i: usize| -> f64 {
+        let lo = i.saturating_sub(2);
+        let hi = (i + 3).min(v.len());
+        v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    };
+    let mut i = stride - 1;
+    while i < steps as usize {
+        print!("{:<6}", i + 1);
+        for (_, rel) in &curves {
+            print!("{:>18.3}", smooth(rel, i));
+        }
+        println!();
+        i += stride;
+    }
+    println!("\n(values are % relative loss difference over BF16; lower = more stable)");
+}

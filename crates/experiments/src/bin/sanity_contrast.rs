@@ -1,0 +1,33 @@
+//! Tuning probe: find trainer settings where FP4-all visibly hurts while
+//! BF16/FP8 stay stable (the contrast all paper experiments rely on).
+use snip_core::{Scheme, Trainer};
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_optim::{AdamWConfig, LrSchedule};
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::full();
+    for (lr, clip) in [(2e-3, Some(1.0)), (4e-3, None), (8e-3, None)] {
+        println!("=== lr={lr} clip={clip:?} ===");
+        let mut cfg = trainer_config(ModelConfig::tinyllama_1b_sim(), &p);
+        cfg.adamw = AdamWConfig { lr, ..Default::default() };
+        cfg.schedule = LrSchedule::Constant { lr };
+        cfg.grad_clip = clip;
+        let mut ckpt = Trainer::new(cfg).unwrap();
+        let t0 = std::time::Instant::now();
+        let _ = ckpt.train(180);
+        println!("ckpt loss after 180 steps: {:.4} ({:?})", ckpt.validation_loss(1, 2), t0.elapsed());
+        let n = ckpt.config().model.n_linear_layers();
+        for scheme in [
+            Scheme::uniform(Precision::Bf16, n),
+            Scheme::uniform(Precision::Fp4, n),
+            snip_core::baselines::random_scheme(&ckpt.config().model, 0.75, 1),
+        ] {
+            let (losses, t) = resume_with_scheme(&ckpt, &scheme, 100);
+            let fin: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
+            let mut tm = t.clone();
+            println!("  {:<14} final={:.4} val={:.4}", scheme.name, fin, tm.validation_loss(1, 2));
+        }
+    }
+}

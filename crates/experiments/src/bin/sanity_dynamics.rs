@@ -1,0 +1,37 @@
+//! Sanity probe (not a paper figure): verifies the experimental dynamic the
+//! whole evaluation relies on — FP8 tracks BF16, FP4 hurts, SNIP@budget sits
+//! near FP8 while the worst baselines fall behind.
+
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+use snip_core::Scheme;
+
+fn main() {
+    let p = ExpParams::from_args();
+    let t0 = std::time::Instant::now();
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
+    println!("checkpoint built at step {} in {:?}", ckpt.step_count(), t0.elapsed());
+    let n = ckpt.config().model.n_linear_layers();
+    let cfg = ckpt.config().model.clone();
+
+    for scheme in [
+        Scheme::uniform(Precision::Bf16, n),
+        Scheme::uniform(Precision::Fp8, n),
+        Scheme::uniform(Precision::Fp4, n),
+        snip_scheme(&ckpt, 0.75),
+    ] {
+        let t1 = std::time::Instant::now();
+        let (losses, t) = resume_with_scheme(&ckpt, &scheme, p.resume_steps);
+        let final_loss: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
+        let report = evaluate_trainer(&t, p.eval_items);
+        println!(
+            "{:<12} fp4={:.2} final_loss={:.4} avg_acc={:.2} ({:?})",
+            scheme.name,
+            fp4_fraction(&scheme, &cfg),
+            final_loss,
+            report.average(),
+            t1.elapsed()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Tuning probe: how the FP4-vs-BF16 resume contrast grows with checkpoint
+//! maturity. The paper resumes *mature* public checkpoints (10B–503B
+//! tokens), where models make sharp predictions and subbyte noise bites;
+//! early checkpoints are high-entropy and hide the contrast below gradient
+//! noise. This probe locates the depth where the contrast clears eval
+//! noise, which sets the checkpoint depth for the headline experiments.
+use snip_core::Scheme;
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::full();
+    let resume = 80;
+    println!("# FP4-vs-BF16 resume gap vs checkpoint maturity (resume {resume} steps)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "ckpt", "bf16 val", "fp4 val", "gap", "rand75 val", "gap"
+    );
+    for steps in [240u64, 480, 960, 1440, 1920] {
+        let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), steps, &p);
+        let n = ckpt.config().model.n_linear_layers();
+        let val_of = |scheme: &Scheme| {
+            let (_, t) = resume_with_scheme(&ckpt, scheme, resume);
+            let mut tm = t.clone();
+            tm.validation_loss(2, 3)
+        };
+        let bf16 = val_of(&Scheme::uniform(Precision::Bf16, n));
+        let fp4 = val_of(&Scheme::uniform(Precision::Fp4, n));
+        let rand = val_of(&snip_core::baselines::random_scheme(
+            &ckpt.config().model,
+            0.75,
+            1,
+        ));
+        println!(
+            "{steps:>8} {bf16:>12.4} {fp4:>12.4} {:>12.4} {rand:>12.4} {:>12.4}",
+            fp4 - bf16,
+            rand - bf16
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Tuning probe: loss trajectory of the experiment model over a long run,
+//! with periodic BF16-vs-FP4 resume contrast checks.
+use snip_core::{Scheme, Trainer};
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::full();
+    let mut t = Trainer::new(trainer_config(ModelConfig::tinyllama_1b_sim(), &p)).unwrap();
+    let n = t.config().model.n_linear_layers();
+    let t0 = std::time::Instant::now();
+    for phase in 0..10 {
+        let _ = t.train(100);
+        let val = t.validation_loss(1, 2);
+        // Contrast check: 40-step resumes.
+        let (l4, _) = resume_with_scheme(&t, &Scheme::uniform(Precision::Fp4, n), 40);
+        let (l16, _) = resume_with_scheme(&t, &Scheme::uniform(Precision::Bf16, n), 40);
+        let f4: f64 = l4.iter().rev().take(5).sum::<f64>() / 5.0;
+        let f16: f64 = l16.iter().rev().take(5).sum::<f64>() / 5.0;
+        println!(
+            "step {:>4} val={:.4} resume40: bf16={:.4} fp4={:.4} gap={:+.4} ({:.0?})",
+            (phase + 1) * 100, val, f16, f4, f4 - f16, t0.elapsed()
+        );
+    }
+}

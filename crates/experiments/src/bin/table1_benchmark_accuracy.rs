@@ -1,0 +1,83 @@
+//! **Table 1** — per-benchmark accuracy across quantization schemes for the
+//! TinyLlama-class model at the mature (headline) checkpoint, at 25/50/75%
+//! FP4 budgets plus SNIP@80/85 and the uniform baselines. A validation-loss
+//! column accompanies the accuracies: at simulation scale the loss
+//! separates schemes below the accuracy metric's per-item quantum.
+
+use snip_core::Scheme;
+use snip_eval::Task;
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Table 1: benchmark accuracy by scheme, tinyllama-1b-sim @ mature checkpoint");
+    let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), p.headline_ckpt, &p);
+    let cfg = ckpt.config().model.clone();
+    let n = cfg.n_linear_layers();
+    println!(
+        "# checkpoint step {}, resume {} steps, {} eval items/suite",
+        ckpt.step_count(),
+        p.resume_steps,
+        p.eval_items
+    );
+
+    let header = {
+        let mut cells = vec![format!("{:<22}", "scheme")];
+        for task in Task::ALL {
+            cells.push(format!("{:>14}", task.name()));
+        }
+        cells.push(format!("{:>9}", "Average"));
+        cells.push(format!("{:>9}", "ValLoss"));
+        cells.concat()
+    };
+
+    let run = |label: &str, scheme: &Scheme| {
+        let (_, t) = resume_with_scheme(&ckpt, scheme, p.resume_steps);
+        let report = evaluate_trainer(&t, p.eval_items);
+        let mut tm = t.clone();
+        let val = tm.validation_loss(2, 3);
+        let mut cells = vec![format!("{label:<22}")];
+        for task in Task::ALL {
+            cells.push(format!(
+                "{:>14.2}",
+                report.score(task.name()).unwrap_or(f64::NAN)
+            ));
+        }
+        cells.push(format!("{:>9.2}", report.average()));
+        cells.push(format!("{:>9.4}", val));
+        println!("{}", cells.concat());
+    };
+
+    println!("\n## 0% FP4 FLOPs (uniform baselines)");
+    println!("{header}");
+    run("BF16", &Scheme::uniform(Precision::Bf16, n));
+    run("FP8", &Scheme::uniform(Precision::Fp8, n));
+
+    for budget in [0.25, 0.5, 0.75] {
+        println!("\n## {:.0}% FP4 FLOPs", budget * 100.0);
+        println!("{header}");
+        run(
+            &format!("SNIP@{:.0}", budget * 100.0),
+            &snip_scheme(&ckpt, budget),
+        );
+        for scheme in baseline_schemes(&ckpt, budget) {
+            // E-layer-type has a fixed ~55% fraction; the paper lists it
+            // under the nearest budgets only.
+            if scheme.name == "E-layer-type" && (budget - 0.5).abs() > 0.26 {
+                continue;
+            }
+            if scheme.name.starts_with("E-layer-id") && budget < 0.5 {
+                continue;
+            }
+            run(&scheme.name.clone(), &scheme);
+        }
+    }
+
+    println!("\n## high-budget SNIP and FP4");
+    println!("{header}");
+    run("SNIP@80", &snip_scheme(&ckpt, 0.80));
+    run("SNIP@85", &snip_scheme(&ckpt, 0.85));
+    run("FP4", &Scheme::uniform(Precision::Fp4, n));
+}

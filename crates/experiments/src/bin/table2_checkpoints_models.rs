@@ -1,0 +1,50 @@
+//! **Table 2** — average accuracy across training checkpoints and model
+//! sizes: TinyLlama-class at early/mid/late checkpoints (budget 75%),
+//! OpenLlama-3B/7B-class at two checkpoints (budget 50%, "more sensitive to
+//! precision loss" per the paper).
+
+use snip_core::Scheme;
+use snip_experiments::*;
+use snip_nn::ModelConfig;
+use snip_quant::Precision;
+
+fn main() {
+    let p = ExpParams::from_args();
+    println!("# Table 2: accuracy across checkpoints and model sizes");
+
+    // (model, checkpoint multipliers, budget)
+    let settings: [(ModelConfig, Vec<u64>, f64); 3] = [
+        (ModelConfig::tinyllama_1b_sim(), vec![1, 3, 6], 0.75),
+        (ModelConfig::openllama_3b_sim(), vec![3], 0.50),
+        (ModelConfig::openllama_7b_sim(), vec![3], 0.50),
+    ];
+
+    for (model, ckpt_units, budget) in settings {
+        for unit in ckpt_units {
+            let steps = unit * p.ckpt_unit;
+            println!(
+                "\n## {} @ step {} (budget {:.0}% FP4)",
+                model.name,
+                steps,
+                budget * 100.0
+            );
+            let ckpt = checkpoint(model.clone(), steps, &p);
+            let cfg = ckpt.config().model.clone();
+            let n = cfg.n_linear_layers();
+
+            let run = |label: &str, scheme: &Scheme| {
+                let (_, t) = resume_with_scheme(&ckpt, scheme, p.resume_steps);
+                let report = evaluate_trainer(&t, p.eval_items);
+                println!("  {:<22} {:>8.2}", label, report.average());
+            };
+            run("BF16", &Scheme::uniform(Precision::Bf16, n));
+            run("SNIP", &snip_scheme(&ckpt, budget));
+            for scheme in baseline_schemes(&ckpt, budget) {
+                if scheme.name.starts_with("E-layer") || scheme.name.starts_with("random2") {
+                    continue; // Table 2 lists min-*-err and random only
+                }
+                run(&scheme.name.clone(), &scheme);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # snip-experiments
+//!
+//! Shared harness for the binaries that regenerate every table and figure of
+//! the SNIP paper (see DESIGN.md §3 for the per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! All binaries accept `--quick` (fewer steps/items) and print the same
+//! row/series structure as the paper's tables and figures.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,180 @@
+//! Pipeline-stage-aware ILP (paper §5.3).
+//!
+//! Pipeline parallelism bottlenecks on the slowest stage, so the paper
+//! replaces the single efficiency constraint with a per-stage constraint
+//! (its Eq. 5): every stage must contribute at least `E_t / K`. Because the
+//! objective is separable and the constraints touch disjoint variable sets,
+//! the grouped problem decomposes exactly into one multiple-choice knapsack
+//! per stage.
+
+use crate::problem::McKnapsack;
+use crate::solve::{solve, Solution, SolveError, SolveOptions};
+
+/// Solves the grouped (pipeline-stage-aware) variant: `stage_of[i]` assigns
+/// group `i` to a pipeline stage, and stage `k` must reach
+/// `stage_targets[k]` efficiency.
+///
+/// Returns a combined [`Solution`] whose `picks` cover all groups in the
+/// original order; `nodes` sums over stages and `proven_optimal` requires
+/// every stage to be proven.
+///
+/// # Errors
+///
+/// [`SolveError::Invalid`] if `stage_of` is inconsistent with the instance or
+/// the stage count; [`SolveError::Infeasible`] if any stage cannot meet its
+/// target.
+pub fn solve_grouped(
+    problem: &McKnapsack,
+    stage_of: &[usize],
+    stage_targets: &[f64],
+    opts: &SolveOptions,
+) -> Result<Solution, SolveError> {
+    problem.validate().map_err(SolveError::Invalid)?;
+    if stage_of.len() != problem.groups.len() {
+        return Err(SolveError::Invalid(format!(
+            "stage_of has {} entries for {} groups",
+            stage_of.len(),
+            problem.groups.len()
+        )));
+    }
+    let n_stages = stage_targets.len();
+    if let Some(&bad) = stage_of.iter().find(|&&s| s >= n_stages) {
+        return Err(SolveError::Invalid(format!(
+            "stage index {bad} out of range ({n_stages} stages)"
+        )));
+    }
+
+    let mut picks = vec![0usize; problem.groups.len()];
+    let mut objective = 0.0;
+    let mut efficiency = 0.0;
+    let mut nodes = 0;
+    let mut proven = true;
+    for (k, &target) in stage_targets.iter().enumerate() {
+        let members: Vec<usize> = (0..problem.groups.len())
+            .filter(|&i| stage_of[i] == k)
+            .collect();
+        if members.is_empty() {
+            if target > 1e-12 {
+                return Err(SolveError::Infeasible);
+            }
+            continue;
+        }
+        let sub = McKnapsack::new(
+            members.iter().map(|&i| problem.groups[i].clone()).collect(),
+            target,
+        );
+        let sol = solve(&sub, opts)?;
+        for (local, &global) in members.iter().enumerate() {
+            picks[global] = sol.picks[local];
+        }
+        objective += sol.objective;
+        efficiency += sol.efficiency;
+        nodes += sol.nodes;
+        proven &= sol.proven_optimal;
+    }
+    Ok(Solution {
+        picks,
+        objective,
+        efficiency,
+        nodes,
+        proven_optimal: proven,
+    })
+}
+
+/// Evenly partitions `n_groups` decision groups into `n_stages` contiguous
+/// stages (the paper's layout: consecutive layers share a stage). Returns
+/// `stage_of`.
+///
+/// # Panics
+///
+/// Panics if `n_stages` is zero.
+pub fn contiguous_stages(n_groups: usize, n_stages: usize) -> Vec<usize> {
+    assert!(n_stages > 0, "need at least one stage");
+    let per = n_groups.div_ceil(n_stages);
+    (0..n_groups).map(|i| (i / per).min(n_stages - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Choice;
+
+    fn two_stage_problem() -> (McKnapsack, Vec<usize>) {
+        // 4 groups, stages [0,0,1,1]. Each group: base (q=0,e=0) and an
+        // upgrade with differing costs.
+        let groups = vec![
+            vec![Choice::new(0.0, 0.0), Choice::new(1.0, 1.0)],
+            vec![Choice::new(0.0, 0.0), Choice::new(9.0, 1.0)],
+            vec![Choice::new(0.0, 0.0), Choice::new(2.0, 1.0)],
+            vec![Choice::new(0.0, 0.0), Choice::new(8.0, 1.0)],
+        ];
+        (McKnapsack::new(groups, 0.0), vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn per_stage_constraints_are_enforced() {
+        let (p, stages) = two_stage_problem();
+        // Global constraint of 2.0 could be met by upgrading groups 0 and 2
+        // (cost 3). Per-stage targets of 1.0 each force the same here — but
+        // with targets [2.0, 0.0] the solver must upgrade BOTH stage-0 groups.
+        let s = solve_grouped(&p, &stages, &[2.0, 0.0], &SolveOptions::default()).unwrap();
+        assert_eq!(s.picks, vec![1, 1, 0, 0]);
+        assert_eq!(s.objective, 10.0);
+        assert!(s.proven_optimal);
+    }
+
+    #[test]
+    fn balanced_targets_pick_cheapest_per_stage() {
+        let (p, stages) = two_stage_problem();
+        let s = solve_grouped(&p, &stages, &[1.0, 1.0], &SolveOptions::default()).unwrap();
+        assert_eq!(s.picks, vec![1, 0, 1, 0]);
+        assert_eq!(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_stage_detected() {
+        let (p, stages) = two_stage_problem();
+        let err = solve_grouped(&p, &stages, &[3.0, 0.0], &SolveOptions::default());
+        assert_eq!(err, Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn stage_validation() {
+        let (p, _) = two_stage_problem();
+        assert!(matches!(
+            solve_grouped(&p, &[0, 0, 0], &[0.0], &SolveOptions::default()),
+            Err(SolveError::Invalid(_))
+        ));
+        assert!(matches!(
+            solve_grouped(&p, &[0, 0, 0, 5], &[0.0, 0.0], &SolveOptions::default()),
+            Err(SolveError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn contiguous_partition_is_balanced() {
+        let stages = contiguous_stages(22 * 7, 4);
+        assert_eq!(stages.len(), 154);
+        assert_eq!(stages[0], 0);
+        assert_eq!(stages[153], 3);
+        // Stage sizes differ by at most the remainder chunk.
+        let mut counts = [0usize; 4];
+        for &s in &stages {
+            counts[s] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 154);
+        // Contiguous chunking: first stages get ceil(154/4)=39, last gets the
+        // remainder (37).
+        assert!(counts.iter().all(|&c| (37..=39).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn grouped_equals_global_when_single_stage() {
+        let (mut p, _) = two_stage_problem();
+        p.target = 2.0;
+        let global = crate::solve::solve(&p, &SolveOptions::default()).unwrap();
+        let grouped =
+            solve_grouped(&p, &[0, 0, 0, 0], &[2.0], &SolveOptions::default()).unwrap();
+        assert_eq!(global.objective, grouped.objective);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the time-balanced water-filling stage targets.
+
+use proptest::prelude::*;
+use snip_ilp::{imbalance_fraction, stage_times, time_balanced_targets};
+
+fn stage_flops_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..10.0, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn targets_sum_to_budget_and_respect_caps(
+        flops in stage_flops_strategy(),
+        e_t in 0.0f64..=1.0,
+    ) {
+        let targets = time_balanced_targets(&flops, e_t).unwrap();
+        let total: f64 = flops.iter().sum();
+        let got: f64 = targets.iter().sum();
+        prop_assert!((got - e_t * total).abs() < 1e-6 * total.max(1.0),
+            "Σtargets {got} vs budget {}", e_t * total);
+        for (k, (&t, &c)) in targets.iter().zip(&flops).enumerate() {
+            prop_assert!(t >= -1e-9, "stage {k} negative target {t}");
+            prop_assert!(t <= c + 1e-9, "stage {k} target {t} above capacity {c}");
+        }
+    }
+
+    #[test]
+    fn unclipped_stages_share_one_time(
+        flops in stage_flops_strategy(),
+        e_t in 0.05f64..=0.95,
+    ) {
+        let targets = time_balanced_targets(&flops, e_t).unwrap();
+        let times = stage_times(&flops, &targets);
+        // All stages that are strictly inside (0, cap) must sit at the same
+        // water level T*.
+        let interior: Vec<f64> = targets
+            .iter()
+            .zip(&flops)
+            .zip(&times)
+            .filter(|((&t, &c), _)| t > 1e-7 && t < c - 1e-7)
+            .map(|((_, _), &time)| time)
+            .collect();
+        for w in interior.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-6, "interior times differ: {interior:?}");
+        }
+        // Clipped-at-zero stages are *faster* than the water level at FP8
+        // already; clipped-at-cap stages are slower even at all-FP4.
+        if let Some(&level) = interior.first() {
+            for ((&t, &c), &time) in targets.iter().zip(&flops).zip(&times) {
+                if t <= 1e-7 {
+                    prop_assert!(time <= level + 1e-6);
+                } else if t >= c - 1e-7 {
+                    prop_assert!(time + 1e-6 >= level);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_never_increases_imbalance_vs_relative(
+        flops in stage_flops_strategy(),
+        e_t in 0.0f64..=1.0,
+    ) {
+        let balanced = time_balanced_targets(&flops, e_t).unwrap();
+        // Eq. 5-style relative targets give every stage e_t · C_k.
+        let relative: Vec<f64> = flops.iter().map(|&c| e_t * c).collect();
+        let imb_bal = imbalance_fraction(&stage_times(&flops, &balanced));
+        let imb_rel = imbalance_fraction(&stage_times(&flops, &relative));
+        prop_assert!(imb_bal <= imb_rel + 1e-9,
+            "balanced {imb_bal} > relative {imb_rel} for {flops:?} @ {e_t}");
+    }
+
+    #[test]
+    fn budget_monotonicity_of_bottleneck_time(
+        flops in stage_flops_strategy(),
+        e_lo in 0.0f64..=0.5,
+        delta in 0.0f64..=0.5,
+    ) {
+        // More FP4 budget can only speed up (or hold) the slowest stage.
+        let e_hi = e_lo + delta;
+        let t_lo = stage_times(&flops, &time_balanced_targets(&flops, e_lo).unwrap());
+        let t_hi = stage_times(&flops, &time_balanced_targets(&flops, e_hi).unwrap());
+        let max_lo = t_lo.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_hi = t_hi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(max_hi <= max_lo + 1e-9, "{max_hi} > {max_lo}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Training batches: flattened `(batch · seq)` token windows with next-token
+//! targets.
+
+use serde::{Deserialize, Serialize};
+
+/// A batch of token windows for language-model training.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    tokens: Vec<u32>,
+    targets: Vec<u32>,
+    batch_size: usize,
+    seq_len: usize,
+}
+
+impl Batch {
+    /// Creates a batch from flattened inputs and targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths don't equal `batch_size · seq_len`.
+    pub fn new(tokens: Vec<u32>, targets: Vec<u32>, batch_size: usize, seq_len: usize) -> Self {
+        assert_eq!(tokens.len(), batch_size * seq_len, "bad token buffer length");
+        assert_eq!(targets.len(), batch_size * seq_len, "bad target buffer length");
+        Batch {
+            tokens,
+            targets,
+            batch_size,
+            seq_len,
+        }
+    }
+
+    /// Builds a batch from contiguous sequences: inputs are `seq[..n-1]`,
+    /// targets are `seq[1..]` — each sequence must have `seq_len + 1` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence is not `seq_len + 1` long.
+    pub fn from_sequences(sequences: &[Vec<u32>], seq_len: usize) -> Self {
+        let batch_size = sequences.len();
+        let mut tokens = Vec::with_capacity(batch_size * seq_len);
+        let mut targets = Vec::with_capacity(batch_size * seq_len);
+        for s in sequences {
+            assert_eq!(s.len(), seq_len + 1, "sequence must be seq_len + 1 tokens");
+            tokens.extend_from_slice(&s[..seq_len]);
+            targets.extend_from_slice(&s[1..]);
+        }
+        Batch::new(tokens, targets, batch_size, seq_len)
+    }
+
+    /// Flattened input tokens (`batch · seq`).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// Flattened target tokens.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Number of sequences.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Window length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Total token count (`batch · seq`).
+    pub fn num_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sequences_shifts_targets() {
+        let b = Batch::from_sequences(&[vec![1, 2, 3, 4], vec![5, 6, 7, 8]], 3);
+        assert_eq!(b.tokens(), &[1, 2, 3, 5, 6, 7]);
+        assert_eq!(b.targets(), &[2, 3, 4, 6, 7, 8]);
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.seq_len(), 3);
+        assert_eq!(b.num_tokens(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad token buffer length")]
+    fn length_validation() {
+        let _ = Batch::new(vec![1, 2, 3], vec![1, 2, 3], 2, 2);
+    }
+}

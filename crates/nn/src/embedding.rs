@@ -1,0 +1,90 @@
+//! Token embedding table.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use snip_tensor::{rng::Rng, Tensor};
+
+/// A `vocab × hidden` embedding lookup (kept in high precision).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embedding {
+    table: Param,
+}
+
+impl Embedding {
+    /// Creates a Gaussian-initialized embedding table.
+    pub fn new(name: impl Into<String>, vocab: usize, hidden: usize, std: f32, rng: &mut Rng) -> Self {
+        Embedding {
+            table: Param::randn(name, vocab, hidden, std, rng),
+        }
+    }
+
+    /// The table parameter.
+    pub fn table(&self) -> &Param {
+        &self.table
+    }
+
+    /// Mutable access to the table parameter.
+    pub fn table_mut(&mut self) -> &mut Param {
+        &mut self.table
+    }
+
+    /// Gathers rows for the given token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token id is out of range.
+    pub fn forward(&self, tokens: &[u32]) -> Tensor {
+        let (vocab, hidden) = self.table.value().shape();
+        let mut out = Tensor::zeros(tokens.len(), hidden);
+        for (r, &tok) in tokens.iter().enumerate() {
+            assert!((tok as usize) < vocab, "token {tok} out of range {vocab}");
+            out.row_mut(r).copy_from_slice(self.table.value().row(tok as usize));
+        }
+        out
+    }
+
+    /// Scatter-adds `dout` into the table gradient.
+    pub fn backward(&mut self, tokens: &[u32], dout: &Tensor) {
+        let grad = self.table.grad_mut();
+        for (r, &tok) in tokens.iter().enumerate() {
+            let dst = grad.row_mut(tok as usize);
+            for (d, s) in dst.iter_mut().zip(dout.row(r)) {
+                *d += s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_matches_table_rows() {
+        let mut rng = Rng::seed_from(61);
+        let emb = Embedding::new("e", 10, 4, 1.0, &mut rng);
+        let out = emb.forward(&[3, 7, 3]);
+        assert_eq!(out.row(0), emb.table().value().row(3));
+        assert_eq!(out.row(1), emb.table().value().row(7));
+        assert_eq!(out.row(0), out.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_token_panics() {
+        let mut rng = Rng::seed_from(62);
+        let emb = Embedding::new("e", 4, 2, 1.0, &mut rng);
+        let _ = emb.forward(&[4]);
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut rng = Rng::seed_from(63);
+        let mut emb = Embedding::new("e", 5, 3, 1.0, &mut rng);
+        let dout = Tensor::from_vec(3, 3, vec![1.0; 9]);
+        emb.backward(&[2, 2, 4], &dout);
+        assert_eq!(emb.table().grad().row(2), &[2.0, 2.0, 2.0]);
+        assert_eq!(emb.table().grad().row(4), &[1.0, 1.0, 1.0]);
+        assert_eq!(emb.table().grad().row(0), &[0.0, 0.0, 0.0]);
+    }
+}

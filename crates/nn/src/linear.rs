@@ -1,0 +1,288 @@
+//! Mixed-precision linear layer (paper Fig. 5).
+//!
+//! The forward GEMM consumes quantized activations and weights; the two
+//! backward GEMMs consume the quantized output gradient together with the
+//! quantized weight (for `dX`) or quantized input (for `dW`). GEMM outputs
+//! are rounded to BF16, and the FP32 master weight is only touched by the
+//! optimizer:
+//!
+//! ```text
+//!  forward:  Y  = Q_x(X) · Q_w(W)ᵀ           (output BF16)
+//!  backward: dX = Q_g(dY) · Q_w(W)           (output BF16)
+//!            dW = Q_g(dY)ᵀ · Q_x(X)          (output BF16, accumulated FP32)
+//! ```
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use snip_quant::{format::bf16_round_slice, LinearPrecision, Quantizer, TensorRole};
+use snip_tensor::{
+    matmul::{matmul, matmul_nt, matmul_tn},
+    rng::Rng,
+    Tensor,
+};
+
+/// A linear layer `y = x · Wᵀ` with per-operand quantization.
+///
+/// The weight is stored `out_features × in_features`; no bias (Llama-style).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    precision: LinearPrecision,
+    quant_group: usize,
+    /// When `true`, bypass all quantization and BF16 rounding (exact f32
+    /// math). Used by gradient-check tests and as an FP32 reference mode.
+    #[serde(default)]
+    exact: bool,
+}
+
+/// Activations saved by [`Linear::forward`] for the backward pass.
+///
+/// `qx`/`qw` are the *quantized* operands — exactly what the backward GEMMs
+/// consume, and (during BF16 statistics collection) numerically equal to the
+/// BF16 activations/weights.
+#[derive(Clone, Debug)]
+pub struct LinearCache {
+    /// Quantized input activations, `tokens × in_features`.
+    pub qx: Tensor,
+    /// Quantized weight, `out_features × in_features`.
+    pub qw: Tensor,
+}
+
+impl Linear {
+    /// Creates a linear layer with scaled Gaussian init
+    /// (`std = gain / sqrt(in_features)`).
+    pub fn new(
+        name: impl Into<String>,
+        out_features: usize,
+        in_features: usize,
+        gain: f32,
+        quant_group: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let std = gain / (in_features as f32).sqrt();
+        Linear {
+            weight: Param::randn(name, out_features, in_features, std, rng),
+            precision: LinearPrecision::default(),
+            quant_group,
+            exact: false,
+        }
+    }
+
+    /// Enables or disables exact (f32, quantization-free) math.
+    pub fn set_exact_mode(&mut self, exact: bool) {
+        self.exact = exact;
+    }
+
+    /// Whether exact mode is on.
+    pub fn exact_mode(&self) -> bool {
+        self.exact
+    }
+
+    /// `(out_features, in_features)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.weight.value().shape()
+    }
+
+    /// Current precision assignment.
+    pub fn precision(&self) -> LinearPrecision {
+        self.precision
+    }
+
+    /// Reassigns the layer's precision (SNIP Step 6 applies new schemes here).
+    pub fn set_precision(&mut self, p: LinearPrecision) {
+        self.precision = p;
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter (optimizer use).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    fn quantizer(&self, role: TensorRole) -> Quantizer {
+        let p = match role {
+            TensorRole::Input => self.precision.input,
+            TensorRole::Weight => self.precision.weight,
+            TensorRole::OutputGrad => self.precision.grad,
+        };
+        p.quantizer_with_group(role, self.quant_group)
+    }
+
+    /// Forward pass: quantizes `x` and `W`, runs the GEMM, rounds the output
+    /// to BF16. Returns the output and the cache for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features`.
+    pub fn forward(&self, x: &Tensor, rng: &mut Rng) -> (Tensor, LinearCache) {
+        if self.exact {
+            let qx = x.clone();
+            let qw = self.weight.value().clone();
+            let y = matmul_nt(&qx, &qw);
+            return (y, LinearCache { qx, qw });
+        }
+        let qx = self.quantizer(TensorRole::Input).fake_quantize(x, rng);
+        let qw = self
+            .quantizer(TensorRole::Weight)
+            .fake_quantize(self.weight.value(), rng);
+        let mut y = matmul_nt(&qx, &qw);
+        bf16_round_slice(y.as_mut_slice());
+        (y, LinearCache { qx, qw })
+    }
+
+    /// Backward pass: quantizes `dy` once, computes `dX` (returned) and `dW`
+    /// (accumulated into the weight's FP32 gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the cached forward.
+    pub fn backward(&mut self, dy: &Tensor, cache: &LinearCache, rng: &mut Rng) -> Tensor {
+        self.backward_recorded(dy, cache, rng).0
+    }
+
+    /// Backward pass that also returns the (BF16-rounded) `dW` tensor for
+    /// recording; gradient accumulation still happens.
+    pub fn backward_recorded(
+        &mut self,
+        dy: &Tensor,
+        cache: &LinearCache,
+        rng: &mut Rng,
+    ) -> (Tensor, Tensor) {
+        if self.exact {
+            let dx = matmul(dy, &cache.qw);
+            let dw = matmul_tn(dy, &cache.qx);
+            self.weight.accumulate_grad(&dw);
+            return (dx, dw);
+        }
+        let qdy = self.quantizer(TensorRole::OutputGrad).fake_quantize(dy, rng);
+        let mut dx = matmul(&qdy, &cache.qw);
+        bf16_round_slice(dx.as_mut_slice());
+        let mut dw = matmul_tn(&qdy, &cache.qx);
+        bf16_round_slice(dw.as_mut_slice());
+        self.weight.accumulate_grad(&dw);
+        (dx, dw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_quant::Precision;
+
+    fn finite_difference_check(precision: LinearPrecision) {
+        // With BF16 ("effectively exact" at these magnitudes) the manual
+        // backward must match finite differences of the scalar loss
+        // L = sum(Y ⊙ R) for a fixed random R.
+        let mut rng = Rng::seed_from(21);
+        let mut lin = Linear::new("w", 5, 4, 1.0, 4, &mut rng);
+        lin.set_precision(precision);
+        let x = Tensor::randn(3, 4, 0.5, &mut rng);
+        let r = Tensor::randn(3, 5, 0.5, &mut rng);
+
+        let (y, cache) = lin.forward(&x, &mut rng);
+        assert_eq!(y.shape(), (3, 5));
+        let dx = lin.backward(&r, &cache, &mut rng);
+
+        // dL/dx[i,j] via central differences
+        let loss = |lin: &Linear, x: &Tensor, rng: &mut Rng| -> f64 {
+            let (y, _) = lin.forward(x, rng);
+            y.mul(&r).sum()
+        };
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (2, 3)] {
+            let h = 5e-2f32;
+            let mut xp = x.clone();
+            xp[(i, j)] += h;
+            let mut xm = x.clone();
+            xm[(i, j)] -= h;
+            let fd = (loss(&lin, &xp, &mut rng) - loss(&lin, &xm, &mut rng)) / (2.0 * h as f64);
+            let an = dx[(i, j)] as f64;
+            assert!(
+                (fd - an).abs() < 1e-1 * (1.0 + an.abs()),
+                "dx[{i},{j}]: fd={fd}, analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_bf16() {
+        finite_difference_check(LinearPrecision::uniform(Precision::Bf16));
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(22);
+        let mut lin = Linear::new("w", 4, 3, 1.0, 4, &mut rng);
+        let x = Tensor::randn(6, 3, 0.5, &mut rng);
+        let r = Tensor::randn(6, 4, 0.5, &mut rng);
+
+        lin.weight_mut().zero_grad();
+        let (_, cache) = lin.forward(&x, &mut rng);
+        let _ = lin.backward(&r, &cache, &mut rng);
+        let dw = lin.weight().grad().clone();
+
+        for &(i, j) in &[(0usize, 0usize), (2, 1), (3, 2)] {
+            let h = 5e-2f32;
+            let mut lp = lin.clone();
+            lp.weight_mut().value_mut()[(i, j)] += h;
+            let mut lm = lin.clone();
+            lm.weight_mut().value_mut()[(i, j)] -= h;
+            let (yp, _) = lp.forward(&x, &mut rng);
+            let (ym, _) = lm.forward(&x, &mut rng);
+            let fd = (yp.mul(&r).sum() - ym.mul(&r).sum()) / (2.0 * h as f64);
+            let an = dw[(i, j)] as f64;
+            assert!(
+                (fd - an).abs() < 1e-1 * (1.0 + an.abs()),
+                "dw[{i},{j}]: fd={fd}, analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_forward_approximates_exact_forward() {
+        let mut rng = Rng::seed_from(23);
+        let mut lin = Linear::new("w", 16, 16, 1.0, 8, &mut rng);
+        let x = Tensor::randn(8, 16, 1.0, &mut rng);
+        let (y_ref, _) = lin.forward(&x, &mut rng); // bf16 default
+
+        lin.set_precision(LinearPrecision::uniform(Precision::Fp8));
+        let (y8, _) = lin.forward(&x, &mut rng);
+        lin.set_precision(LinearPrecision::uniform(Precision::Fp4));
+        let (y4, _) = lin.forward(&x, &mut rng);
+
+        let e8 = y8.distance(&y_ref) / y_ref.frobenius_norm();
+        let e4 = y4.distance(&y_ref) / y_ref.frobenius_norm();
+        assert!(e8 < 0.05, "fp8 relative error {e8}");
+        assert!(e4 < 0.5, "fp4 relative error {e4}");
+        assert!(e4 > e8, "fp4 ({e4}) should be noisier than fp8 ({e8})");
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut rng = Rng::seed_from(24);
+        let mut lin = Linear::new("w", 3, 3, 1.0, 4, &mut rng);
+        let x = Tensor::randn(2, 3, 1.0, &mut rng);
+        let dy = Tensor::randn(2, 3, 1.0, &mut rng);
+        let (_, cache) = lin.forward(&x, &mut rng);
+        let _ = lin.backward(&dy, &cache, &mut rng);
+        let g1 = lin.weight().grad().frobenius_norm();
+        let _ = lin.backward(&dy, &cache, &mut rng);
+        let g2 = lin.weight().grad().frobenius_norm();
+        assert!((g2 - 2.0 * g1).abs() < 1e-6 * g1.max(1.0));
+    }
+
+    #[test]
+    fn recorded_backward_returns_dw() {
+        let mut rng = Rng::seed_from(25);
+        let mut lin = Linear::new("w", 3, 4, 1.0, 4, &mut rng);
+        let x = Tensor::randn(2, 4, 1.0, &mut rng);
+        let dy = Tensor::randn(2, 3, 1.0, &mut rng);
+        lin.weight_mut().zero_grad();
+        let (_, cache) = lin.forward(&x, &mut rng);
+        let (_, dw) = lin.backward_recorded(&dy, &cache, &mut rng);
+        assert_eq!(&dw, lin.weight().grad());
+    }
+}

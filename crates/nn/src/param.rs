@@ -1,0 +1,112 @@
+//! Trainable parameters.
+
+use serde::{Deserialize, Serialize};
+use snip_tensor::{rng::Rng, Tensor};
+
+/// A trainable parameter: an FP32 master value plus its gradient accumulator.
+///
+/// Mixed-precision training keeps master weights in full precision (paper
+/// Fig. 5, following DeepSeek-V3); quantization happens on the fly when a
+/// linear layer consumes the weight.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with the given initial value and a zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            name: name.into(),
+            value,
+            grad: Tensor::zeros(r, c),
+        }
+    }
+
+    /// Gaussian-initialized parameter.
+    pub fn randn(name: impl Into<String>, rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+        Param::new(name, Tensor::randn(rows, cols, std, rng))
+    }
+
+    /// Parameter initialized to a constant (e.g. RMSNorm gains start at 1).
+    pub fn full(name: impl Into<String>, rows: usize, cols: usize, value: f32) -> Self {
+        Param::new(name, Tensor::full(rows, cols, value))
+    }
+
+    /// Parameter name (unique within a model).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Master value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable master value (used by the optimizer).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Splits into `(value, grad)` mutable borrows — the optimizer needs both.
+    pub fn value_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::full(2, 3, 5.0));
+        assert_eq!(p.grad().shape(), (2, 3));
+        assert_eq!(p.grad().frobenius_norm(), 0.0);
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("w", Tensor::zeros(2, 2));
+        let g = Tensor::full(2, 2, 1.5);
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad().as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().frobenius_norm(), 0.0);
+    }
+}

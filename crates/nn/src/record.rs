@@ -1,0 +1,118 @@
+//! Per-step recording of tensors and norms (SNIP Step 1: "Collect Stats",
+//! paper Fig. 6).
+//!
+//! When a training step runs with recording enabled, every quantizable linear
+//! layer captures its input activations, weight snapshot, output gradient and
+//! weight gradient, plus the Frobenius norms of everything else SNIP's
+//! divergence analysis consumes (§4.2–§4.3). Recording is designed to run on
+//! a *high-precision* (BF16) iteration, matching the paper's workflow.
+
+use crate::layers::LayerId;
+use snip_tensor::Tensor;
+
+/// Everything recorded about one linear layer in one step.
+#[derive(Clone, Debug, Default)]
+pub struct LinearRecord {
+    /// Input activations as consumed by the forward GEMM (`tokens × in`).
+    pub x: Tensor,
+    /// Weight snapshot (`out × in`).
+    pub w: Tensor,
+    /// Output gradient (`tokens × out`).
+    pub dy: Tensor,
+    /// Weight gradient produced this step (`out × in`).
+    pub dw: Tensor,
+    /// `‖Y‖_F` of the forward output.
+    pub y_norm: f64,
+    /// `‖∇_X L‖_F` — the input-gradient norm (used by loss divergence, §4.2).
+    pub dx_norm: f64,
+}
+
+impl LinearRecord {
+    /// `‖∇_W L‖_F`.
+    pub fn dw_norm(&self) -> f64 {
+        self.dw.frobenius_norm()
+    }
+
+    /// `‖X‖_F`.
+    pub fn x_norm(&self) -> f64 {
+        self.x.frobenius_norm()
+    }
+
+    /// `‖W‖_F`.
+    pub fn w_norm(&self) -> f64 {
+        self.w.frobenius_norm()
+    }
+
+    /// `‖∇_Y L‖_F`.
+    pub fn dy_norm(&self) -> f64 {
+        self.dy.frobenius_norm()
+    }
+}
+
+/// A full step record: loss plus one [`LinearRecord`] per quantizable layer,
+/// indexed by [`LayerId::linear_index`].
+#[derive(Clone, Debug, Default)]
+pub struct StepRecord {
+    /// Mean token cross-entropy of the recorded step.
+    pub loss: f64,
+    /// Tokens in the recorded batch.
+    pub ntokens: usize,
+    /// Per-layer records (length = `n_layers · 7`).
+    pub linears: Vec<LinearRecord>,
+}
+
+impl StepRecord {
+    /// Creates an empty record with `n` linear slots.
+    pub fn with_layers(n: usize) -> Self {
+        StepRecord {
+            loss: 0.0,
+            ntokens: 0,
+            linears: vec![LinearRecord::default(); n],
+        }
+    }
+
+    /// Record for a specific layer.
+    pub fn layer(&self, id: LayerId) -> &LinearRecord {
+        &self.linears[id.linear_index()]
+    }
+
+    /// Mutable record for a specific layer.
+    pub fn layer_mut(&mut self, id: LayerId) -> &mut LinearRecord {
+        &mut self.linears[id.linear_index()]
+    }
+
+    /// Per-layer weight-gradient tensors, in flat-index order — what the
+    /// noise-injection probes (Steps 2–3) compare against the baseline.
+    pub fn weight_gradients(&self) -> Vec<&Tensor> {
+        self.linears.iter().map(|l| &l.dw).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerKind;
+
+    #[test]
+    fn with_layers_allocates_slots() {
+        let r = StepRecord::with_layers(14);
+        assert_eq!(r.linears.len(), 14);
+    }
+
+    #[test]
+    fn layer_indexing() {
+        let mut r = StepRecord::with_layers(14);
+        let id = LayerId::new(1, LayerKind::V);
+        r.layer_mut(id).y_norm = 3.5;
+        assert_eq!(r.layer(id).y_norm, 3.5);
+        assert_eq!(r.linears[id.linear_index()].y_norm, 3.5);
+    }
+
+    #[test]
+    fn norms_computed_from_tensors() {
+        let mut rec = LinearRecord::default();
+        rec.dw = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((rec.dw_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(rec.x_norm(), 0.0);
+    }
+}

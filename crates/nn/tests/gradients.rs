@@ -1,0 +1,141 @@
+//! Exhaustive gradient verification of the full model in exact (f32) mode,
+//! plus structural invariants of the transformer.
+
+use proptest::prelude::*;
+use snip_nn::batch::Batch;
+use snip_nn::config::ModelConfig;
+use snip_nn::model::{Model, StepOptions};
+use snip_nn::{LayerId, LayerKind};
+use snip_tensor::rng::Rng;
+
+fn setup(seed: u64) -> (Model, Batch, Rng) {
+    let cfg = ModelConfig::tiny_test();
+    let mut model = Model::new(cfg, seed).unwrap();
+    model.set_exact_mode(true);
+    let mut r = Rng::seed_from(seed ^ 0xABCD);
+    let vocab = model.config().vocab_size;
+    let seqs: Vec<Vec<u32>> = (0..2)
+        .map(|_| (0..9).map(|_| r.below(vocab) as u32).collect())
+        .collect();
+    let batch = Batch::from_sequences(&seqs, 8);
+    (model, batch, Rng::seed_from(seed))
+}
+
+/// Central-difference check of dL/dθ for one entry of one named parameter.
+fn check_param_entry(seed: u64, name: &str, idx: (usize, usize)) {
+    let (mut model, batch, mut rng) = setup(seed);
+    model.zero_grads();
+    let _ = model.step(&batch, &mut rng, &StepOptions::train());
+    let mut analytic = None;
+    model.visit_params_mut(&mut |p| {
+        if p.name() == name {
+            analytic = Some(p.grad()[idx] as f64);
+        }
+    });
+    let analytic = analytic.unwrap_or_else(|| panic!("no parameter named {name}"));
+
+    let h = 1e-2f32;
+    let mut perturbed = |delta: f32| -> f64 {
+        let mut m = model.clone();
+        m.visit_params_mut(&mut |p| {
+            if p.name() == name {
+                p.value_mut()[idx] += delta;
+            }
+        });
+        m.forward_loss(&batch, &mut rng)
+    };
+    let fd = (perturbed(h) - perturbed(-h)) / (2.0 * h as f64);
+    assert!(
+        (fd - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+        "{name}[{idx:?}]: fd={fd} analytic={analytic}"
+    );
+}
+
+#[test]
+fn gradient_check_every_layer_kind() {
+    // One weight entry in each of the seven linear kinds, in both blocks.
+    for block in 0..2 {
+        for kind in LayerKind::ALL {
+            let name = format!("block{block}.{}", kind.label().to_lowercase());
+            check_param_entry(100 + block as u64, &name, (1, 2));
+        }
+    }
+}
+
+#[test]
+fn gradient_check_norm_gains_and_embedding() {
+    check_param_entry(7, "block0.attn_norm", (0, 3));
+    check_param_entry(7, "block1.mlp_norm", (0, 5));
+    check_param_entry(7, "final_norm", (0, 0));
+    check_param_entry(7, "embed", (2, 1));
+    check_param_entry(7, "lm_head", (3, 4));
+}
+
+#[test]
+fn exact_mode_round_trips() {
+    let (mut model, batch, mut rng) = setup(5);
+    let exact_loss = model.forward_loss(&batch, &mut rng);
+    model.set_exact_mode(false);
+    let bf16_loss = model.forward_loss(&batch, &mut rng);
+    model.set_exact_mode(true);
+    let exact_again = model.forward_loss(&batch, &mut rng);
+    assert_eq!(exact_loss, exact_again);
+    // BF16 rounding moves the loss, but only slightly.
+    assert!((bf16_loss - exact_loss).abs() < 0.05 * exact_loss);
+    assert_ne!(bf16_loss, exact_loss);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The gradient of the loss w.r.t. a random direction matches the
+    /// directional finite difference (a randomized full-parameter check).
+    #[test]
+    fn directional_derivative_matches(seed in 0u64..500) {
+        let (mut model, batch, mut rng) = setup(seed);
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        // Build a random direction d and compute <grad, d> while perturbing.
+        let mut dir_rng = Rng::seed_from(seed ^ 0xD1);
+        let mut dot = 0.0f64;
+        model.visit_params_mut(&mut |p| {
+            for i in 0..p.grad().len() {
+                let d = dir_rng.next_gaussian() as f32 * 1e-3;
+                dot += p.grad().as_slice()[i] as f64 * d as f64;
+            }
+        });
+        let shift = |model: &Model, sign: f32, seed: u64| -> Model {
+            let mut m = model.clone();
+            let mut dr = Rng::seed_from(seed);
+            m.visit_params_mut(&mut |p| {
+                for i in 0..p.value().len() {
+                    let d = dr.next_gaussian() as f32 * 1e-3;
+                    p.value_mut().as_mut_slice()[i] += sign * d;
+                }
+            });
+            m
+        };
+        let lp = shift(&model, 1.0, seed ^ 0xD1).forward_loss(&batch, &mut rng);
+        let lm = shift(&model, -1.0, seed ^ 0xD1).forward_loss(&batch, &mut rng);
+        let fd = (lp - lm) / 2.0;
+        prop_assert!(
+            (fd - dot).abs() < 0.05 * (1.0 + dot.abs()),
+            "directional fd={fd} vs <g,d>={dot}"
+        );
+    }
+
+    /// Shuffling sequence order within a batch permutes nothing about the
+    /// total loss (rows are independent).
+    #[test]
+    fn loss_is_sequence_order_invariant(seed in 0u64..1000) {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 3).unwrap();
+        let mut r = Rng::seed_from(seed);
+        let s1: Vec<u32> = (0..9).map(|_| r.below(cfg.vocab_size) as u32).collect();
+        let s2: Vec<u32> = (0..9).map(|_| r.below(cfg.vocab_size) as u32).collect();
+        let mut rng = Rng::seed_from(1);
+        let a = model.forward_loss(&Batch::from_sequences(&[s1.clone(), s2.clone()], 8), &mut rng);
+        let b = model.forward_loss(&Batch::from_sequences(&[s2, s1], 8), &mut rng);
+        prop_assert!((a - b).abs() < 1e-6);
+    }
+}

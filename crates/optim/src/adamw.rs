@@ -1,0 +1,337 @@
+//! AdamW with FP32 master weights (paper §4.3.2).
+//!
+//! Besides the standard update, the optimizer exposes the two quantities
+//! SNIP's weight-divergence analysis needs:
+//!
+//! * the first/second moments `m_t`, `v_t` of every parameter, and
+//! * the **update sensitivity** `‖h(g+δ) − h(g)‖ / ‖δ‖` of the AdamW update
+//!   to a gradient perturbation, whose closed form the paper derives:
+//!
+//! ```text
+//! ‖h(g+εg) − h(g)‖_F ≈ α·√(1−β₂ᵗ)/(1−β₁ᵗ) ·
+//!     ‖ (1−β₁)/(√v_t+ε) − (1−β₂)·m_t·g_t / (√v_t·(√v_t+ε)²) ‖_F ·
+//!     ‖ε_g‖_F / √(N·K)
+//! ```
+
+use crate::ParamOptimizer;
+use serde::{Deserialize, Serialize};
+use snip_nn::model::Model;
+use snip_tensor::Tensor;
+
+/// AdamW hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdamWConfig {
+    /// Learning rate `α`.
+    pub lr: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical-stability constant `ε`.
+    pub eps: f64,
+    /// Decoupled weight decay `λ`.
+    pub weight_decay: f64,
+}
+
+impl Default for AdamWConfig {
+    /// The common LLM-pretraining configuration
+    /// (β₁ = 0.9, β₂ = 0.95, λ = 0.1).
+    fn default() -> Self {
+        AdamWConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 0.1,
+        }
+    }
+}
+
+/// Per-parameter moment state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MomentState {
+    /// First moment `m_t`.
+    pub m: Tensor,
+    /// Second moment `v_t`.
+    pub v: Tensor,
+}
+
+/// The AdamW optimizer.
+///
+/// Per-parameter state is keyed by position in the model's deterministic
+/// [`Model::visit_params_mut`] order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamW {
+    cfg: AdamWConfig,
+    step: u64,
+    states: Vec<MomentState>,
+}
+
+impl AdamW {
+    /// Creates an optimizer with empty state.
+    pub fn new(cfg: AdamWConfig) -> Self {
+        AdamW {
+            cfg,
+            step: 0,
+            states: Vec::new(),
+        }
+    }
+
+    /// The hyperparameter configuration.
+    pub fn config(&self) -> &AdamWConfig {
+        &self.cfg
+    }
+
+    /// Overrides the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.cfg.lr = lr;
+    }
+
+    /// Number of optimizer steps taken (`t`).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Moment state for parameter `index` (in visit order), if it exists yet.
+    pub fn moments(&self, index: usize) -> Option<&MomentState> {
+        self.states.get(index)
+    }
+
+    /// Applies one AdamW update to every parameter of the model using the
+    /// accumulated gradients. Gradients are *not* zeroed.
+    pub fn update(&mut self, model: &mut Model) {
+        self.step += 1;
+        let t = self.step as i32;
+        let cfg = self.cfg;
+        let bias1 = 1.0 - cfg.beta1.powi(t);
+        let bias2 = 1.0 - cfg.beta2.powi(t);
+        let states = &mut self.states;
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            let (rows, cols) = p.value().shape();
+            if states.len() <= idx {
+                states.push(MomentState {
+                    m: Tensor::zeros(rows, cols),
+                    v: Tensor::zeros(rows, cols),
+                });
+            }
+            let st = &mut states[idx];
+            let (value, grad) = p.value_grad_mut();
+            let v_data = value.as_mut_slice();
+            let g_data = grad.as_slice();
+            let m_data = st.m.as_mut_slice();
+            let s_data = st.v.as_mut_slice();
+            let lr = cfg.lr as f32;
+            let b1 = cfg.beta1 as f32;
+            let b2 = cfg.beta2 as f32;
+            let eps = cfg.eps as f32;
+            let wd = cfg.weight_decay as f32;
+            let inv_bias1 = (1.0 / bias1) as f32;
+            let inv_bias2 = (1.0 / bias2) as f32;
+            for i in 0..v_data.len() {
+                let g = g_data[i];
+                // Decoupled weight decay.
+                v_data[i] -= lr * wd * v_data[i];
+                m_data[i] = b1 * m_data[i] + (1.0 - b1) * g;
+                s_data[i] = b2 * s_data[i] + (1.0 - b2) * g * g;
+                let m_hat = m_data[i] * inv_bias1;
+                let v_hat = s_data[i] * inv_bias2;
+                v_data[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    /// SNIP's AdamW update-sensitivity factor for parameter `index` given its
+    /// current gradient `g` (paper §4.3.2): how strongly a relative gradient
+    /// perturbation of unit Frobenius norm moves the weight update, already
+    /// including the `α·√(1−β₂ᵗ)/(1−β₁ᵗ)` prefactor and the `1/√(N·K)`
+    /// dimensional normalization.
+    ///
+    /// Returns 0 if no state exists yet for `index`.
+    pub fn update_sensitivity(&self, index: usize, g: &Tensor) -> f64 {
+        let Some(st) = self.states.get(index) else {
+            return 0.0;
+        };
+        let t = self.step.max(1) as i32;
+        let cfg = self.cfg;
+        let prefactor = cfg.lr * (1.0 - cfg.beta2.powi(t)).sqrt() / (1.0 - cfg.beta1.powi(t));
+        let b1 = cfg.beta1;
+        let b2 = cfg.beta2;
+        let eps = cfg.eps;
+        let mut sq = 0.0f64;
+        let m = st.m.as_slice();
+        let v = st.v.as_slice();
+        let gd = g.as_slice();
+        for i in 0..gd.len() {
+            let sv = (v[i] as f64).max(0.0).sqrt();
+            let term1 = (1.0 - b1) / (sv + eps);
+            let term2 = if sv > 0.0 {
+                (1.0 - b2) * (m[i] as f64) * (gd[i] as f64) / (sv * (sv + eps) * (sv + eps))
+            } else {
+                0.0
+            };
+            let d = term1 - term2;
+            sq += d * d;
+        }
+        let d_norm = sq.sqrt();
+        let dims = (g.len() as f64).sqrt();
+        prefactor * d_norm / dims
+    }
+}
+
+impl ParamOptimizer for AdamW {
+    fn apply(&mut self, model: &mut Model) {
+        self.update(model);
+    }
+
+    fn lr(&self) -> f64 {
+        self.cfg.lr
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        AdamW::set_lr(self, lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::{batch::Batch, config::ModelConfig, model::StepOptions};
+    use snip_tensor::rng::Rng;
+
+    fn setup() -> (Model, Batch, Rng) {
+        let model = Model::new(ModelConfig::tiny_test(), 5).unwrap();
+        let batch = Batch::from_sequences(
+            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![2, 4, 6, 8, 10, 12, 14, 16, 1]],
+            8,
+        );
+        (model, batch, Rng::seed_from(6))
+    }
+
+    #[test]
+    fn adamw_reduces_training_loss() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: 5e-3,
+            ..Default::default()
+        });
+        let initial = model.forward_loss(&batch, &mut rng);
+        for _ in 0..40 {
+            model.zero_grads();
+            let _ = model.step(&batch, &mut rng, &StepOptions::train());
+            opt.update(&mut model);
+        }
+        let fin = model.forward_loss(&batch, &mut rng);
+        assert!(fin < initial * 0.7, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn single_step_matches_reference_formula() {
+        // One parameter, one known gradient → closed-form single AdamW step.
+        let (mut model, batch, mut rng) = setup();
+        let cfg = AdamWConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        };
+        let mut opt = AdamW::new(cfg);
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        // Snapshot one weight and its gradient.
+        let mut w0 = 0.0f32;
+        let mut g0 = 0.0f32;
+        model.visit_params_mut(&mut |p| {
+            if p.name() == "block0.q" {
+                w0 = p.value()[(0, 0)];
+                g0 = p.grad()[(0, 0)];
+            }
+        });
+        opt.update(&mut model);
+        let mut w1 = 0.0f32;
+        model.visit_params_mut(&mut |p| {
+            if p.name() == "block0.q" {
+                w1 = p.value()[(0, 0)];
+            }
+        });
+        // t=1: m̂ = g, v̂ = g² → step = lr·g/(|g|+eps) = lr·sign(g)
+        let expect = w0 - 1e-2 * g0.signum();
+        assert!(
+            (w1 - expect).abs() < 1e-5,
+            "w1 = {w1}, expected {expect} (g = {g0})"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradients() {
+        let (mut model, _, _) = setup();
+        let cfg = AdamWConfig {
+            lr: 0.1,
+            weight_decay: 0.5,
+            ..Default::default()
+        };
+        let mut opt = AdamW::new(cfg);
+        let mut before = 0.0;
+        model.visit_params_mut(&mut |p| before += p.value().squared_sum());
+        model.zero_grads();
+        opt.update(&mut model);
+        let mut after = 0.0;
+        model.visit_params_mut(&mut |p| after += p.value().squared_sum());
+        // Zero grads → update is pure decay: w ← (1 − lr·λ)·w = 0.95·w
+        let ratio = (after / before).sqrt();
+        assert!((ratio - 0.95).abs() < 1e-3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn moments_are_tracked_per_parameter() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(AdamWConfig::default());
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        opt.update(&mut model);
+        // The Q weight of block 0 has a state with nonzero moments.
+        let idx = model.param_index_of(snip_nn::LayerId::new(0, snip_nn::LayerKind::Q));
+        let st = opt.moments(idx).expect("state exists");
+        assert!(st.m.frobenius_norm() > 0.0);
+        assert!(st.v.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn update_sensitivity_is_positive_and_scales_with_lr() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(AdamWConfig::default());
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        opt.update(&mut model);
+        let idx = model.param_index_of(snip_nn::LayerId::new(0, snip_nn::LayerKind::V));
+        let g = model.linear(snip_nn::LayerId::new(0, snip_nn::LayerKind::V)).weight().grad().clone();
+        let s1 = opt.update_sensitivity(idx, &g);
+        assert!(s1 > 0.0, "sensitivity must be positive");
+        let mut opt2 = opt.clone();
+        opt2.set_lr(opt.config().lr * 2.0);
+        let s2 = opt2.update_sensitivity(idx, &g);
+        assert!((s2 / s1 - 2.0).abs() < 1e-9, "sensitivity linear in lr");
+    }
+
+    #[test]
+    fn sensitivity_without_state_is_zero() {
+        let opt = AdamW::new(AdamWConfig::default());
+        let g = Tensor::full(2, 2, 1.0);
+        assert_eq!(opt.update_sensitivity(0, &g), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(AdamWConfig::default());
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        opt.update(&mut model);
+        let json = serde_json::to_string(&opt).unwrap();
+        let restored: AdamW = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.step_count(), opt.step_count());
+        assert_eq!(restored.moments(3), opt.moments(3));
+    }
+}

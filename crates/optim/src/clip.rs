@@ -1,0 +1,55 @@
+//! Global gradient-norm clipping.
+
+use snip_nn::model::Model;
+
+/// Scales all gradients so the global norm does not exceed `max_norm`.
+/// Returns the pre-clip global norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_global_norm(model: &mut Model, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = model.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = (max_norm / norm) as f32;
+        model.visit_params_mut(&mut |p| p.grad_mut().scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::{batch::Batch, config::ModelConfig, model::StepOptions};
+    use snip_tensor::rng::Rng;
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let mut model = Model::new(ModelConfig::tiny_test(), 3).unwrap();
+        let batch = Batch::from_sequences(&[vec![1, 2, 3, 4, 5, 6, 7, 8, 9]], 8);
+        let mut rng = Rng::seed_from(4);
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        let before = model.grad_norm();
+        assert!(before > 0.0);
+        let cap = before / 2.0;
+        let reported = clip_global_norm(&mut model, cap);
+        assert!((reported - before).abs() < 1e-9);
+        let after = model.grad_norm();
+        assert!((after - cap).abs() < 1e-6 * cap);
+    }
+
+    #[test]
+    fn no_clipping_below_threshold() {
+        let mut model = Model::new(ModelConfig::tiny_test(), 3).unwrap();
+        let batch = Batch::from_sequences(&[vec![1, 2, 3, 4, 5, 6, 7, 8, 9]], 8);
+        let mut rng = Rng::seed_from(4);
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        let before = model.grad_norm();
+        clip_global_norm(&mut model, before * 10.0);
+        let after = model.grad_norm();
+        assert!((after - before).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping a step index to a learning rate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f64,
+    },
+    /// Linear warmup to `base`, then cosine decay to `min_lr` over
+    /// `total_steps`.
+    CosineWithWarmup {
+        /// Peak learning rate after warmup.
+        base: f64,
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps (cosine reaches `min_lr` here).
+        total_steps: u64,
+        /// Floor learning rate.
+        min_lr: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: u64) -> f64 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::CosineWithWarmup {
+                base,
+                warmup,
+                total_steps,
+                min_lr,
+            } => {
+                if warmup > 0 && step < warmup {
+                    return base * (step + 1) as f64 / warmup as f64;
+                }
+                if step >= total_steps {
+                    return min_lr;
+                }
+                let span = (total_steps - warmup).max(1) as f64;
+                let progress = (step - warmup) as f64 / span;
+                let cosine = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                min_lr + (base - min_lr) * cosine
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::CosineWithWarmup {
+            base: 1.0,
+            warmup: 10,
+            total_steps: 100,
+            min_lr: 0.0,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(4) - 0.5).abs() < 1e-12);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = LrSchedule::CosineWithWarmup {
+            base: 1.0,
+            warmup: 0,
+            total_steps: 100,
+            min_lr: 0.1,
+        };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-9);
+        let mid = s.lr_at(50);
+        assert!((mid - 0.55).abs() < 0.01, "mid = {mid}");
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-9);
+        assert_eq!(s.lr_at(5000), 0.1);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = LrSchedule::CosineWithWarmup {
+            base: 3e-4,
+            warmup: 20,
+            total_steps: 500,
+            min_lr: 3e-5,
+        };
+        let mut prev = f64::INFINITY;
+        for step in 20..500 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-15, "not monotone at {step}");
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain SGD with optional momentum — a simple baseline optimizer and test
+//! reference.
+
+use crate::ParamOptimizer;
+use serde::{Deserialize, Serialize};
+use snip_nn::model::Model;
+use snip_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Applies one update: `v ← μ·v + g; w ← w − lr·v`.
+    pub fn update(&mut self, model: &mut Model) {
+        let lr = self.lr as f32;
+        let mu = self.momentum as f32;
+        let velocities = &mut self.velocities;
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            let (rows, cols) = p.value().shape();
+            if velocities.len() <= idx {
+                velocities.push(Tensor::zeros(rows, cols));
+            }
+            let vel = &mut velocities[idx];
+            let (value, grad) = p.value_grad_mut();
+            for i in 0..value.len() {
+                let v = mu * vel.as_slice()[i] + grad.as_slice()[i];
+                vel.as_mut_slice()[i] = v;
+                value.as_mut_slice()[i] -= lr * v;
+            }
+            idx += 1;
+        });
+    }
+}
+
+impl ParamOptimizer for Sgd {
+    fn apply(&mut self, model: &mut Model) {
+        self.update(model);
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_nn::{batch::Batch, config::ModelConfig, model::StepOptions};
+    use snip_tensor::rng::Rng;
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut model = Model::new(ModelConfig::tiny_test(), 9).unwrap();
+        let batch = Batch::from_sequences(&[vec![3, 1, 4, 1, 5, 9, 2, 6, 5]], 8);
+        let mut rng = Rng::seed_from(10);
+        let mut opt = Sgd::new(0.5, 0.0);
+        let initial = model.forward_loss(&batch, &mut rng);
+        for _ in 0..25 {
+            model.zero_grads();
+            let _ = model.step(&batch, &mut rng, &StepOptions::train());
+            opt.update(&mut model);
+        }
+        let fin = model.forward_loss(&batch, &mut rng);
+        assert!(fin < initial, "{initial} -> {fin}");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut model = Model::new(ModelConfig::tiny_test(), 9).unwrap();
+        // Constant gradient of 1.0 applied twice with momentum 0.5:
+        // v1 = 1, v2 = 1.5 → total step = lr·2.5
+        let mut opt = Sgd::new(0.1, 0.5);
+        let mut before = 0.0f32;
+        model.visit_params_mut(&mut |p| {
+            if p.name() == "final_norm" {
+                before = p.value()[(0, 0)];
+            }
+        });
+        for _ in 0..2 {
+            model.zero_grads();
+            model.visit_params_mut(&mut |p| {
+                if p.name() == "final_norm" {
+                    p.grad_mut()[(0, 0)] = 1.0;
+                }
+            });
+            opt.update(&mut model);
+        }
+        let mut after = 0.0f32;
+        model.visit_params_mut(&mut |p| {
+            if p.name() == "final_norm" {
+                after = p.value()[(0, 0)];
+            }
+        });
+        assert!(((before - after) - 0.25).abs() < 1e-6, "moved {}", before - after);
+    }
+}

@@ -1,0 +1,498 @@
+//! Numerical simulation of low-precision collectives.
+//!
+//! The paper flags *"extending low-precision support to reduce-scatter"* as
+//! promising-but-challenging future work (§2.2). [`crate::comm`] accounts
+//! for the bytes such a kernel would save; this module simulates the
+//! *numerics*: a ring reduce-scatter / all-gather over `R` simulated data-
+//! parallel ranks where every hop's payload is quantized to a wire format.
+//! Partial sums accumulate in f32 at each receiver (the realistic design —
+//! accumulating *in* FP4/FP8 diverges immediately), so the open question the
+//! paper points at becomes measurable: how much error do `R − 1` payload
+//! quantizations inject into the reduced gradient, for which wire format,
+//! and at how many ranks?
+//!
+//! The `comm_precision` experiment sweeps exactly that; tests pin the
+//! qualitative answers: BF16 wires are essentially free; every-hop FP4
+//! error grows with ring size (partial sums are re-quantized `R − 1`
+//! times); and the *final-only* policy (reduce exactly, quantize the stored
+//! result once) is a storage-error floor that is independent of ring size —
+//! every-hop starts **below** that floor on small rings, because the
+//! receiver's own addend is never quantized, and crosses it as `R` grows.
+
+use serde::{Deserialize, Serialize};
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::{Quantizer, Rounding};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+/// A collective wire format: payload width plus the quantizer emulating it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Wire {
+    bits: u32,
+    quantizer: Option<Quantizer>,
+    label: &'static str,
+}
+
+impl Wire {
+    /// Lossless f32 wires (the numerical reference; 32 bits on the wire).
+    pub fn exact() -> Self {
+        Wire {
+            bits: 32,
+            quantizer: None,
+            label: "exact",
+        }
+    }
+
+    /// BF16 wires — today's default for gradient collectives.
+    pub fn bf16() -> Self {
+        Wire {
+            bits: 16,
+            quantizer: Some(Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest)),
+            label: "bf16",
+        }
+    }
+
+    /// FP8 (E4M3) wires with `1×nb` tile scaling.
+    pub fn fp8(nb: usize) -> Self {
+        Wire {
+            bits: 8,
+            quantizer: Some(Quantizer::new(
+                FloatFormat::e4m3(),
+                Granularity::Tile { nb },
+                Rounding::Nearest,
+            )),
+            label: "fp8",
+        }
+    }
+
+    /// FP4 (E2M1) wires with `1×nb` tile scaling and stochastic rounding
+    /// (the paper's recipe for FP4 gradients, §6.1 — unbiasedness matters
+    /// even more when payloads are summed across ranks).
+    pub fn fp4(nb: usize) -> Self {
+        Wire {
+            bits: 4,
+            quantizer: Some(Quantizer::new(
+                FloatFormat::e2m1(),
+                Granularity::Tile { nb },
+                Rounding::Stochastic,
+            )),
+            label: "fp4",
+        }
+    }
+
+    /// Payload width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Short name for tables.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Quantizes a payload in place (no-op for exact wires).
+    pub fn quantize(&self, payload: &mut Vec<f32>, rng: &mut Rng) {
+        if let Some(q) = &self.quantizer {
+            let mut t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
+            q.fake_quantize_inplace(&mut t, rng);
+            *payload = t.into_vec();
+        }
+    }
+}
+
+/// When payloads are quantized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantizePolicy {
+    /// Every hop's payload is quantized — the true wire-precision design
+    /// whose feasibility the paper leaves open. Partial sums are re-
+    /// quantized `R − 1` times.
+    EveryHop,
+    /// Hops run at full precision; only each rank's final owned chunk is
+    /// quantized once (models "reduce in BF16, store low-precision" — the
+    /// conservative bracket).
+    FinalOnly,
+}
+
+/// Outcome of a simulated collective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveResult {
+    /// Per-rank payload: the owned reduced chunk (reduce-scatter) or the
+    /// full reduced vector (all-reduce).
+    pub per_rank: Vec<Vec<f32>>,
+    /// Chunk ownership: `owned[r] = (start, end)` of rank `r`'s chunk.
+    pub owned: Vec<(usize, usize)>,
+    /// Total payload bytes that crossed the ring (all ranks, all hops).
+    pub bytes_on_wire: u64,
+}
+
+/// Chunk boundaries distributing `n` elements over `r` ranks (chunk `i` is
+/// `[i·n/r, (i+1)·n/r)`, remainder spread evenly).
+pub fn chunk_bounds(n: usize, r: usize) -> Vec<(usize, usize)> {
+    assert!(r > 0, "need at least one rank");
+    (0..r).map(|i| (i * n / r, (i + 1) * n / r)).collect()
+}
+
+fn exact_reference(grads: &[Vec<f32>]) -> Vec<f32> {
+    let n = grads[0].len();
+    let mut sum = vec![0.0f32; n];
+    for g in grads {
+        for (s, v) in sum.iter_mut().zip(g) {
+            *s += v;
+        }
+    }
+    sum
+}
+
+/// The exact elementwise sum of all ranks' gradients (the collective's
+/// numerical reference).
+pub fn exact_sum(grads: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!grads.is_empty(), "no ranks");
+    exact_reference(grads)
+}
+
+/// Simulates a ring reduce-scatter: after `R − 1` hops rank `r` owns the
+/// fully reduced chunk `(r + 1) mod R`.
+///
+/// # Panics
+///
+/// Panics if `grads` is empty or ranks disagree on the gradient length.
+pub fn ring_reduce_scatter(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rng: &mut Rng,
+) -> CollectiveResult {
+    let r_count = grads.len();
+    assert!(r_count > 0, "no ranks");
+    let n = grads[0].len();
+    assert!(
+        grads.iter().all(|g| g.len() == n),
+        "ranks disagree on gradient length"
+    );
+    let bounds = chunk_bounds(n, r_count);
+    let mut local: Vec<Vec<f32>> = grads.to_vec();
+    let mut bytes = 0u64;
+
+    for s in 0..r_count.saturating_sub(1) {
+        // All sends are computed before any receive lands (ranks progress
+        // in lockstep).
+        let mut payloads: Vec<(usize, Vec<f32>)> = Vec::with_capacity(r_count);
+        for r in 0..r_count {
+            let c = (r + r_count - s % r_count) % r_count;
+            let (lo, hi) = bounds[c];
+            let mut payload = local[r][lo..hi].to_vec();
+            if policy == QuantizePolicy::EveryHop {
+                wire.quantize(&mut payload, rng);
+                bytes += (payload.len() as u64 * wire.bits() as u64).div_ceil(8);
+            } else {
+                bytes += payload.len() as u64 * 4;
+            }
+            payloads.push((c, payload));
+        }
+        for r in 0..r_count {
+            let dst = (r + 1) % r_count;
+            let (c, payload) = &payloads[r];
+            let (lo, _) = bounds[*c];
+            for (i, v) in payload.iter().enumerate() {
+                local[dst][lo + i] += v;
+            }
+        }
+    }
+
+    let mut per_rank = Vec::with_capacity(r_count);
+    let mut owned = Vec::with_capacity(r_count);
+    for r in 0..r_count {
+        let c = (r + 1) % r_count;
+        let (lo, hi) = bounds[c];
+        let mut chunk = local[r][lo..hi].to_vec();
+        if policy == QuantizePolicy::FinalOnly {
+            wire.quantize(&mut chunk, rng);
+        }
+        per_rank.push(chunk);
+        owned.push((lo, hi));
+    }
+    CollectiveResult {
+        per_rank,
+        owned,
+        bytes_on_wire: bytes,
+    }
+}
+
+/// Simulates the ring all-gather that follows a reduce-scatter, giving every
+/// rank the full reduced vector. Payloads are quantized per hop under
+/// [`QuantizePolicy::EveryHop`] (idempotent for already-quantized chunks
+/// under nearest rounding) and passed through otherwise.
+pub fn ring_all_gather(
+    scattered: &CollectiveResult,
+    n: usize,
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rng: &mut Rng,
+) -> CollectiveResult {
+    let r_count = scattered.per_rank.len();
+    assert!(r_count > 0, "no ranks");
+    let bounds = chunk_bounds(n, r_count);
+    // have[r][c] = Some(chunk c's data) once rank r holds it.
+    let mut have: Vec<Vec<Option<Vec<f32>>>> = vec![vec![None; r_count]; r_count];
+    for r in 0..r_count {
+        let c = (r + 1) % r_count;
+        have[r][c] = Some(scattered.per_rank[r].clone());
+    }
+    let mut bytes = 0u64;
+    for s in 0..r_count.saturating_sub(1) {
+        let mut payloads: Vec<(usize, Vec<f32>)> = Vec::with_capacity(r_count);
+        for r in 0..r_count {
+            let c = (r + 1 + r_count - s % r_count) % r_count;
+            let mut payload = have[r][c]
+                .as_ref()
+                .expect("ring schedule guarantees possession")
+                .clone();
+            if policy == QuantizePolicy::EveryHop {
+                wire.quantize(&mut payload, rng);
+                bytes += (payload.len() as u64 * wire.bits() as u64).div_ceil(8);
+            } else {
+                bytes += payload.len() as u64 * 4;
+            }
+            payloads.push((c, payload));
+        }
+        for r in 0..r_count {
+            let dst = (r + 1) % r_count;
+            let (c, payload) = payloads[r].clone();
+            have[dst][c] = Some(payload);
+        }
+    }
+    let per_rank: Vec<Vec<f32>> = (0..r_count)
+        .map(|r| {
+            let mut full = vec![0.0f32; n];
+            for c in 0..r_count {
+                let (lo, hi) = bounds[c];
+                let chunk = have[r][c].as_ref().expect("all chunks gathered");
+                full[lo..hi].copy_from_slice(chunk);
+            }
+            full
+        })
+        .collect();
+    CollectiveResult {
+        per_rank,
+        owned: vec![(0, n); r_count],
+        bytes_on_wire: bytes,
+    }
+}
+
+/// Reduce-scatter followed by all-gather: a full all-reduce. Returns every
+/// rank's reduced vector and the combined bytes on the wire.
+pub fn ring_all_reduce(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rng: &mut Rng,
+) -> CollectiveResult {
+    let n = grads[0].len();
+    let rs = ring_reduce_scatter(grads, wire, policy, rng);
+    let mut ag = ring_all_gather(&rs, n, wire, policy, rng);
+    ag.bytes_on_wire += rs.bytes_on_wire;
+    ag
+}
+
+/// Relative L2 error of a reduced result against the exact sum, over the
+/// positions each rank owns (reduce-scatter) or the full vector
+/// (all-reduce).
+pub fn relative_error(result: &CollectiveResult, exact: &[f32]) -> f64 {
+    let mut err2 = 0.0f64;
+    let mut ref2 = 0.0f64;
+    for (rank, (lo, hi)) in result.owned.iter().enumerate() {
+        for (i, got) in result.per_rank[rank].iter().enumerate() {
+            let want = exact[lo + i] as f64;
+            err2 += (*got as f64 - want).powi(2);
+            ref2 += want.powi(2);
+        }
+        debug_assert_eq!(hi - lo, result.per_rank[rank].len());
+    }
+    if ref2 == 0.0 {
+        0.0
+    } else {
+        (err2 / ref2).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_grads(ranks: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng::seed_from(seed);
+        (0..ranks)
+            .map(|_| (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_wire_reduce_scatter_matches_reference() {
+        let grads = make_grads(4, 64, 1);
+        let exact = exact_sum(&grads);
+        let mut rng = Rng::seed_from(2);
+        let rs = ring_reduce_scatter(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rng);
+        for (r, (lo, hi)) in rs.owned.iter().enumerate() {
+            for i in *lo..*hi {
+                let got = rs.per_rank[r][i - lo];
+                assert!(
+                    (got - exact[i]).abs() < 1e-5,
+                    "rank {r} pos {i}: {got} vs {}",
+                    exact[i]
+                );
+            }
+        }
+        assert!(relative_error(&rs, &exact) < 1e-6);
+    }
+
+    #[test]
+    fn ownership_covers_the_vector_exactly_once() {
+        let grads = make_grads(5, 33, 3); // deliberately not divisible
+        let mut rng = Rng::seed_from(4);
+        let rs = ring_reduce_scatter(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rng);
+        let mut covered = vec![0u8; 33];
+        for (lo, hi) in &rs.owned {
+            for c in covered.iter_mut().take(*hi).skip(*lo) {
+                *c += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "{covered:?}");
+    }
+
+    #[test]
+    fn all_reduce_gives_every_rank_the_full_sum() {
+        let grads = make_grads(4, 40, 5);
+        let exact = exact_sum(&grads);
+        let mut rng = Rng::seed_from(6);
+        let ar = ring_all_reduce(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rng);
+        assert_eq!(ar.per_rank.len(), 4);
+        for rank in &ar.per_rank {
+            for (got, want) in rank.iter().zip(&exact) {
+                assert!((got - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_error_ordering_fp4_fp8_bf16() {
+        let grads = make_grads(8, 256, 7);
+        let exact = exact_sum(&grads);
+        let err = |wire: Wire| {
+            let mut rng = Rng::seed_from(8);
+            let rs = ring_reduce_scatter(&grads, &wire, QuantizePolicy::EveryHop, &mut rng);
+            relative_error(&rs, &exact)
+        };
+        let e_bf16 = err(Wire::bf16());
+        let e_fp8 = err(Wire::fp8(32));
+        let e_fp4 = err(Wire::fp4(32));
+        assert!(e_bf16 < e_fp8, "bf16 {e_bf16} !< fp8 {e_fp8}");
+        assert!(e_fp8 < e_fp4, "fp8 {e_fp8} !< fp4 {e_fp4}");
+        assert!(e_bf16 < 1e-2, "bf16 wires are essentially free: {e_bf16}");
+    }
+
+    #[test]
+    fn fp4_error_grows_with_ring_size() {
+        let err_at = |ranks: usize| {
+            let grads = make_grads(ranks, 512, 11);
+            let exact = exact_sum(&grads);
+            let mut rng = Rng::seed_from(12);
+            let rs = ring_reduce_scatter(&grads, &Wire::fp4(64), QuantizePolicy::EveryHop, &mut rng);
+            relative_error(&rs, &exact)
+        };
+        let e2 = err_at(2);
+        let e16 = err_at(16);
+        assert!(
+            e16 > e2,
+            "more hops, more requantization error: {e2} → {e16}"
+        );
+    }
+
+    #[test]
+    fn final_only_is_a_ring_size_independent_storage_floor() {
+        // Quantizing only the stored result costs (to first order) the FP4
+        // error of the reduced tensor, whatever the ring size.
+        let err_at = |ranks: usize| {
+            let grads = make_grads(ranks, 512, 13);
+            let exact = exact_sum(&grads);
+            let mut rng = Rng::seed_from(14);
+            let rs =
+                ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::FinalOnly, &mut rng);
+            relative_error(&rs, &exact)
+        };
+        let (e2, e16) = (err_at(2), err_at(16));
+        assert!(
+            (e2 / e16).ln().abs() < 0.7,
+            "floor should be ~flat in ring size: {e2} vs {e16}"
+        );
+    }
+
+    #[test]
+    fn every_hop_beats_the_floor_on_tiny_rings() {
+        // At R = 2 only one addend is ever quantized (the receiver's own
+        // contribution stays exact), so every-hop sits below the
+        // quantize-the-result floor; re-quantization makes it cross the
+        // floor as rings grow.
+        let grads = make_grads(2, 512, 15);
+        let exact = exact_sum(&grads);
+        let mut rng = Rng::seed_from(16);
+        let every =
+            ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::EveryHop, &mut rng);
+        let finale =
+            ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::FinalOnly, &mut rng);
+        assert!(relative_error(&every, &exact) < relative_error(&finale, &exact));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        // R ranks, N elements: reduce-scatter moves (R−1)·(N/R) elements per
+        // rank per step... in total (R−1)·N elements at `bits` each.
+        let grads = make_grads(4, 64, 15);
+        let mut rng = Rng::seed_from(16);
+        let rs = ring_reduce_scatter(&grads, &Wire::fp8(16), QuantizePolicy::EveryHop, &mut rng);
+        assert_eq!(rs.bytes_on_wire, 3 * 64);
+        let rs4 = ring_reduce_scatter(&grads, &Wire::fp4(16), QuantizePolicy::EveryHop, &mut rng);
+        assert_eq!(rs4.bytes_on_wire, 3 * 64 / 2);
+        // FinalOnly pays full f32 on the wire.
+        let rsf = ring_reduce_scatter(&grads, &Wire::fp4(16), QuantizePolicy::FinalOnly, &mut rng);
+        assert_eq!(rsf.bytes_on_wire, 3 * 64 * 4);
+    }
+
+    #[test]
+    fn single_rank_is_a_no_op() {
+        let grads = make_grads(1, 16, 17);
+        let mut rng = Rng::seed_from(18);
+        let rs = ring_reduce_scatter(&grads, &Wire::fp4(8), QuantizePolicy::EveryHop, &mut rng);
+        assert_eq!(rs.bytes_on_wire, 0);
+        assert_eq!(rs.owned, vec![(0, 16)]);
+        assert_eq!(rs.per_rank[0], grads[0]);
+    }
+
+    #[test]
+    fn stochastic_fp4_wire_sum_is_unbiased() {
+        // Average the all-reduced value over many seeds: stochastic
+        // rounding keeps the expectation at the exact sum.
+        let grads = vec![vec![0.37f32; 32], vec![0.11f32; 32]];
+        let exact = exact_sum(&grads);
+        let trials = 400;
+        let mut acc = vec![0.0f64; 32];
+        for seed in 0..trials {
+            let mut rng = Rng::seed_from(seed);
+            let rs =
+                ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::EveryHop, &mut rng);
+            for (r, (lo, _)) in rs.owned.iter().enumerate() {
+                for (i, v) in rs.per_rank[r].iter().enumerate() {
+                    acc[lo + i] += *v as f64;
+                }
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - exact[i] as f64).abs() < 0.02,
+                "pos {i}: mean {mean} vs exact {}",
+                exact[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Communication-volume model (paper §2.2 and future work).
+//!
+//! The paper notes that storing weights in FP4/FP8 cuts HBM and that
+//! "extending low-precision support to reduce-scatter is a promising but
+//! challenging direction for future work". This module implements the
+//! accounting side of that direction: per-step communication volume of
+//! weight-gradient reduce-scatter / all-gather under a precision scheme, so
+//! the trade-off can be explored ahead of kernel support.
+
+use crate::stage::StagePartition;
+use serde::{Deserialize, Serialize};
+use snip_core::Scheme;
+use snip_nn::{LayerId, LayerKind, ModelConfig};
+
+/// Bytes moved by one data-parallel step for one stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommVolume {
+    /// Gradient reduce-scatter bytes.
+    pub reduce_scatter: u64,
+    /// Parameter all-gather bytes.
+    pub all_gather: u64,
+}
+
+impl CommVolume {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.reduce_scatter + self.all_gather
+    }
+}
+
+/// Wire precision policy for collective communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WirePolicy {
+    /// Everything in BF16 (today's default).
+    Bf16,
+    /// Gradients reduced in the layer's assigned *gradient* precision,
+    /// parameters gathered in the layer's *weight* precision — the paper's
+    /// future-work scenario.
+    SchemePrecision,
+}
+
+/// Per-stage communication volume of one optimizer step under a scheme.
+///
+/// Counts each linear layer's weight tensor once for all-gather and its
+/// gradient once for reduce-scatter (norm gains and embeddings are a
+/// negligible fraction and always BF16).
+pub fn step_comm_volume(
+    cfg: &ModelConfig,
+    scheme: &Scheme,
+    partition: &StagePartition,
+    policy: WirePolicy,
+) -> Vec<CommVolume> {
+    (0..partition.n_stages())
+        .map(|k| {
+            let mut v = CommVolume::default();
+            for block in partition.blocks(k) {
+                for kind in LayerKind::ALL {
+                    let id = LayerId::new(block, kind);
+                    let (n, kk) = kind.dims(cfg);
+                    let numel = (n * kk) as u64;
+                    let (grad_bits, weight_bits) = match policy {
+                        WirePolicy::Bf16 => (16, 16),
+                        WirePolicy::SchemePrecision => {
+                            let p = scheme.layer(id);
+                            (p.grad.bits() as u64, p.weight.bits() as u64)
+                        }
+                    };
+                    v.reduce_scatter += numel * grad_bits / 8;
+                    v.all_gather += numel * weight_bits / 8;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// Whole-model communication saving factor of a scheme vs BF16 wires.
+pub fn comm_saving_factor(cfg: &ModelConfig, scheme: &Scheme) -> f64 {
+    let partition = StagePartition::even(cfg.n_layers, 1);
+    let bf16: u64 = step_comm_volume(cfg, scheme, &partition, WirePolicy::Bf16)
+        .iter()
+        .map(|v| v.total())
+        .sum();
+    let low: u64 = step_comm_volume(cfg, scheme, &partition, WirePolicy::SchemePrecision)
+        .iter()
+        .map(|v| v.total())
+        .sum();
+    bf16 as f64 / low.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_quant::Precision;
+
+    #[test]
+    fn bf16_wire_volume_matches_param_count() {
+        let cfg = ModelConfig::tiny_test();
+        let partition = StagePartition::even(cfg.n_layers, 1);
+        let scheme = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+        let v = step_comm_volume(&cfg, &scheme, &partition, WirePolicy::Bf16);
+        // 2 blocks × (4·16·16 + 2·24·16 + 16·24) weights, 2 bytes each way.
+        let linear_params: u64 = (0..cfg.n_linear_layers())
+            .map(|i| {
+                let (n, k) = LayerId::from_linear_index(i).kind.dims(&cfg);
+                (n * k) as u64
+            })
+            .sum();
+        assert_eq!(v[0].reduce_scatter, linear_params * 2);
+        assert_eq!(v[0].all_gather, linear_params * 2);
+    }
+
+    #[test]
+    fn fp4_wires_save_4x_over_bf16() {
+        let cfg = ModelConfig::tinyllama_1b_sim();
+        let scheme = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+        let factor = comm_saving_factor(&cfg, &scheme);
+        assert!((factor - 4.0).abs() < 1e-9, "factor = {factor}");
+        let fp8 = Scheme::uniform(Precision::Fp8, cfg.n_linear_layers());
+        assert!((comm_saving_factor(&cfg, &fp8) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_scheme_saves_between_2x_and_4x() {
+        let cfg = ModelConfig::tinyllama_1b_sim();
+        let mut scheme = Scheme::uniform(Precision::Fp8, cfg.n_linear_layers());
+        // Half the blocks to FP4.
+        for b in 0..cfg.n_layers / 2 {
+            for kind in LayerKind::ALL {
+                scheme.set_layer(
+                    LayerId::new(b, kind),
+                    snip_quant::LinearPrecision::uniform(Precision::Fp4),
+                );
+            }
+        }
+        let f = comm_saving_factor(&cfg, &scheme);
+        assert!(f > 2.0 && f < 4.0, "factor = {f}");
+    }
+
+    #[test]
+    fn per_stage_volumes_sum_to_total() {
+        let cfg = ModelConfig::tinyllama_1b_sim();
+        let scheme = Scheme::uniform(Precision::Fp8, cfg.n_linear_layers());
+        let one = step_comm_volume(
+            &cfg,
+            &scheme,
+            &StagePartition::even(cfg.n_layers, 1),
+            WirePolicy::SchemePrecision,
+        );
+        let four = step_comm_volume(
+            &cfg,
+            &scheme,
+            &StagePartition::even(cfg.n_layers, 4),
+            WirePolicy::SchemePrecision,
+        );
+        let total4: u64 = four.iter().map(|v| v.total()).sum();
+        assert_eq!(one[0].total(), total4);
+    }
+}

@@ -1,0 +1,153 @@
+//! GPipe-style schedule (all forwards, then all backwards) — the baseline
+//! pipeline schedule 1F1B improves on. Useful for ablating schedule choice
+//! against the precision-driven stage times.
+
+use crate::cost::StageCost;
+use crate::schedule::{Phase, PipelineSim, ScheduleEvent};
+
+/// Simulates a GPipe schedule: every stage runs all microbatch forwards in
+/// order (as dependencies allow), then all backwards. Compared with 1F1B it
+/// has the same steady-state throughput but a larger activation footprint
+/// and, for unbalanced stages, different bubble placement.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty or `n_microbatches` is zero.
+pub fn simulate_gpipe(costs: &[StageCost], n_microbatches: usize) -> PipelineSim {
+    assert!(!costs.is_empty(), "need at least one stage");
+    assert!(n_microbatches > 0, "need at least one microbatch");
+    let s = costs.len();
+    let m = n_microbatches;
+    let mut events = Vec::with_capacity(2 * s * m);
+    let mut free_at = vec![0.0f64; s];
+    let mut fwd_done = vec![vec![0.0f64; m]; s];
+
+    // Forward wave.
+    for mb in 0..m {
+        for stage in 0..s {
+            let dep = if stage == 0 { 0.0 } else { fwd_done[stage - 1][mb] };
+            let start = dep.max(free_at[stage]);
+            let end = start + costs[stage].forward;
+            fwd_done[stage][mb] = end;
+            free_at[stage] = end;
+            events.push(ScheduleEvent {
+                stage,
+                microbatch: mb,
+                phase: Phase::Forward,
+                start,
+                end,
+            });
+        }
+    }
+    // Backward wave.
+    let mut bwd_done = vec![vec![0.0f64; m]; s];
+    for mb in 0..m {
+        for stage in (0..s).rev() {
+            let dep = if stage == s - 1 {
+                fwd_done[stage][mb]
+            } else {
+                bwd_done[stage + 1][mb]
+            };
+            let start = dep.max(free_at[stage]);
+            let end = start + costs[stage].backward;
+            bwd_done[stage][mb] = end;
+            free_at[stage] = end;
+            events.push(ScheduleEvent {
+                stage,
+                microbatch: mb,
+                phase: Phase::Backward,
+                start,
+                end,
+            });
+        }
+    }
+
+    let makespan = events.iter().fold(0.0f64, |acc, e| acc.max(e.end));
+    let mut stage_busy = vec![0.0f64; s];
+    for e in &events {
+        stage_busy[e.stage] += e.end - e.start;
+    }
+    let busy: f64 = stage_busy.iter().sum();
+    let bubble_fraction = 1.0 - busy / (makespan * s as f64);
+    events.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    PipelineSim {
+        events,
+        makespan,
+        stage_busy,
+        bubble_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::simulate_1f1b;
+
+    fn uniform(s: usize, f: f64, b: f64) -> Vec<StageCost> {
+        vec![
+            StageCost {
+                forward: f,
+                backward: b,
+            };
+            s
+        ]
+    }
+
+    #[test]
+    fn gpipe_completes_all_work() {
+        let sim = simulate_gpipe(&uniform(4, 1.0, 2.0), 6);
+        assert_eq!(sim.events.len(), 2 * 4 * 6);
+        // Per-stage busy time equals M·(tf+tb).
+        for &busy in &sim.stage_busy {
+            assert!((busy - 6.0 * 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gpipe_dependencies_hold() {
+        let sim = simulate_gpipe(&uniform(3, 1.3, 2.7), 4);
+        let find = |stage: usize, mb: usize, phase: Phase| {
+            sim.events
+                .iter()
+                .find(|e| e.stage == stage && e.microbatch == mb && e.phase == phase)
+                .unwrap()
+        };
+        for mb in 0..4 {
+            for stage in 1..3 {
+                assert!(
+                    find(stage, mb, Phase::Forward).start
+                        >= find(stage - 1, mb, Phase::Forward).end - 1e-9
+                );
+            }
+            for stage in 0..2 {
+                assert!(
+                    find(stage, mb, Phase::Backward).start
+                        >= find(stage + 1, mb, Phase::Backward).end - 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpipe_and_1f1b_have_equal_makespan_for_uniform_stages() {
+        // With uniform stages both schedules are work-conserving on the
+        // critical path: makespan = (S−1)(tf+tb) + M(tf+tb).
+        let costs = uniform(4, 1.0, 2.0);
+        let g = simulate_gpipe(&costs, 12);
+        let o = simulate_1f1b(&costs, 12);
+        assert!(
+            (g.makespan - o.makespan).abs() < 1e-6,
+            "gpipe {} vs 1f1b {}",
+            g.makespan,
+            o.makespan
+        );
+    }
+
+    #[test]
+    fn bubble_shrinks_with_more_microbatches() {
+        let costs = uniform(4, 1.0, 2.0);
+        let small = simulate_gpipe(&costs, 4);
+        let large = simulate_gpipe(&costs, 64);
+        assert!(large.bubble_fraction < small.bubble_fraction);
+    }
+}

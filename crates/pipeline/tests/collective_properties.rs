@@ -1,0 +1,105 @@
+//! Property tests for the quantized ring-collective simulator.
+
+use proptest::prelude::*;
+use snip_pipeline::collective::{
+    chunk_bounds, exact_sum, relative_error, ring_all_reduce, ring_reduce_scatter,
+    QuantizePolicy, Wire,
+};
+use snip_tensor::rng::Rng;
+
+fn grads_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (2usize..6, 4usize..40).prop_flat_map(|(ranks, n)| {
+        proptest::collection::vec(proptest::collection::vec(-8.0f32..8.0, n), ranks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunks_partition_exactly(n in 0usize..200, r in 1usize..12) {
+        let bounds = chunk_bounds(n, r);
+        prop_assert_eq!(bounds.len(), r);
+        prop_assert_eq!(bounds[0].0, 0);
+        prop_assert_eq!(bounds[r - 1].1, n);
+        for w in bounds.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "gap or overlap between chunks");
+        }
+        // Chunk sizes differ by at most one element.
+        let sizes: Vec<usize> = bounds.iter().map(|(a, b)| b - a).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn exact_wire_reduce_scatter_is_exact(grads in grads_strategy(), seed in 0u64..100) {
+        let exact = exact_sum(&grads);
+        let mut rng = Rng::seed_from(seed);
+        let rs = ring_reduce_scatter(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rng);
+        prop_assert!(relative_error(&rs, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn exact_all_reduce_gives_identical_copies(grads in grads_strategy(), seed in 0u64..100) {
+        // With exact wires the broadcast is bit-deterministic, so every
+        // rank ends with the same reduced vector.
+        let mut rng = Rng::seed_from(seed);
+        let ar = ring_all_reduce(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rng);
+        for rank in &ar.per_rank[1..] {
+            prop_assert_eq!(rank, &ar.per_rank[0]);
+        }
+    }
+
+    #[test]
+    fn quantized_all_reduce_copies_agree_within_wire_error(
+        grads in grads_strategy(),
+        seed in 0u64..100,
+    ) {
+        // With quantized wires the chunk *owner* keeps its unquantized copy
+        // while other ranks receive re-quantized forwards, so copies may
+        // differ — but only by the wire's quantization error, never more.
+        let mut rng = Rng::seed_from(seed);
+        let ar = ring_all_reduce(&grads, &Wire::fp8(8), QuantizePolicy::EveryHop, &mut rng);
+        let norm0: f64 = ar.per_rank[0]
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        for rank in &ar.per_rank[1..] {
+            let diff: f64 = rank
+                .iter()
+                .zip(&ar.per_rank[0])
+                .map(|(a, b)| ((*a - *b) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!(diff <= 0.2 * norm0 + 1e-6, "copies diverged: {diff} vs ‖·‖ {norm0}");
+        }
+    }
+
+    #[test]
+    fn quantized_wire_error_bounded_by_format(grads in grads_strategy(), seed in 0u64..100) {
+        // FP8 E4M3 wire with fine tiles: per-hop relative error ≤ ~6%, and
+        // across R−1 ≤ 5 hops the accumulated relative error stays well
+        // under 50% — a loose but meaningful sanity envelope.
+        let exact = exact_sum(&grads);
+        let mut rng = Rng::seed_from(seed);
+        let rs = ring_reduce_scatter(&grads, &Wire::fp8(8), QuantizePolicy::EveryHop, &mut rng);
+        prop_assert!(relative_error(&rs, &exact) < 0.5);
+        for chunk in &rs.per_rank {
+            prop_assert!(chunk.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn bytes_scale_with_bits(grads in grads_strategy(), seed in 0u64..50) {
+        let mut rng = Rng::seed_from(seed);
+        let b16 = ring_reduce_scatter(&grads, &Wire::bf16(), QuantizePolicy::EveryHop, &mut rng)
+            .bytes_on_wire;
+        let b8 = ring_reduce_scatter(&grads, &Wire::fp8(8), QuantizePolicy::EveryHop, &mut rng)
+            .bytes_on_wire;
+        // Chunk-level ceil rounding can only add a byte per payload.
+        prop_assert!(b8 <= b16 / 2 + (grads.len() as u64 - 1) * grads.len() as u64);
+        prop_assert!(b8 * 2 >= b16 / 2, "fp8 {b8} vs bf16 {b16}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Quantization-error statistics.
+//!
+//! Step 1 of the SNIP workflow (paper Fig. 6) records, for every layer and
+//! candidate format, the Frobenius norm of the tensor and of its
+//! quantization error. These feed both divergence metrics (§4.2, §4.3) and
+//! the `min-abs-err` / `min-rel-err` baselines (§6.1).
+
+use crate::{Precision, Quantizer, TensorRole};
+use serde::{Deserialize, Serialize};
+use snip_tensor::Tensor;
+
+/// Error statistics of quantizing one tensor with one quantizer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantErrorStats {
+    /// `‖t‖_F` of the original tensor.
+    pub tensor_norm: f64,
+    /// `‖q(t) − t‖_F` (absolute quantization error).
+    pub abs_error: f64,
+    /// `‖q(t) − t‖_F / ‖t‖_F` (relative quantization error; 0 for a zero tensor).
+    pub rel_error: f64,
+    /// Largest absolute entry of the original tensor.
+    pub max_abs: f64,
+    /// Number of elements.
+    pub numel: usize,
+}
+
+impl QuantErrorStats {
+    /// Measures the quantization error of `t` under `quantizer`.
+    ///
+    /// Uses deterministic nearest rounding regardless of the quantizer's
+    /// configured mode so that statistics are reproducible.
+    pub fn measure(quantizer: &Quantizer, t: &Tensor) -> Self {
+        let tensor_norm = t.frobenius_norm();
+        let abs_error = quantizer.error_norm(t);
+        let rel_error = if tensor_norm == 0.0 {
+            0.0
+        } else {
+            abs_error / tensor_norm
+        };
+        QuantErrorStats {
+            tensor_norm,
+            abs_error,
+            rel_error,
+            max_abs: t.max_abs() as f64,
+            numel: t.len(),
+        }
+    }
+
+    /// Measures error statistics for a tensor role under a policy precision,
+    /// using the paper's default recipe with scale-group length `nb`.
+    pub fn for_precision(precision: Precision, role: TensorRole, nb: usize, t: &Tensor) -> Self {
+        let q = precision.quantizer_with_group(role, nb);
+        Self::measure(&q, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_tensor::rng::Rng;
+
+    #[test]
+    fn stats_basic_properties() {
+        let mut rng = Rng::seed_from(5);
+        let t = Tensor::randn(16, 64, 1.0, &mut rng);
+        let s = QuantErrorStats::for_precision(Precision::Fp4, TensorRole::Input, 16, &t);
+        assert!(s.abs_error > 0.0);
+        assert!(s.rel_error > 0.0 && s.rel_error < 1.0);
+        assert_eq!(s.numel, 16 * 64);
+        assert!((s.tensor_norm - t.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bf16_error_is_tiny() {
+        let mut rng = Rng::seed_from(6);
+        let t = Tensor::randn(8, 32, 1.0, &mut rng);
+        let s = QuantErrorStats::for_precision(Precision::Bf16, TensorRole::Weight, 16, &t);
+        assert!(s.rel_error < 0.01, "bf16 rel error = {}", s.rel_error);
+    }
+
+    #[test]
+    fn fp4_error_exceeds_fp8_error() {
+        let mut rng = Rng::seed_from(7);
+        let t = Tensor::randn(8, 32, 1.0, &mut rng);
+        let s4 = QuantErrorStats::for_precision(Precision::Fp4, TensorRole::Weight, 8, &t);
+        let s8 = QuantErrorStats::for_precision(Precision::Fp8, TensorRole::Weight, 8, &t);
+        // ~2 fewer mantissa bits → roughly 4× the error; allow slack.
+        assert!(s4.abs_error > s8.abs_error * 3.0);
+    }
+
+    #[test]
+    fn zero_tensor_stats() {
+        let t = Tensor::zeros(4, 4);
+        let s = QuantErrorStats::for_precision(Precision::Fp4, TensorRole::Input, 4, &t);
+        assert_eq!(s.abs_error, 0.0);
+        assert_eq!(s.rel_error, 0.0);
+        assert_eq!(s.max_abs, 0.0);
+    }
+}

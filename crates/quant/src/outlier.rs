@@ -1,0 +1,263 @@
+//! Outlier-split quantization: dense low-precision + sparse high-precision.
+//!
+//! The FP4 training work the paper builds on (§2.2, [73]) "relies on
+//! irregular sparse GEMM to handle outliers": the few largest-magnitude
+//! elements are carved out of the low-precision tensor and processed at high
+//! precision, so they stop inflating the quantization scale for everything
+//! else. This module emulates that split — the dense part goes through a
+//! normal fake quantizer whose group scales see *only* the inliers, the
+//! outliers are kept at BF16 — and exposes the bookkeeping (outlier count,
+//! threshold) that a sparse-GEMM cost model needs.
+//!
+//! Like the MX and RHT variants, this is a pluggable quantization option in
+//! SNIP's ILP sense (§5.2); the `ablation_rht` experiment compares all of
+//! them head-to-head.
+
+use crate::format;
+use crate::quantizer::{Quantizer, Rounding};
+use serde::{Deserialize, Serialize};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+/// Bookkeeping from one outlier split.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutlierSplit {
+    /// Magnitude threshold: elements with `|x| ≥ threshold` are outliers.
+    pub threshold: f32,
+    /// Number of elements routed to the sparse high-precision side.
+    pub n_outliers: usize,
+    /// `n_outliers` as a fraction of all elements.
+    pub fraction: f64,
+}
+
+/// A quantizer that keeps the top-`fraction` largest-magnitude elements in
+/// BF16 and fake-quantizes the rest with `dense`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutlierQuantizer {
+    dense: Quantizer,
+    fraction: f64,
+}
+
+impl OutlierQuantizer {
+    /// Wraps `dense` so that the largest `fraction` of elements (by
+    /// magnitude, tensor-global) bypass it at BF16.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn new(dense: Quantizer, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "outlier fraction {fraction} outside [0, 1]"
+        );
+        OutlierQuantizer { dense, fraction }
+    }
+
+    /// The dense-side quantizer.
+    pub fn dense(&self) -> &Quantizer {
+        &self.dense
+    }
+
+    /// The configured outlier fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Computes the outlier set of `t`: the `ceil(fraction · n)` elements of
+    /// largest magnitude (ties broken by element order). Returns the
+    /// positions (flat indices) and the split bookkeeping.
+    pub fn select_outliers(&self, t: &Tensor) -> (Vec<usize>, OutlierSplit) {
+        let data = t.as_slice();
+        let n = data.len();
+        let k = ((self.fraction * n as f64).ceil() as usize).min(n);
+        if k == 0 || n == 0 {
+            return (
+                Vec::new(),
+                OutlierSplit {
+                    threshold: f32::INFINITY,
+                    n_outliers: 0,
+                    fraction: 0.0,
+                },
+            );
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            data[b]
+                .abs()
+                .partial_cmp(&data[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut outliers = idx[..k].to_vec();
+        outliers.sort_unstable();
+        let threshold = outliers
+            .iter()
+            .map(|&i| data[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        (
+            outliers,
+            OutlierSplit {
+                threshold,
+                n_outliers: k,
+                fraction: k as f64 / n as f64,
+            },
+        )
+    }
+
+    /// Splits, quantizes the dense side (scales computed over inliers only),
+    /// and writes BF16-rounded outliers back. Returns the result and the
+    /// split bookkeeping.
+    pub fn fake_quantize_with_split(&self, t: &Tensor, rng: &mut Rng) -> (Tensor, OutlierSplit) {
+        let (outliers, split) = self.select_outliers(t);
+        let mut dense_part = t.clone();
+        {
+            let slice = dense_part.as_mut_slice();
+            for &i in &outliers {
+                slice[i] = 0.0;
+            }
+        }
+        self.dense.fake_quantize_inplace(&mut dense_part, rng);
+        {
+            let src = t.as_slice();
+            let dst = dense_part.as_mut_slice();
+            for &i in &outliers {
+                dst[i] = format::bf16_round(src[i]);
+            }
+        }
+        (dense_part, split)
+    }
+
+    /// Quantizes and dequantizes `t`, returning only the tensor.
+    pub fn fake_quantize(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
+        self.fake_quantize_with_split(t, rng).0
+    }
+
+    /// Frobenius norm of the quantization error under deterministic nearest
+    /// rounding on the dense side.
+    pub fn error_norm(&self, t: &Tensor) -> f64 {
+        let det = OutlierQuantizer {
+            dense: self.dense.with_rounding(Rounding::Nearest),
+            fraction: self.fraction,
+        };
+        let mut rng = Rng::seed_from(0); // unused under Nearest
+        let q = det.fake_quantize(t, &mut rng);
+        q.distance(t)
+    }
+
+    /// Relative error `‖q(t) − t‖_F / ‖t‖_F` (0 for a zero tensor).
+    pub fn relative_error(&self, t: &Tensor) -> f64 {
+        let norm = t.frobenius_norm();
+        if norm == 0.0 {
+            0.0
+        } else {
+            self.error_norm(t) / norm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FloatFormat;
+    use crate::granularity::Granularity;
+
+    fn rng() -> Rng {
+        Rng::seed_from(5)
+    }
+
+    fn fp4_tile(nb: usize) -> Quantizer {
+        Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb }, Rounding::Nearest)
+    }
+
+    #[test]
+    fn zero_fraction_matches_dense_quantizer() {
+        let mut r = rng();
+        let t = Tensor::randn(8, 32, 1.0, &mut r);
+        let plain = fp4_tile(16);
+        let split = OutlierQuantizer::new(plain, 0.0);
+        assert_eq!(
+            split.fake_quantize(&t, &mut Rng::seed_from(1)),
+            plain.fake_quantize(&t, &mut Rng::seed_from(1))
+        );
+        let (_, s) = split.fake_quantize_with_split(&t, &mut rng());
+        assert_eq!(s.n_outliers, 0);
+    }
+
+    #[test]
+    fn outliers_survive_at_bf16() {
+        let mut r = rng();
+        let mut t = Tensor::randn(4, 32, 0.5, &mut r);
+        t[(1, 7)] = 100.0;
+        t[(3, 20)] = -80.0;
+        let q = OutlierQuantizer::new(fp4_tile(8), 2.0 / 128.0);
+        let (out, split) = q.fake_quantize_with_split(&t, &mut rng());
+        assert_eq!(split.n_outliers, 2);
+        // 100 and 80 are exactly representable in BF16.
+        assert_eq!(out[(1, 7)], 100.0);
+        assert_eq!(out[(3, 20)], -80.0);
+        assert!(split.threshold <= 80.0 && split.threshold > 1.0);
+    }
+
+    #[test]
+    fn splitting_reduces_error_on_heavy_tails() {
+        let mut r = rng();
+        let mut t = Tensor::randn(16, 64, 1.0, &mut r);
+        // Plant outliers that dominate their tiles' scales.
+        for row in 0..16 {
+            t[(row, (row * 7) % 64)] = 50.0 * if row % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let plain = fp4_tile(32);
+        let with_split = OutlierQuantizer::new(plain, 16.0 / 1024.0);
+        let e_plain = plain.error_norm(&t);
+        let e_split = with_split.error_norm(&t);
+        assert!(
+            e_split < 0.7 * e_plain,
+            "outlier split {e_split} should clearly beat plain {e_plain}"
+        );
+    }
+
+    #[test]
+    fn count_matches_ceil_of_fraction() {
+        let mut r = rng();
+        let t = Tensor::randn(10, 10, 1.0, &mut r);
+        for (frac, expect) in [(0.01, 1), (0.05, 5), (0.051, 6), (1.0, 100)] {
+            let q = OutlierQuantizer::new(fp4_tile(8), frac);
+            let (idx, split) = q.select_outliers(&t);
+            assert_eq!(idx.len(), expect, "fraction {frac}");
+            assert_eq!(split.n_outliers, expect);
+        }
+    }
+
+    #[test]
+    fn full_fraction_is_pure_bf16() {
+        let mut r = rng();
+        let t = Tensor::randn(4, 16, 1.0, &mut r);
+        let q = OutlierQuantizer::new(fp4_tile(8), 1.0);
+        let out = q.fake_quantize(&t, &mut rng());
+        let bf16 = Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest)
+            .fake_quantize(&t, &mut rng());
+        assert_eq!(out, bf16);
+    }
+
+    #[test]
+    fn outlier_indices_are_the_largest_magnitudes() {
+        let t = Tensor::from_vec(1, 6, vec![0.1, -9.0, 0.3, 7.0, -0.2, 0.4]);
+        let q = OutlierQuantizer::new(fp4_tile(4), 2.0 / 6.0);
+        let (idx, split) = q.select_outliers(&t);
+        assert_eq!(idx, vec![1, 3]);
+        assert_eq!(split.threshold, 7.0);
+    }
+
+    #[test]
+    fn zero_tensor_is_exact() {
+        let q = OutlierQuantizer::new(fp4_tile(8), 0.05);
+        let t = Tensor::zeros(4, 8);
+        assert_eq!(q.error_norm(&t), 0.0);
+        assert_eq!(q.relative_error(&t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_fraction_rejected() {
+        let _ = OutlierQuantizer::new(fp4_tile(8), 1.5);
+    }
+}

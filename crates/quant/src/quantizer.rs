@@ -1,0 +1,312 @@
+//! Fake-quantization kernels.
+//!
+//! The paper emulates subbyte GEMMs with *fake quantization* (§6.1): operands
+//! are scaled, quantized to the low-precision format, dequantized back to
+//! working precision, and the GEMM itself runs in the simulator's native
+//! arithmetic. [`Quantizer`] bundles a format, a scaling granularity and a
+//! rounding mode into the reusable object the linear layers consume.
+
+use crate::format::FloatFormat;
+use crate::granularity::Granularity;
+use serde::{Deserialize, Serialize};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+/// Rounding mode used when mapping to the low-precision grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Round to nearest, ties to even.
+    Nearest,
+    /// Stochastic rounding — unbiased in expectation; the paper applies it to
+    /// FP4 output gradients to avoid training stagnation (§6.1).
+    Stochastic,
+}
+
+/// A complete quantize→dequantize configuration.
+///
+/// # Example
+///
+/// ```
+/// use snip_quant::{Quantizer, Rounding, format::FloatFormat, granularity::Granularity};
+/// use snip_tensor::{Tensor, rng::Rng};
+///
+/// let q = Quantizer::new(FloatFormat::e2m1(), Granularity::Tensorwise, Rounding::Nearest);
+/// let t = Tensor::from_vec(1, 4, vec![0.1, -0.4, 0.9, 1.2]);
+/// let mut rng = Rng::seed_from(0);
+/// let fq = q.fake_quantize(&t, &mut rng);
+/// // The largest magnitude maps exactly onto the format grid.
+/// assert!((fq[(0, 3)] - 1.2).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    format: FloatFormat,
+    granularity: Granularity,
+    rounding: Rounding,
+    /// When `false`, skip max-abs scaling (used for BF16 emulation, whose
+    /// dynamic range needs no alignment).
+    scaled: bool,
+}
+
+impl Quantizer {
+    /// Creates a scaled quantizer (the normal case for FP8/FP4).
+    pub fn new(format: FloatFormat, granularity: Granularity, rounding: Rounding) -> Self {
+        Quantizer {
+            format,
+            granularity,
+            rounding,
+            scaled: true,
+        }
+    }
+
+    /// Creates an unscaled quantizer — values are rounded onto the format
+    /// grid directly. Appropriate for BF16, whose exponent range matches f32.
+    pub fn unscaled(format: FloatFormat, rounding: Rounding) -> Self {
+        Quantizer {
+            format,
+            granularity: Granularity::Tensorwise,
+            rounding,
+            scaled: false,
+        }
+    }
+
+    /// The target number format.
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// The scaling granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The rounding mode.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// The same quantizer with a different rounding mode. Used by wrappers
+    /// (e.g. [`crate::rht::RhtQuantizer`]) that need a deterministic variant
+    /// for error measurement.
+    pub fn with_rounding(self, rounding: Rounding) -> Self {
+        Quantizer { rounding, ..self }
+    }
+
+    /// Quantizes and dequantizes `t`, returning the result as a new tensor.
+    ///
+    /// `rng` drives stochastic rounding and is untouched for
+    /// [`Rounding::Nearest`].
+    pub fn fake_quantize(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
+        let mut out = t.clone();
+        self.fake_quantize_inplace(&mut out, rng);
+        out
+    }
+
+    /// In-place variant of [`Quantizer::fake_quantize`].
+    pub fn fake_quantize_inplace(&self, t: &mut Tensor, rng: &mut Rng) {
+        let (rows, cols) = t.shape();
+        let fmt = self.format;
+        let max_value = fmt.max_value();
+        let stochastic = self.rounding == Rounding::Stochastic;
+        if !self.scaled {
+            // Fast path for BF16 emulation: one bit-twiddle per element.
+            if fmt.kind() == crate::format::FormatKind::Bf16 && !stochastic {
+                crate::format::bf16_round_slice(t.as_mut_slice());
+                return;
+            }
+            for v in t.as_mut_slice() {
+                *v = if stochastic {
+                    fmt.quantize_stochastic(*v, rng.next_f32())
+                } else {
+                    fmt.quantize_nearest(*v)
+                };
+            }
+            return;
+        }
+        // Pre-compute group maxima, then rewrite each group with its scale.
+        self.granularity.for_each_group(rows, cols, |rr, cr| {
+            let mut max_abs = 0.0f32;
+            for r in rr.clone() {
+                let row = t.row(r);
+                for c in cr.clone() {
+                    max_abs = max_abs.max(row[c].abs());
+                }
+            }
+            // scale = FPX_MAX / max(abs(x)); an all-zero group needs no scaling.
+            let scale = if max_abs > 0.0 && max_abs.is_finite() {
+                max_value / max_abs
+            } else {
+                1.0
+            };
+            let inv_scale = 1.0 / scale;
+            for r in rr {
+                let row = t.row_mut(r);
+                for c in cr.clone() {
+                    let scaled = row[c] * scale;
+                    let q = if stochastic {
+                        fmt.quantize_stochastic(scaled, rng.next_f32())
+                    } else {
+                        fmt.quantize_nearest(scaled)
+                    };
+                    row[c] = q * inv_scale;
+                }
+            }
+        });
+    }
+
+    /// Frobenius norm of the quantization error `‖q(t) − t‖_F`, using
+    /// deterministic nearest rounding (this is the `δ` statistic collected in
+    /// Step 1 of the SNIP workflow, paper Fig. 6).
+    pub fn error_norm(&self, t: &Tensor) -> f64 {
+        let det = Quantizer {
+            rounding: Rounding::Nearest,
+            ..*self
+        };
+        let mut rng = Rng::seed_from(0); // unused under Nearest
+        let q = det.fake_quantize(t, &mut rng);
+        q.distance(t)
+    }
+
+    /// Relative quantization error `‖q(t) − t‖_F / ‖t‖_F` (0 for a zero
+    /// tensor).
+    pub fn relative_error(&self, t: &Tensor) -> f64 {
+        let norm = t.frobenius_norm();
+        if norm == 0.0 {
+            0.0
+        } else {
+            self.error_norm(t) / norm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from(42)
+    }
+
+    #[test]
+    fn zero_tensor_is_exact() {
+        let q = Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Tile { nb: 4 },
+            Rounding::Nearest,
+        );
+        let t = Tensor::zeros(3, 8);
+        assert_eq!(q.fake_quantize(&t, &mut rng()), t);
+        assert_eq!(q.error_norm(&t), 0.0);
+    }
+
+    #[test]
+    fn group_max_is_preserved_exactly() {
+        // Scaling maps each group's max-abs onto FPX_MAX, which is exactly
+        // representable, so the max element must round-trip.
+        let q = Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Rowwise,
+            Rounding::Nearest,
+        );
+        let t = Tensor::from_vec(2, 3, vec![0.3, -1.7, 0.2, 55.0, 1.0, -3.0]);
+        let fq = q.fake_quantize(&t, &mut rng());
+        assert!((fq[(0, 1)] - -1.7).abs() < 1e-6);
+        assert!((fq[(1, 0)] - 55.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn finer_granularity_reduces_error() {
+        let mut r = rng();
+        // Rows with very different magnitudes: per-row scaling must beat
+        // tensorwise scaling.
+        let mut t = Tensor::randn(16, 64, 1.0, &mut r);
+        for c in 0..64 {
+            t[(0, c)] *= 1000.0;
+        }
+        let fmt = FloatFormat::e2m1();
+        let tensorwise = Quantizer::new(fmt, Granularity::Tensorwise, Rounding::Nearest);
+        let rowwise = Quantizer::new(fmt, Granularity::Rowwise, Rounding::Nearest);
+        let tile = Quantizer::new(fmt, Granularity::Tile { nb: 16 }, Rounding::Nearest);
+        let e_tensor = tensorwise.error_norm(&t);
+        let e_row = rowwise.error_norm(&t);
+        let e_tile = tile.error_norm(&t);
+        assert!(e_row < e_tensor, "rowwise {e_row} !< tensorwise {e_tensor}");
+        assert!(e_tile <= e_row * 1.05, "tile {e_tile} vs row {e_row}");
+    }
+
+    #[test]
+    fn higher_precision_formats_have_lower_error() {
+        let mut r = rng();
+        let t = Tensor::randn(32, 32, 1.0, &mut r);
+        let g = Granularity::Tile { nb: 16 };
+        let e_fp4 = Quantizer::new(FloatFormat::e2m1(), g, Rounding::Nearest).error_norm(&t);
+        let e_fp8 = Quantizer::new(FloatFormat::e4m3(), g, Rounding::Nearest).error_norm(&t);
+        assert!(
+            e_fp8 < e_fp4 / 4.0,
+            "e4m3 error {e_fp8} should be far below e2m1 error {e_fp4}"
+        );
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent_under_nearest() {
+        let mut r = rng();
+        let t = Tensor::randn(8, 8, 2.0, &mut r);
+        let q = Quantizer::new(
+            FloatFormat::e4m3(),
+            Granularity::Block { nb: 4 },
+            Rounding::Nearest,
+        );
+        let once = q.fake_quantize(&t, &mut r);
+        let twice = q.fake_quantize(&once, &mut r);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stochastic_matches_nearest_in_expectation() {
+        let fmt = FloatFormat::e2m1();
+        let q = Quantizer::new(fmt, Granularity::Tensorwise, Rounding::Stochastic);
+        let t = Tensor::from_vec(1, 2, vec![2.5, 6.0]); // max 6 → scale 1
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            sum += q.fake_quantize(&t, &mut r)[(0, 0)] as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn unscaled_bf16_quantizer() {
+        let q = Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest);
+        let t = Tensor::from_vec(1, 2, vec![1.0 + 2f32.powi(-9), -3.125]);
+        let fq = q.fake_quantize(&t, &mut rng());
+        assert_eq!(fq[(0, 0)], 1.0);
+        assert_eq!(fq[(0, 1)], -3.125); // exactly representable
+    }
+
+    #[test]
+    fn error_norm_is_deterministic_even_for_stochastic_quantizer() {
+        let q = Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Rowwise,
+            Rounding::Stochastic,
+        );
+        let mut r = rng();
+        let t = Tensor::randn(4, 16, 1.0, &mut r);
+        assert_eq!(q.error_norm(&t), q.error_norm(&t));
+    }
+
+    #[test]
+    fn infinite_inputs_saturate_without_poisoning_group() {
+        let q = Quantizer::new(
+            FloatFormat::e4m3(),
+            Granularity::Rowwise,
+            Rounding::Nearest,
+        );
+        let t = Tensor::from_vec(1, 3, vec![f32::INFINITY, 1.0, -2.0]);
+        let fq = q.fake_quantize(&t, &mut rng());
+        assert!(fq.all_finite());
+    }
+}

@@ -1,0 +1,44 @@
+//! # snip-tensor
+//!
+//! CPU numeric substrate for the SNIP mixed-precision training framework.
+//!
+//! The crate provides a deliberately small surface:
+//!
+//! * [`Tensor`] — a dense, row-major, two-dimensional `f32` tensor. Every
+//!   quantity SNIP manipulates (activations, weights, gradients, optimizer
+//!   moments) is two-dimensional once the batch and sequence dimensions are
+//!   flattened, so a 2-D tensor keeps the whole stack simple and auditable.
+//! * [`matmul`] — blocked, optionally multi-threaded GEMM kernels in the three
+//!   orientations used by a linear layer's forward and backward passes.
+//! * [`ops`] — elementwise and reduction helpers (softmax, SiLU, norms).
+//! * [`rng`] — deterministic xoshiro256++ random streams with Gaussian
+//!   sampling; all randomness in the workspace flows from explicit seeds so
+//!   experiments are reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use snip_tensor::{Tensor, rng::Rng};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let a = Tensor::randn(4, 8, 0.5, &mut rng);
+//! let b = Tensor::randn(8, 3, 0.5, &mut rng);
+//! let c = snip_tensor::matmul::matmul(&a, &b);
+//! assert_eq!(c.shape(), (4, 3));
+//! let n = c.frobenius_norm();
+//! assert!(n.is_finite());
+//! ```
+
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+mod tensor;
+
+pub use tensor::Tensor;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::matmul::{matmul, matmul_nt, matmul_tn};
+    pub use crate::rng::Rng;
+    pub use crate::Tensor;
+}

@@ -1,0 +1,257 @@
+//! GEMM kernels in the three orientations a linear layer needs.
+//!
+//! A SNIP linear layer computes (paper Fig. 5):
+//!
+//! * forward: `Y = X · Wᵀ` — [`matmul_nt`]
+//! * input gradient: `dX = dY · W` — [`matmul`]
+//! * weight gradient: `dW = dYᵀ · X` — [`matmul_tn`]
+//!
+//! Kernels use cache-friendly loop orders and split work across a small
+//! number of threads for large problems. Each output row is written by
+//! exactly one thread and the per-row accumulation order is fixed, so results
+//! are deterministic regardless of thread count.
+
+use crate::Tensor;
+
+/// Problems smaller than this many multiply–accumulates run single-threaded.
+/// `std::thread::scope` spawns cost tens of microseconds (more under load),
+/// so parallelism only pays once the serial kernel takes a few milliseconds
+/// — around 2^22 MACs on commodity cores.
+const PARALLEL_THRESHOLD: usize = 1 << 22;
+
+fn thread_count(work: usize) -> usize {
+    if work < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Splits `rows` into `parts` contiguous chunks and runs `f(start, end)` for
+/// each chunk, in parallel when `parts > 1`.
+fn for_each_row_chunk(
+    rows: usize,
+    parts: usize,
+    out: &mut [f32],
+    cols: usize,
+    f: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    if parts <= 1 || rows <= 1 {
+        f(0, rows, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(parts);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        let f = &f;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            let take = (end - start) * cols;
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            scope.spawn(move || f(start, end, head));
+            start = end;
+        }
+    });
+}
+
+/// `C = A · B` where `A` is `M×K` and `B` is `K×N`.
+///
+/// # Panics
+///
+/// Panics if `A.cols() != B.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use snip_tensor::{Tensor, matmul::matmul};
+/// let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+/// assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul: inner dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for i in start..end {
+            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+            let arow = a.row(i);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// `C = A · Bᵀ` where `A` is `M×K` and `B` is `N×K` (the forward GEMM of a
+/// linear layer whose weight is stored `out_features × in_features`).
+///
+/// # Panics
+///
+/// Panics if `A.cols() != B.cols()`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "matmul_nt: inner dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for i in start..end {
+            let arow = a.row(i);
+            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = b.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *cv = acc;
+            }
+        }
+    });
+    c
+}
+
+/// `C = Aᵀ · B` where `A` is `K×M` and `B` is `K×N` (the weight-gradient GEMM
+/// `dW = dYᵀ · X`).
+///
+/// # Panics
+///
+/// Panics if `A.rows() != B.rows()`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_tn: outer dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for kk in 0..k {
+            let arow = a.row(kk);
+            let brow = b.row(kk);
+            for i in start..end {
+                let aik = arow[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// Reference (naive triple-loop) GEMM used by tests and benchmarks.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_reference: inner dims differ");
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[(i, kk)] * b[(kk, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut rng = Rng::seed_from(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (16, 8, 16), (33, 17, 9)] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_transposed_reference() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::randn(7, 11, 1.0, &mut rng);
+        let b = Tensor::randn(5, 11, 1.0, &mut rng);
+        let expect = matmul_reference(&a, &b.transposed());
+        assert_close(&matmul_nt(&a, &b), &expect, 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transposed_reference() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(11, 7, 1.0, &mut rng);
+        let b = Tensor::randn(11, 5, 1.0, &mut rng);
+        let expect = matmul_reference(&a.transposed(), &b);
+        assert_close(&matmul_tn(&a, &b), &expect, 1e-4);
+    }
+
+    #[test]
+    fn large_parallel_matmul_matches_reference() {
+        // Big enough to cross PARALLEL_THRESHOLD.
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::randn(128, 64, 1.0, &mut rng);
+        let b = Tensor::randn(64, 96, 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(6, 6, 1.0, &mut rng);
+        let id = Tensor::from_fn(6, 6, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_close(&matmul(&a, &id), &a, 1e-6);
+        assert_close(&matmul(&id, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn empty_dims_work() {
+        let a = Tensor::zeros(0, 4);
+        let b = Tensor::zeros(4, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let a = Tensor::zeros(2, 0);
+        let b = Tensor::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 3));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

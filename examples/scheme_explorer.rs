@@ -1,0 +1,71 @@
+//! Scheme explorer: inspect how SNIP's divergence analysis sees each layer —
+//! loss divergence, weight divergence, and the resulting assignments across
+//! efficiency budgets.
+//!
+//! ```sh
+//! cargo run --release --example scheme_explorer
+//! ```
+
+use snip::core::{analyze, measure, FlopModel, OptionSet, PolicyConfig, Trainer, TrainerConfig};
+use snip::nn::{LayerId, ModelConfig};
+use snip::tensor::rng::Rng;
+
+fn main() {
+    let model_cfg = ModelConfig::tiny_test();
+    let mut trainer = Trainer::new(TrainerConfig {
+        model: model_cfg.clone(),
+        ..TrainerConfig::tiny()
+    })
+    .expect("valid config");
+    let _ = trainer.train(30);
+
+    // Steps 1–3: measure.
+    let batch = trainer.peek_batch();
+    let mut rng = Rng::seed_from(9);
+    let optimizer = trainer.optimizer.clone();
+    let m = measure(&mut trainer.model, &optimizer, &batch, &mut rng, 1e-2);
+    println!(
+        "measured step: loss = {:.4}, forward-probe loss delta = {:.2e}",
+        m.stats.loss, m.fwd_loss_delta
+    );
+
+    // Step 4: analyze.
+    let options = OptionSet::fp8_fp4();
+    let flops = FlopModel::new(&model_cfg);
+    let analysis = analyze(&m, &model_cfg, &options, &flops);
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>12}",
+        "layer", "loss-div(FP4)", "weight-div(FP4)", "e(FP4)"
+    );
+    for i in 0..model_cfg.n_linear_layers() {
+        println!(
+            "{:<10} {:>14.3e} {:>14.3e} {:>12.4}",
+            LayerId::from_linear_index(i).to_string(),
+            analysis.loss_div[i][1],
+            analysis.weight_div[i][1],
+            analysis.efficiency[i][1],
+        );
+    }
+
+    // Step 5 at several budgets.
+    for budget in [0.25, 0.5, 0.75] {
+        let scheme = snip::core::decide_scheme(
+            &analysis,
+            &options,
+            &model_cfg,
+            &PolicyConfig {
+                target_fp4: budget,
+                ..Default::default()
+            },
+            format!("SNIP@{:.0}", budget * 100.0),
+        )
+        .expect("feasible");
+        println!(
+            "\nbudget {:.0}%: {} of {} layers in FP4",
+            budget * 100.0,
+            scheme.fp4_layer_count(),
+            scheme.n_layers()
+        );
+        println!("{}", scheme.render_grid(&model_cfg));
+    }
+}

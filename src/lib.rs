@@ -1,0 +1,39 @@
+//! # snip — Adaptive Mixed Precision for Subbyte LLM Training
+//!
+//! Facade crate re-exporting the whole SNIP workspace (see README.md for the
+//! architecture overview and DESIGN.md for the paper-reproduction inventory).
+//!
+//! * [`tensor`] — CPU tensor substrate (GEMM, norms, deterministic RNG)
+//! * [`quant`] — FP4/FP8/BF16 codecs, scaling granularities, fake quantization
+//! * [`nn`] — Llama-like transformer with manual backprop and per-layer
+//!   mixed-precision linear layers
+//! * [`optim`] — AdamW with FP32 master weights (exposes SNIP's h′(g) term)
+//! * [`data`] — synthetic pretraining corpora
+//! * [`ilp`] — exact multiple-choice-knapsack ILP solver
+//! * [`core`] — the SNIP framework itself: statistics collection, loss/weight
+//!   divergence, ILP policy, baselines, and the periodic async engine
+//! * [`pipeline`] — pipeline-parallel schedule simulator
+//! * [`eval`] — synthetic zero-shot evaluation harness
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snip::nn::{config::ModelConfig, model::{Model, StepOptions}, batch::Batch};
+//! use snip::tensor::rng::Rng;
+//!
+//! let mut model = Model::new(ModelConfig::tiny_test(), 42).unwrap();
+//! let mut rng = Rng::seed_from(7);
+//! let batch = Batch::from_sequences(&[vec![1, 2, 3, 4, 5, 6, 7, 8, 9]], 8);
+//! let out = model.step(&batch, &mut rng, &StepOptions::train());
+//! assert!(out.loss.is_finite());
+//! ```
+
+pub use snip_core as core;
+pub use snip_data as data;
+pub use snip_eval as eval;
+pub use snip_ilp as ilp;
+pub use snip_nn as nn;
+pub use snip_optim as optim;
+pub use snip_pipeline as pipeline;
+pub use snip_quant as quant;
+pub use snip_tensor as tensor;
