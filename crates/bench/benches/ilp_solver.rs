@@ -54,5 +54,10 @@ fn bench_grouped(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_model_sizes, bench_option_counts, bench_grouped);
+criterion_group!(
+    benches,
+    bench_model_sizes,
+    bench_option_counts,
+    bench_grouped
+);
 criterion_main!(benches);

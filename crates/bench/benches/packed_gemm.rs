@@ -1,0 +1,122 @@
+//! Packed-GEMM pipeline vs the fake-quantization f32 round-trip.
+//!
+//! Three views of the tentpole trade-off:
+//!
+//! 1. **GEMM**: dense `matmul_nt` over pre-dequantized operands vs `qgemm_nt`
+//!    decoding packed operands on the fly, across FP4/FP8 and typical
+//!    linear-layer shapes.
+//! 2. **End-to-end operand path**: (fake-quantize + dense GEMM) vs
+//!    (packed-quantize + packed GEMM) — what a training step actually pays.
+//! 3. **Resident bytes**: measured backward-cache footprint of a `Linear`
+//!    under BF16/FP8/FP4 schemes (printed once; bytes are a measurement,
+//!    not a timing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snip_nn::Linear;
+use snip_quant::{LinearPrecision, Precision, Quantizer, TensorRole};
+use snip_tensor::matmul::matmul_nt;
+use snip_tensor::packed::qgemm_nt;
+use snip_tensor::{rng::Rng, QOperandRef, Tensor};
+
+/// (tokens, out_features, in_features) — attention-ish and MLP-ish shapes.
+const SHAPES: [(usize, usize, usize); 3] = [(64, 128, 128), (64, 352, 128), (128, 128, 352)];
+
+fn quantizers(p: Precision) -> (Quantizer, Quantizer) {
+    (
+        p.quantizer_with_group(TensorRole::Input, 128),
+        p.quantizer_with_group(TensorRole::Weight, 128),
+    )
+}
+
+fn bench_gemm_decode_on_the_fly(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    for p in [Precision::Fp4, Precision::Fp8] {
+        let mut group = c.benchmark_group(format!("gemm_{p}"));
+        for (m, n, k) in SHAPES {
+            let x = Tensor::randn(m, k, 1.0, &mut rng);
+            let w = Tensor::randn(n, k, 0.05, &mut rng);
+            let (qx, qw) = quantizers(p);
+            let px = qx.quantize_packed(&x, &mut rng).expect("packable");
+            let pw = qw.quantize_packed(&w, &mut rng).expect("packable");
+            let (dx, dw) = (px.dequantize(), pw.dequantize());
+            group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+            group.bench_with_input(
+                BenchmarkId::new("dense_f32", format!("{m}x{n}x{k}")),
+                &(),
+                |b, _| b.iter(|| matmul_nt(&dx, &dw)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("packed", format!("{m}x{n}x{k}")),
+                &(),
+                |b, _| b.iter(|| qgemm_nt(QOperandRef::from(&px), QOperandRef::from(&pw))),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_operand_path_end_to_end(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let (m, n, k) = (64, 352, 128);
+    let x = Tensor::randn(m, k, 1.0, &mut rng);
+    let w = Tensor::randn(n, k, 0.05, &mut rng);
+    for p in [Precision::Fp4, Precision::Fp8] {
+        let (qx, qw) = quantizers(p);
+        let mut group = c.benchmark_group(format!("operand_path_{p}"));
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_function("fake_quant_round_trip", |b| {
+            b.iter(|| {
+                let fx = qx.fake_quantize(&x, &mut rng);
+                let fw = qw.fake_quantize(&w, &mut rng);
+                matmul_nt(&fx, &fw)
+            })
+        });
+        group.bench_function("packed", |b| {
+            b.iter(|| {
+                let px = qx.quantize_packed(&x, &mut rng).expect("packable");
+                let pw = qw.quantize_packed(&w, &mut rng).expect("packable");
+                qgemm_nt(QOperandRef::from(&px), QOperandRef::from(&pw))
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Not a timing: report the measured resident bytes of the Linear backward
+/// cache per scheme, the quantity the packed representation exists to
+/// shrink.
+fn report_linear_cache_bytes(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let (tokens, out_f, in_f) = (256, 512, 512);
+    let mut lin = Linear::new("bench", out_f, in_f, 1.0, 128, &mut rng);
+    let x = Tensor::randn(tokens, in_f, 1.0, &mut rng);
+    println!("\nlinear backward-cache resident bytes ({tokens} tokens, {out_f}x{in_f}):");
+    let mut bf16 = 0usize;
+    for p in [Precision::Bf16, Precision::Fp8, Precision::Fp4] {
+        lin.set_precision(LinearPrecision::uniform(p));
+        let (_, cache) = lin.forward(&x, &mut rng);
+        let bytes = cache.resident_bytes();
+        if p == Precision::Bf16 {
+            bf16 = bytes;
+        }
+        println!(
+            "  {:<5} {:>10} B  ({:.2}x smaller than bf16)",
+            p.label(),
+            bytes,
+            bf16 as f64 / bytes as f64
+        );
+    }
+    // A small timing alongside the measurement so the group shows up in
+    // criterion reports.
+    c.bench_function("linear_forward_fp4_packed", |b| {
+        b.iter(|| lin.forward(&x, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_decode_on_the_fly,
+    bench_operand_path_end_to_end,
+    report_linear_cache_bytes
+);
+criterion_main!(benches);

@@ -128,8 +128,7 @@ pub fn e_layer_id(cfg: &ModelConfig, target_fp4: f64) -> Scheme {
         }
         fp4_blocks[b] = true;
         for kind in LayerKind::ALL {
-            scheme[LayerId::new(b, kind).linear_index()] =
-                LinearPrecision::uniform(Precision::Fp4);
+            scheme[LayerId::new(b, kind).linear_index()] = LinearPrecision::uniform(Precision::Fp4);
         }
     }
     Scheme::new(format!("E-layer-id@{:.0}", target_fp4 * 100.0), scheme)
@@ -158,13 +157,19 @@ pub fn random_scheme(cfg: &ModelConfig, target_fp4: f64, seed: u64) -> Scheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snip_nn::{batch::Batch, model::{Model, StepOptions}};
+    use snip_nn::{
+        batch::Batch,
+        model::{Model, StepOptions},
+    };
 
     fn stats_for(cfg: &ModelConfig) -> StepStats {
         let mut model = Model::new(cfg.clone(), 41).unwrap();
         let mut rng = Rng::seed_from(42);
         let batch = Batch::from_sequences(
-            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![2, 3, 5, 7, 11, 13, 1, 4, 6]],
+            &[
+                vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                vec![2, 3, 5, 7, 11, 13, 1, 4, 6],
+            ],
             8,
         );
         model.zero_grads();

@@ -132,7 +132,11 @@ pub fn analyze(
     flops: &FlopModel,
 ) -> Analysis {
     let n_layers = cfg.n_linear_layers();
-    assert_eq!(m.stats.layers.len(), n_layers, "measurement/config mismatch");
+    assert_eq!(
+        m.stats.layers.len(),
+        n_layers,
+        "measurement/config mismatch"
+    );
     let mut loss_div = Vec::with_capacity(n_layers);
     let mut weight_div = Vec::with_capacity(n_layers);
     let mut quality = Vec::with_capacity(n_layers);
@@ -168,7 +172,10 @@ pub fn analyze(
 mod tests {
     use super::*;
     use crate::probe::measure;
-    use snip_nn::{batch::Batch, model::{Model, StepOptions}};
+    use snip_nn::{
+        batch::Batch,
+        model::{Model, StepOptions},
+    };
     use snip_optim::{AdamW, AdamWConfig};
     use snip_quant::Precision;
     use snip_tensor::rng::Rng;
@@ -178,7 +185,10 @@ mod tests {
         let mut model = Model::new(cfg.clone(), 31).unwrap();
         let mut rng = Rng::seed_from(32);
         let batch = Batch::from_sequences(
-            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![9, 7, 5, 3, 1, 2, 4, 6, 8]],
+            &[
+                vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                vec![9, 7, 5, 3, 1, 2, 4, 6, 8],
+            ],
             8,
         );
         let mut opt = AdamW::new(AdamWConfig::default());

@@ -13,11 +13,11 @@ use crate::options::{FlopModel, OptionSet};
 use crate::policy::{decide_scheme, PolicyConfig};
 use crate::probe::{measure, SnipMeasurement};
 use crate::scheme::Scheme;
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use serde::{Deserialize, Serialize};
 use snip_nn::{Batch, Model, ModelConfig};
 use snip_optim::AdamW;
 use snip_tensor::rng::Rng;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 
 /// Engine configuration.
@@ -63,8 +63,8 @@ pub struct SnipEngine {
 impl SnipEngine {
     /// Creates the engine and spawns its analysis worker thread.
     pub fn new(cfg: SnipConfig, model_cfg: ModelConfig) -> Self {
-        let (job_tx, job_rx) = unbounded::<Job>();
-        let (result_tx, result_rx) = unbounded::<Result<Scheme, String>>();
+        let (job_tx, job_rx) = channel::<Job>();
+        let (result_tx, result_rx) = channel::<Result<Scheme, String>>();
         let worker_cfg = cfg.clone();
         let worker_model_cfg = model_cfg.clone();
         let worker = std::thread::spawn(move || {
@@ -105,7 +105,7 @@ impl SnipEngine {
 
     /// Whether a scheme regeneration is due at `step`.
     pub fn is_update_due(&self, step: u64) -> bool {
-        self.cfg.update_period > 0 && step > 0 && step % self.cfg.update_period == 0
+        self.cfg.update_period > 0 && step > 0 && step.is_multiple_of(self.cfg.update_period)
     }
 
     /// Runs Steps 1–5 synchronously and returns the new scheme.
@@ -203,7 +203,10 @@ mod tests {
         let mut model = Model::new(cfg.clone(), 51).unwrap();
         let mut rng = Rng::seed_from(52);
         let batch = Batch::from_sequences(
-            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![8, 6, 4, 2, 1, 3, 5, 7, 9]],
+            &[
+                vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                vec![8, 6, 4, 2, 1, 3, 5, 7, 9],
+            ],
             8,
         );
         let mut opt = AdamW::new(AdamWConfig::default());
@@ -266,11 +269,10 @@ mod tests {
             .generate_scheme_sync(&mut model, &opt, &batch, &mut rng, "e1")
             .unwrap();
         assert_eq!(e1.fp4_layer_count(), cfg.n_linear_layers());
-        assert!(
-            e1.assignments()
-                .iter()
-                .all(|&p| p == LinearPrecision::uniform(Precision::Fp4))
-        );
+        assert!(e1
+            .assignments()
+            .iter()
+            .all(|&p| p == LinearPrecision::uniform(Precision::Fp4)));
     }
 
     #[test]

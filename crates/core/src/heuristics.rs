@@ -137,7 +137,11 @@ pub fn greedy_refinement(
                 .expect("non-empty option set")
         })
         .collect();
-    let mut total_e: f64 = picks.iter().enumerate().map(|(i, &j)| efficiency[i][j]).sum();
+    let mut total_e: f64 = picks
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| efficiency[i][j])
+        .sum();
     if total_e + 1e-12 < target {
         return Err(SolveError::Infeasible);
     }
@@ -197,7 +201,10 @@ pub fn greedy_snip_scheme(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snip_nn::{batch::Batch, model::{Model, StepOptions}};
+    use snip_nn::{
+        batch::Batch,
+        model::{Model, StepOptions},
+    };
     use snip_quant::{LinearPrecision, Precision};
     use snip_tensor::rng::Rng;
 
@@ -205,7 +212,10 @@ mod tests {
         let mut model = Model::new(cfg.clone(), 71).unwrap();
         let mut rng = Rng::seed_from(72);
         let batch = Batch::from_sequences(
-            &[vec![1, 4, 2, 5, 3, 6, 4, 7, 5], vec![2, 5, 3, 6, 4, 7, 5, 8, 6]],
+            &[
+                vec![1, 4, 2, 5, 3, 6, 4, 7, 5],
+                vec![2, 5, 3, 6, 4, 7, 5, 8, 6],
+            ],
             8,
         );
         model.zero_grads();
@@ -319,8 +329,8 @@ mod tests {
         //          both mixed → infeasible pairs aside…
         // The point of this test is weaker and robust: greedy's result is
         // never *better* than the ILP's on the same tables.
-        let quality = vec![vec![0.0, 1.0], vec![0.0, 0.05, 1.0]];
-        let efficiency = vec![vec![0.0, 0.5], vec![0.0, 0.25, 0.5]];
+        let quality = [vec![0.0, 1.0], vec![0.0, 0.05, 1.0]];
+        let efficiency = [vec![0.0, 0.5], vec![0.0, 0.25, 0.5]];
         // Pad option sets per layer to the same length for the Scheme
         // mapping: use a uniform 3-option set and a 2-option quality row
         // extended with an unusable option.

@@ -57,8 +57,8 @@ pub use engine::{SnipConfig, SnipEngine};
 pub use heuristics::{fisher_scheme, greedy_refinement, greedy_snip_scheme};
 pub use options::{FlopModel, OptionSet};
 pub use policy::{decide_scheme, PipelineBalance, PolicyConfig};
-pub use rowwise::{overhead_ratio, RowNorms, RowwiseLayerStats};
 pub use probe::{measure, SnipMeasurement};
+pub use rowwise::{overhead_ratio, RowNorms, RowwiseLayerStats};
 pub use scheme::Scheme;
 pub use stats::StepStats;
 pub use trainer::{Trainer, TrainerConfig};

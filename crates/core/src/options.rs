@@ -95,10 +95,7 @@ impl FlopModel {
             .collect();
         let total: u64 = per_layer.iter().sum();
         FlopModel {
-            flops_fraction: per_layer
-                .iter()
-                .map(|&f| f as f64 / total as f64)
-                .collect(),
+            flops_fraction: per_layer.iter().map(|&f| f as f64 / total as f64).collect(),
         }
     }
 

@@ -92,8 +92,7 @@ pub fn decide_scheme(
             let blocks_per_stage = cfg.n_layers.div_ceil(k);
             let stage_of: Vec<usize> = (0..n_layers)
                 .map(|i| {
-                    (snip_nn::LayerId::from_linear_index(i).block / blocks_per_stage)
-                        .min(k - 1)
+                    (snip_nn::LayerId::from_linear_index(i).block / blocks_per_stage).min(k - 1)
                 })
                 .collect();
             let flops = FlopModel::new(cfg);
@@ -102,10 +101,9 @@ pub fn decide_scheme(
                 stage_flops[s] += flops.fraction(i);
             }
             let targets: Vec<f64> = match policy.pipeline_balance {
-                PipelineBalance::Relative => stage_flops
-                    .iter()
-                    .map(|&f| policy.target_fp4 * f)
-                    .collect(),
+                PipelineBalance::Relative => {
+                    stage_flops.iter().map(|&f| policy.target_fp4 * f).collect()
+                }
                 PipelineBalance::TimeBalanced => {
                     snip_ilp::time_balanced_targets(&stage_flops, policy.target_fp4)?
                 }
@@ -223,7 +221,10 @@ mod tests {
             .iter()
             .filter(|&&p| p == LinearPrecision::uniform(Precision::Fp4))
             .count();
-        assert!(second_half >= 3, "stage 2 got only {second_half} FP4 layers");
+        assert!(
+            second_half >= 3,
+            "stage 2 got only {second_half} FP4 layers"
+        );
         assert!(first_half >= 3);
     }
 

@@ -129,7 +129,10 @@ mod tests {
         let mut model = Model::new(cfg, 21).unwrap();
         let mut rng = Rng::seed_from(22);
         let batch = Batch::from_sequences(
-            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![4, 8, 12, 16, 3, 7, 11, 15, 2]],
+            &[
+                vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                vec![4, 8, 12, 16, 3, 7, 11, 15, 2],
+            ],
             8,
         );
         // Warm the optimizer so moments exist.
@@ -160,7 +163,10 @@ mod tests {
         let m = measure(&mut model, &opt, &batch, &mut rng, 1e-2);
         // At least the early layers must respond to top-injected noise.
         let responding = m.p_bwd.iter().filter(|&&p| p > 0.0).count();
-        assert!(responding > m.p_bwd.len() / 2, "{responding} responding layers");
+        assert!(
+            responding > m.p_bwd.len() / 2,
+            "{responding} responding layers"
+        );
     }
 
     #[test]

@@ -215,7 +215,11 @@ pub fn overhead_ratio(m: usize, n: usize, k: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::divergence::injected_noise;
-    use snip_nn::{batch::Batch, model::{Model, StepOptions}, ModelConfig};
+    use snip_nn::{
+        batch::Batch,
+        model::{Model, StepOptions},
+        ModelConfig,
+    };
     use snip_tensor::rng::Rng;
 
     fn record() -> (snip_nn::record::StepRecord, ModelConfig) {
@@ -223,7 +227,10 @@ mod tests {
         let mut model = Model::new(cfg.clone(), 81).unwrap();
         let mut rng = Rng::seed_from(82);
         let batch = Batch::from_sequences(
-            &[vec![1, 3, 5, 7, 9, 11, 13, 15, 1], vec![2, 4, 6, 8, 10, 12, 14, 16, 2]],
+            &[
+                vec![1, 3, 5, 7, 9, 11, 13, 15, 1],
+                vec![2, 4, 6, 8, 10, 12, 14, 16, 2],
+            ],
             8,
         );
         model.zero_grads();

@@ -121,7 +121,10 @@ impl StepStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snip_nn::{batch::Batch, model::{Model, StepOptions}};
+    use snip_nn::{
+        batch::Batch,
+        model::{Model, StepOptions},
+    };
     use snip_tensor::rng::Rng;
 
     fn collect() -> (StepStats, ModelConfig) {
@@ -129,15 +132,15 @@ mod tests {
         let mut model = Model::new(cfg.clone(), 11).unwrap();
         let mut rng = Rng::seed_from(12);
         let batch = Batch::from_sequences(
-            &[vec![1, 5, 2, 8, 3, 9, 4, 10, 6], vec![2, 6, 3, 9, 4, 10, 5, 11, 7]],
+            &[
+                vec![1, 5, 2, 8, 3, 9, 4, 10, 6],
+                vec![2, 6, 3, 9, 4, 10, 5, 11, 7],
+            ],
             8,
         );
         model.zero_grads();
         let out = model.step(&batch, &mut rng, &StepOptions::record());
-        (
-            StepStats::from_record(&out.record.unwrap(), &cfg),
-            cfg,
-        )
+        (StepStats::from_record(&out.record.unwrap(), &cfg), cfg)
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl Trainer {
         self.optimizer.set_lr(lr);
         let batch = self.stream.next_batch();
         self.model.zero_grads();
-        let out = self.model.step(&batch, &mut self.rng, &StepOptions::train());
+        let out = self
+            .model
+            .step(&batch, &mut self.rng, &StepOptions::train());
         if let Some(max) = self.cfg.grad_clip {
             clip_global_norm(&mut self.model, max);
         }

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use snip_core::divergence::{injected_noise, loss_divergence};
 use snip_core::stats::{ErrorByPrecision, LayerStats};
-use snip_core::{FlopModel, OptionSet, PolicyConfig, SnipConfig, SnipEngine, Trainer, TrainerConfig};
+use snip_core::{
+    FlopModel, OptionSet, PolicyConfig, SnipConfig, SnipEngine, Trainer, TrainerConfig,
+};
 use snip_quant::{LinearPrecision, Precision};
 
 fn synthetic_layer_stats(scale: f64) -> LayerStats {

@@ -101,7 +101,10 @@ mod tests {
         let v1 = s.validation_batch(7);
         let _ = s.next_batch();
         let v2 = s.validation_batch(7);
-        assert_eq!(v1, v2, "validation batch must not depend on stream position");
+        assert_eq!(
+            v1, v2,
+            "validation batch must not depend on stream position"
+        );
         assert_ne!(v1, s.validation_batch(8));
     }
 

@@ -105,10 +105,7 @@ fn copy_structure_creates_long_range_matches() {
         let lang = SyntheticLanguage::new(cfg.clone(), 17);
         let tokens = lang.generate(20_000, &mut Rng::seed_from(9));
         let off = cfg.copy_offset;
-        let hits = tokens
-            .windows(off + 1)
-            .filter(|w| w[off] == w[0])
-            .count();
+        let hits = tokens.windows(off + 1).filter(|w| w[off] == w[0]).count();
         hits as f64 / (tokens.len() - off) as f64
     };
     let with_copy = match_rate(0.2);

@@ -93,11 +93,8 @@ pub fn score_item(model: &Model, item: &TaskItem, rng: &mut Rng) -> usize {
         let mut lp = 0.0;
         for (k, &tok) in choice.iter().enumerate() {
             let pos = r * seq + ctx_len + k - 1;
-            let row_logits = snip_tensor::Tensor::from_vec(
-                1,
-                logits.cols(),
-                logits.row(pos).to_vec(),
-            );
+            let row_logits =
+                snip_tensor::Tensor::from_vec(1, logits.cols(), logits.row(pos).to_vec());
             lp += token_log_probs(&row_logits, &[tok])[0];
         }
         if lp > best_lp {
@@ -109,11 +106,7 @@ pub fn score_item(model: &Model, item: &TaskItem, rng: &mut Rng) -> usize {
 }
 
 /// Evaluates a model on all suites.
-pub fn evaluate(
-    model: &Model,
-    language: &SyntheticLanguage,
-    cfg: &EvalConfig,
-) -> EvalReport {
+pub fn evaluate(model: &Model, language: &SyntheticLanguage, cfg: &EvalConfig) -> EvalReport {
     let mut rng = Rng::seed_from(cfg.seed ^ 0xE7A1);
     let scores = Task::ALL
         .iter()

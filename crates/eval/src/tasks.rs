@@ -137,9 +137,7 @@ impl Task {
                 let seq = lang.generate(20, rng);
                 let context = seq[..16].to_vec();
                 let correct_choice = seq[16..20].to_vec();
-                let mut choices: Vec<Vec<u32>> = (0..3)
-                    .map(|_| lang.generate(4, rng))
-                    .collect();
+                let mut choices: Vec<Vec<u32>> = (0..3).map(|_| lang.generate(4, rng)).collect();
                 let correct = rng.below(4);
                 choices.insert(correct, correct_choice);
                 TaskItem {
@@ -286,7 +284,10 @@ mod tests {
                 assert_eq!(item.choices.len(), task.n_choices(), "{task}");
                 assert!(item.correct < item.choices.len());
                 let len0 = item.choices[0].len();
-                assert!(item.choices.iter().all(|c| c.len() == len0), "{task}: uneven choices");
+                assert!(
+                    item.choices.iter().all(|c| c.len() == len0),
+                    "{task}: uneven choices"
+                );
                 assert!(!item.context.is_empty());
                 let vocab = l.config().vocab as u32;
                 assert!(item.context.iter().all(|&t| t < vocab));

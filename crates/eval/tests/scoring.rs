@@ -71,7 +71,12 @@ fn report_covers_all_suites_with_valid_ranges() {
     );
     assert_eq!(report.scores.len(), Task::ALL.len());
     for s in &report.scores {
-        assert!((0.0..=100.0).contains(&s.accuracy), "{}: {}", s.task, s.accuracy);
+        assert!(
+            (0.0..=100.0).contains(&s.accuracy),
+            "{}: {}",
+            s.task,
+            s.accuracy
+        );
         assert_eq!(s.n_items, 6);
     }
     assert!((0.0..=100.0).contains(&report.average()));

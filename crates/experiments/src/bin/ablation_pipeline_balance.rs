@@ -57,7 +57,10 @@ fn main() {
         }
         println!();
         let t_str: Vec<String> = times.iter().map(|t| format!("{t:.3e}")).collect();
-        println!("stage times (fwd+bwd per microbatch): [{}]", t_str.join(", "));
+        println!(
+            "stage times (fwd+bwd per microbatch): [{}]",
+            t_str.join(", ")
+        );
         println!(
             "stage-time imbalance: {:.1}%   1F1B bubble: {:.1}%   total FP4: {:.1}%   quality paid: {:.4}",
             100.0 * imbalance_fraction(&times),

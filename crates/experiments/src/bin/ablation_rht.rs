@@ -28,7 +28,8 @@ fn main() {
     let record = checkpoint_record(&ckpt);
     let nb = cfg.quant_group;
     // RHT blocks must be powers of two; use the largest ≤ nb.
-    let rht_block = (1usize << (usize::BITS - 1 - (nb.leading_zeros().min(usize::BITS - 1)))).max(2);
+    let rht_block =
+        (1usize << (usize::BITS - 1 - (nb.leading_zeros().min(usize::BITS - 1)))).max(2);
 
     let tensors_of = |role: TensorRole| -> Vec<&Tensor> {
         record
@@ -59,7 +60,11 @@ fn main() {
             ),
             (
                 "mxfp4 (E8M0 scales)",
-                mean(ts.iter().map(|t| MxQuantizer::mxfp4().relative_error(t)).collect()),
+                mean(
+                    ts.iter()
+                        .map(|t| MxQuantizer::mxfp4().relative_error(t))
+                        .collect(),
+                ),
             ),
             (
                 "rht-fp4",

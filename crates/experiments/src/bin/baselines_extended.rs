@@ -50,9 +50,8 @@ fn main() {
         print_run(&greedy.name.clone(), &greedy);
         let fisher = heuristics::fisher_scheme(&stats, &cfg, b).expect("feasible");
         print_run(&fisher.name.clone(), &fisher);
-        let minabs =
-            baselines::error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, b)
-                .expect("feasible");
+        let minabs = baselines::error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, b)
+            .expect("feasible");
         print_run(&minabs.name.clone(), &minabs);
     }
     print_run("FP4", &Scheme::uniform(Precision::Fp4, n));

@@ -34,8 +34,7 @@ fn main() {
     );
     let grads_for = |ranks: usize| -> Vec<Vec<f32>> {
         let mut rng = Rng::seed_from(0xC0);
-        let sigma = (flat.iter().map(|v| (*v as f64).powi(2)).sum::<f64>()
-            / flat.len() as f64)
+        let sigma = (flat.iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / flat.len() as f64)
             .sqrt() as f32;
         (0..ranks)
             .map(|_| {

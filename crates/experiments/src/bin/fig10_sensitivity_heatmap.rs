@@ -51,16 +51,23 @@ fn main() {
     };
     let v_mean = mean_of(&|id: LayerId| id.kind == LayerKind::V);
     let qk_mean = mean_of(&|id: LayerId| matches!(id.kind, LayerKind::Q | LayerKind::K));
-    let down_late = mean_of(&|id: LayerId| {
-        id.kind == LayerKind::Down && id.block >= cfg.n_layers / 2
-    });
-    let down_early = mean_of(&|id: LayerId| {
-        id.kind == LayerKind::Down && id.block < cfg.n_layers / 2
-    });
+    let down_late =
+        mean_of(&|id: LayerId| id.kind == LayerKind::Down && id.block >= cfg.n_layers / 2);
+    let down_early =
+        mean_of(&|id: LayerId| id.kind == LayerKind::Down && id.block < cfg.n_layers / 2);
     let last_mlp = mean_of(&|id: LayerId| id.kind.is_mlp() && id.block == cfg.n_layers - 1);
     let other_mlp = mean_of(&|id: LayerId| id.kind.is_mlp() && id.block != cfg.n_layers - 1);
     println!("\npaper-claim checks:");
-    println!("  V vs Q/K sensitivity:        {:.3e} vs {:.3e} (paper: V > Q,K)", v_mean, qk_mean);
-    println!("  late vs early Down:          {:.3e} vs {:.3e} (paper: late > early)", down_late, down_early);
-    println!("  last-block MLP vs rest MLP:  {:.3e} vs {:.3e} (paper: last block most critical)", last_mlp, other_mlp);
+    println!(
+        "  V vs Q/K sensitivity:        {:.3e} vs {:.3e} (paper: V > Q,K)",
+        v_mean, qk_mean
+    );
+    println!(
+        "  late vs early Down:          {:.3e} vs {:.3e} (paper: late > early)",
+        down_late, down_early
+    );
+    println!(
+        "  last-block MLP vs rest MLP:  {:.3e} vs {:.3e} (paper: last block most critical)",
+        last_mlp, other_mlp
+    );
 }

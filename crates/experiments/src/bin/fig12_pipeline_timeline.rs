@@ -43,7 +43,11 @@ fn main() {
             print!("L{b:<5}");
             for kind in LayerKind::ALL {
                 let pr = scheme.layer(LayerId::new(b, kind));
-                let c = if pr.forward_gemm() == Precision::Fp4 { '4' } else { '8' };
+                let c = if pr.forward_gemm() == Precision::Fp4 {
+                    '4'
+                } else {
+                    '8'
+                };
                 print!("{c:>5}");
             }
             println!();
@@ -51,12 +55,18 @@ fn main() {
         // Fraction of this stage's FLOPs in FP4.
         let stage_linears = partition.linears(k);
         let flops = snip_core::FlopModel::new(&cfg);
-        let stage_total: f64 = stage_linears.iter().map(|id| flops.fraction(id.linear_index())).sum();
+        let stage_total: f64 = stage_linears
+            .iter()
+            .map(|id| flops.fraction(id.linear_index()))
+            .sum();
         let stage_fp4: f64 = stage_linears
             .iter()
             .map(|id| flops.efficiency(id.linear_index(), scheme.layer(*id)))
             .sum();
-        println!("stage FP4 fraction: {:.1}% of stage FLOPs", 100.0 * stage_fp4 / stage_total);
+        println!(
+            "stage FP4 fraction: {:.1}% of stage FLOPs",
+            100.0 * stage_fp4 / stage_total
+        );
     }
 
     // Timelines: SNIP-balanced vs unbalanced (global ILP) vs uniform FP8.
@@ -66,7 +76,10 @@ fn main() {
     for (label, s) in [
         ("SNIP stage-balanced @50%", scheme.clone()),
         ("SNIP global ILP @50% (unbalanced)", snip_scheme(&ckpt, 0.5)),
-        ("uniform FP8", Scheme::uniform(Precision::Fp8, cfg.n_linear_layers())),
+        (
+            "uniform FP8",
+            Scheme::uniform(Precision::Fp8, cfg.n_linear_layers()),
+        ),
     ] {
         let costs = stage_costs(&cfg, &s, &partition, tokens);
         let sim = simulate_1f1b(&costs, microbatches);

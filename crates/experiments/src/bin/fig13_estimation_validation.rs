@@ -44,7 +44,11 @@ fn spearman(a: &[f64], b: &[f64]) -> f64 {
 
 fn main() {
     let p = ExpParams::from_args();
-    let n_batches = if std::env::args().any(|a| a == "--quick") { 2 } else { 6 };
+    let n_batches = if std::env::args().any(|a| a == "--quick") {
+        2
+    } else {
+        6
+    };
     println!("# Figure 13: estimated vs ground-truth per-layer loss impact (FP4, tinyllama-1b-sim, averaged over {n_batches} batches)");
     let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
     let cfg = ckpt.config().model.clone();
@@ -61,6 +65,7 @@ fn main() {
         let batch = t.peek_batch();
         // SNIP estimate from Steps 1–4 on this batch.
         let m = measure(&mut t.model, &optimizer, &batch, &mut rng, 1e-2);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             estimates[i] += loss_divergence(
                 &m.stats.layers[i],
@@ -72,6 +77,7 @@ fn main() {
         // Ground truth: per-layer FP4, forward-only loss delta on the same batch.
         bf16.apply(&mut t.model);
         let base_loss = t.model.forward_loss(&batch, &mut rng);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let mut s = Scheme::uniform(Precision::Bf16, n);
             s.set_layer(

@@ -43,7 +43,10 @@ fn main() {
         println!("{label:<16} {:>10.1} {a:>10.2} {v:>10.4}", 100.0 * e);
     };
 
-    println!("\n{:<16} {:>10} {:>10} {:>10}", "method", "fp4(%)", "accuracy", "val loss");
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>10}",
+        "method", "fp4(%)", "accuracy", "val loss"
+    );
     // Endpoints.
     print_run("BF16", &Scheme::uniform(Precision::Bf16, n));
     print_run("FP8", &Scheme::uniform(Precision::Fp8, n));

@@ -14,10 +14,8 @@ fn main() {
 
     for budget in [0.25, 0.50, 0.75] {
         let snip = snip_scheme(&ckpt, budget);
-        let min_abs =
-            error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, budget).unwrap();
-        let min_rel =
-            error_minimizing_scheme(&stats, &cfg, ErrorMetric::Relative, budget).unwrap();
+        let min_abs = error_minimizing_scheme(&stats, &cfg, ErrorMetric::Absolute, budget).unwrap();
+        let min_rel = error_minimizing_scheme(&stats, &cfg, ErrorMetric::Relative, budget).unwrap();
         for scheme in [&snip, &min_abs, &min_rel] {
             println!(
                 "\n## {:.0}% FP4 FLOPs — {} (achieved {:.1}%)",

@@ -10,7 +10,9 @@ use snip_quant::Precision;
 fn main() {
     let p = ExpParams::from_args();
     let steps = 4 * p.resume_steps;
-    println!("# Figure 8: from-scratch training loss, 75% FP4 budget, tinyllama-1b-sim, {steps} steps");
+    println!(
+        "# Figure 8: from-scratch training loss, 75% FP4 budget, tinyllama-1b-sim, {steps} steps"
+    );
 
     // From-scratch run needs a brief warmup before SNIP statistics mean
     // anything (the optimizer moments must exist) — we probe at 10 steps.
@@ -56,6 +58,9 @@ fn main() {
     let bf16_final: f64 = curves[0].1.iter().rev().take(5).sum::<f64>() / 5.0;
     for (name, losses) in &curves {
         let fin: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
-        println!("  {name:<22} {fin:.4}  (gap over BF16: {:+.4})", fin - bf16_final);
+        println!(
+            "  {name:<22} {fin:.4}  (gap over BF16: {:+.4})",
+            fin - bf16_final
+        );
     }
 }

@@ -13,16 +13,16 @@ use snip_quant::Precision;
 
 fn main() {
     let p = ExpParams::from_args();
-    println!("# Figure 9: relative loss difference vs BF16, llama-70b-sim (80 blocks), 50% FP4 budget");
+    println!(
+        "# Figure 9: relative loss difference vs BF16, llama-70b-sim (80 blocks), 50% FP4 budget"
+    );
     let ckpt = checkpoint(ModelConfig::llama_70b_sim(), 2 * p.ckpt_unit, &p);
     let cfg = ckpt.config().model.clone();
     let n = cfg.n_linear_layers();
     let steps = 2 * p.resume_steps;
 
-    let mut schemes: Vec<Scheme> = vec![
-        Scheme::uniform(Precision::Fp4, n),
-        snip_scheme(&ckpt, 0.5),
-    ];
+    let mut schemes: Vec<Scheme> =
+        vec![Scheme::uniform(Precision::Fp4, n), snip_scheme(&ckpt, 0.5)];
     let stats = checkpoint_stats(&ckpt);
     schemes.push(
         snip_core::baselines::error_minimizing_scheme(

@@ -42,9 +42,18 @@ fn main() {
     let base = StateBytes::mixed_precision_bf16();
     for (label, recipe) in [
         ("bf16 weights", base),
-        ("fp8 weights (128² blocks)", base.with_quantized_weights(8, 128 * 128)),
-        ("fp4 weights (128² blocks)", base.with_quantized_weights(4, 128 * 128)),
-        ("fp4 weights (1×128 tiles)", base.with_quantized_weights(4, 128)),
+        (
+            "fp8 weights (128² blocks)",
+            base.with_quantized_weights(8, 128 * 128),
+        ),
+        (
+            "fp4 weights (128² blocks)",
+            base.with_quantized_weights(4, 128 * 128),
+        ),
+        (
+            "fp4 weights (1×128 tiles)",
+            base.with_quantized_weights(4, 128),
+        ),
     ] {
         let gb = MemoryBreakdown::gb(m70.model_state_bytes(&recipe));
         println!("{label:<28} {:>14.4} {gb:>12.1}", recipe.per_param());
@@ -78,7 +87,12 @@ fn main() {
     println!("## §6.3 SNIP statistics overhead (row-wise formulation)");
     println!("paper-scale linears (stored values / described tensor elements):");
     for (label, m, n, k) in [
-        ("attention QKV/O 4096×4096, 16k tokens", 16_384usize, 4096usize, 4096usize),
+        (
+            "attention QKV/O 4096×4096, 16k tokens",
+            16_384usize,
+            4096usize,
+            4096usize,
+        ),
         ("ffn up/gate 11008×4096, 16k tokens", 16_384, 11_008, 4096),
         ("ffn down 4096×11008, 16k tokens", 16_384, 4096, 11_008),
     ] {
@@ -105,4 +119,42 @@ fn main() {
     );
     println!("(sim models are narrow, so the *relative* overhead is larger than at");
     println!(" paper widths; the paper-scale rows above are the <1% claim check)");
+
+    // --- Measured packed backward-pass cache ---------------------------
+    // Not an estimate: the model's linear layers store their saved GEMM
+    // operands bit-packed under subbyte schemes, and StepOutput reports the
+    // actual resident bytes of that cache.
+    println!("\n## measured backward-cache bytes (packed QTensor storage)");
+    use snip_nn::model::StepOptions;
+    use snip_nn::{Batch, Model};
+    use snip_quant::{LinearPrecision, Precision};
+    use snip_tensor::rng::Rng;
+
+    let cfg = ModelConfig::tinyllama_1b_sim();
+    let mut model = Model::new(cfg.clone(), 7).expect("valid config");
+    let mut rng = Rng::seed_from(8);
+    let seqs: Vec<Vec<u32>> = (0..4)
+        .map(|s| {
+            (0..33)
+                .map(|i| ((s * 13 + i * 7) % cfg.vocab_size) as u32)
+                .collect()
+        })
+        .collect();
+    let batch = Batch::from_sequences(&seqs, 32);
+    println!("{:<10} {:>14} {:>10}", "scheme", "cache (B)", "vs bf16");
+    let mut bf16_bytes = 0usize;
+    for p in [Precision::Bf16, Precision::Fp8, Precision::Fp4] {
+        model.set_scheme(&vec![LinearPrecision::uniform(p); cfg.n_linear_layers()]);
+        let out = model.step(&batch, &mut rng, &StepOptions::train());
+        if p == Precision::Bf16 {
+            bf16_bytes = out.linear_cache_bytes;
+        }
+        println!(
+            "{:<10} {:>14} {:>9.2}x",
+            p.label(),
+            out.linear_cache_bytes,
+            bf16_bytes as f64 / out.linear_cache_bytes as f64
+        );
+    }
+    model.zero_grads();
 }

@@ -11,13 +11,20 @@ fn main() {
     for (lr, clip) in [(2e-3, Some(1.0)), (4e-3, None), (8e-3, None)] {
         println!("=== lr={lr} clip={clip:?} ===");
         let mut cfg = trainer_config(ModelConfig::tinyllama_1b_sim(), &p);
-        cfg.adamw = AdamWConfig { lr, ..Default::default() };
+        cfg.adamw = AdamWConfig {
+            lr,
+            ..Default::default()
+        };
         cfg.schedule = LrSchedule::Constant { lr };
         cfg.grad_clip = clip;
         let mut ckpt = Trainer::new(cfg).unwrap();
         let t0 = std::time::Instant::now();
         let _ = ckpt.train(180);
-        println!("ckpt loss after 180 steps: {:.4} ({:?})", ckpt.validation_loss(1, 2), t0.elapsed());
+        println!(
+            "ckpt loss after 180 steps: {:.4} ({:?})",
+            ckpt.validation_loss(1, 2),
+            t0.elapsed()
+        );
         let n = ckpt.config().model.n_linear_layers();
         for scheme in [
             Scheme::uniform(Precision::Bf16, n),
@@ -27,7 +34,12 @@ fn main() {
             let (losses, t) = resume_with_scheme(&ckpt, &scheme, 100);
             let fin: f64 = losses.iter().rev().take(5).sum::<f64>() / 5.0;
             let mut tm = t.clone();
-            println!("  {:<14} final={:.4} val={:.4}", scheme.name, fin, tm.validation_loss(1, 2));
+            println!(
+                "  {:<14} final={:.4} val={:.4}",
+                scheme.name,
+                fin,
+                tm.validation_loss(1, 2)
+            );
         }
     }
 }

@@ -2,16 +2,20 @@
 //! whole evaluation relies on — FP8 tracks BF16, FP4 hurts, SNIP@budget sits
 //! near FP8 while the worst baselines fall behind.
 
+use snip_core::Scheme;
 use snip_experiments::*;
 use snip_nn::ModelConfig;
 use snip_quant::Precision;
-use snip_core::Scheme;
 
 fn main() {
     let p = ExpParams::from_args();
     let t0 = std::time::Instant::now();
     let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), 3 * p.ckpt_unit, &p);
-    println!("checkpoint built at step {} in {:?}", ckpt.step_count(), t0.elapsed());
+    println!(
+        "checkpoint built at step {} in {:?}",
+        ckpt.step_count(),
+        t0.elapsed()
+    );
     let n = ckpt.config().model.n_linear_layers();
     let cfg = ckpt.config().model.clone();
 

@@ -20,7 +20,12 @@ fn main() {
         let f16: f64 = l16.iter().rev().take(5).sum::<f64>() / 5.0;
         println!(
             "step {:>4} val={:.4} resume40: bf16={:.4} fp4={:.4} gap={:+.4} ({:.0?})",
-            (phase + 1) * 100, val, f16, f4, f4 - f16, t0.elapsed()
+            (phase + 1) * 100,
+            val,
+            f16,
+            f4,
+            f4 - f16,
+            t0.elapsed()
         );
     }
 }

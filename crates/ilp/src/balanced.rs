@@ -49,7 +49,7 @@ pub fn time_balanced_targets(
     if stage_flops.is_empty() {
         return Err(SolveError::Invalid("no pipeline stages".into()));
     }
-    if let Some(&bad) = stage_flops.iter().find(|&&c| !(c > 0.0) || !c.is_finite()) {
+    if let Some(&bad) = stage_flops.iter().find(|&&c| !(c.is_finite() && c > 0.0)) {
         return Err(SolveError::Invalid(format!(
             "stage FLOPs must be positive and finite, got {bad}"
         )));
@@ -207,10 +207,7 @@ mod tests {
         for e_t in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let t = time_balanced_targets(&flops, e_t).unwrap();
             let total: f64 = t.iter().sum();
-            assert!(
-                (total - e_t * 22.0).abs() < 1e-9,
-                "E_t={e_t}: Σ={total}"
-            );
+            assert!((total - e_t * 22.0).abs() < 1e-9, "E_t={e_t}: Σ={total}");
             for (k, (&f, &c)) in t.iter().zip(&flops).enumerate() {
                 assert!((0.0..=c + 1e-12).contains(&f), "stage {k}: {f} vs cap {c}");
             }
@@ -322,9 +319,9 @@ mod tests {
     fn time_balanced_solve_beats_relative_balance_on_bubble() {
         let (p, stages) = lopsided_problem();
         let e_t = 0.5; // 1.5 units of FP4 FLOPs over 3 total
-        // Relative balance: each stage gives e_t · C_k → targets [1.0, 0.5].
-        // Neither group has a half-FP4 option, so the solver upgrades both
-        // to all-FP4 → times [1.0, 0.25] — heavy imbalance.
+                       // Relative balance: each stage gives e_t · C_k → targets [1.0, 0.5].
+                       // Neither group has a half-FP4 option, so the solver upgrades both
+                       // to all-FP4 → times [1.0, 0.25] — heavy imbalance.
         let rel = solve_grouped(&p, &stages, &[1.0, 0.5], &SolveOptions::default()).unwrap();
         // Time-balance: water-fill clips the short stage to f = [1.5, 0];
         // only stage 0 must upgrade (to its all-FP4 option, e = 2) and the

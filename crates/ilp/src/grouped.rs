@@ -173,8 +173,7 @@ mod tests {
         let (mut p, _) = two_stage_problem();
         p.target = 2.0;
         let global = crate::solve::solve(&p, &SolveOptions::default()).unwrap();
-        let grouped =
-            solve_grouped(&p, &[0, 0, 0, 0], &[2.0], &SolveOptions::default()).unwrap();
+        let grouped = solve_grouped(&p, &[0, 0, 0, 0], &[2.0], &SolveOptions::default()).unwrap();
         assert_eq!(global.objective, grouped.objective);
     }
 }

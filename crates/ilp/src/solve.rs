@@ -263,7 +263,7 @@ impl<'a> Searcher<'a> {
 
     fn search(&mut self, fixed: &mut Vec<Option<usize>>) {
         self.nodes += 1;
-        if self.nodes % 64 == 0 && Instant::now() > self.deadline {
+        if self.nodes.is_multiple_of(64) && Instant::now() > self.deadline {
             self.timed_out = true;
         }
         if self.timed_out {
@@ -341,9 +341,7 @@ pub fn solve(problem: &McKnapsack, opts: &SolveOptions) -> Result<Solution, Solv
     };
     let mut fixed: Vec<Option<usize>> = vec![None; groups.len()];
     searcher.search(&mut fixed);
-    let (obj, picks_frontier) = searcher
-        .best
-        .ok_or(SolveError::Infeasible)?;
+    let (obj, picks_frontier) = searcher.best.ok_or(SolveError::Infeasible)?;
     let picks: Vec<usize> = picks_frontier
         .iter()
         .enumerate()

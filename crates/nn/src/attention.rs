@@ -3,7 +3,11 @@
 
 use crate::rope::Rope;
 use serde::{Deserialize, Serialize};
-use snip_tensor::{matmul::{matmul, matmul_nt, matmul_tn}, ops::softmax_rows_inplace, Tensor};
+use snip_tensor::{
+    matmul::{matmul, matmul_nt, matmul_tn},
+    ops::softmax_rows_inplace,
+    Tensor,
+};
 
 /// Scaled-dot-product multi-head attention with causal masking and RoPE.
 ///
@@ -115,8 +119,8 @@ impl Attention {
                 // Causal mask: position i attends to j ≤ i.
                 for i in 0..seq {
                     let row = scores.row_mut(i);
-                    for j in (i + 1)..seq {
-                        row[j] = f32::NEG_INFINITY;
+                    for v in &mut row[i + 1..] {
+                        *v = f32::NEG_INFINITY;
                     }
                 }
                 softmax_rows_inplace(&mut scores);
@@ -281,7 +285,10 @@ mod tests {
             m[(i, j)] -= h;
             let fd = (loss(&p, &k, &v) - loss(&m, &k, &v)) / (2.0 * h as f64);
             let an = dq[(i, j)] as f64;
-            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "dq fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "dq fd={fd} an={an}"
+            );
         }
         // dK
         for &(i, j) in &[(1usize, 1usize), (3, 4)] {
@@ -291,7 +298,10 @@ mod tests {
             m[(i, j)] -= h;
             let fd = (loss(&q, &p, &v) - loss(&q, &m, &v)) / (2.0 * h as f64);
             let an = dk[(i, j)] as f64;
-            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "dk fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "dk fd={fd} an={an}"
+            );
         }
         // dV
         for &(i, j) in &[(0usize, 3usize), (2, 6)] {
@@ -301,7 +311,10 @@ mod tests {
             m[(i, j)] -= h;
             let fd = (loss(&q, &k, &p) - loss(&q, &k, &m)) / (2.0 * h as f64);
             let an = dv[(i, j)] as f64;
-            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "dv fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "dv fd={fd} an={an}"
+            );
         }
     }
 }

@@ -19,8 +19,16 @@ impl Batch {
     ///
     /// Panics if the buffer lengths don't equal `batch_size · seq_len`.
     pub fn new(tokens: Vec<u32>, targets: Vec<u32>, batch_size: usize, seq_len: usize) -> Self {
-        assert_eq!(tokens.len(), batch_size * seq_len, "bad token buffer length");
-        assert_eq!(targets.len(), batch_size * seq_len, "bad target buffer length");
+        assert_eq!(
+            tokens.len(),
+            batch_size * seq_len,
+            "bad token buffer length"
+        );
+        assert_eq!(
+            targets.len(),
+            batch_size * seq_len,
+            "bad target buffer length"
+        );
         Batch {
             tokens,
             targets,

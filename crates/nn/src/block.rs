@@ -50,6 +50,20 @@ pub struct BlockCache {
     up_out: Tensor,
 }
 
+impl BlockCache {
+    /// Resident bytes of the seven saved linear-layer operand pairs — the
+    /// part of the backward-pass footprint the packed representation
+    /// shrinks (subbyte precisions store `qx`/`qw` bit-packed).
+    pub fn linear_cache_bytes(&self) -> usize {
+        [
+            &self.qc, &self.kc, &self.vc, &self.oc, &self.gc, &self.uc, &self.dc,
+        ]
+        .iter()
+        .map(|c| c.resident_bytes())
+        .sum()
+    }
+}
+
 impl Block {
     /// Builds block `index` of a model. Residual-writing projections (O and
     /// Down) use a `1/√(2·n_layers)` init gain for depth stability.
@@ -132,7 +146,9 @@ impl Block {
         let (y, cache) = lin.forward(x, rng);
         if let Some(r) = rec {
             let lr = r.layer_mut(LayerId::new(self.index, kind));
-            lr.x = cache.qx.clone();
+            // Statistics read the quantized activations through the packed
+            // cache; dequantization reproduces the fake-quant values bitwise.
+            lr.x = cache.qx.dequantize();
             lr.w = lin.weight().value().clone();
             lr.y_norm = y.frobenius_norm();
         }
@@ -219,7 +235,9 @@ impl Block {
         // y = x2 + down(a)
         let da = self.bwd_linear(LayerKind::Down, dy, &cache.dc, rng, rec);
         // a = silu(gate_out) ⊙ up_out
-        let dgate = da.zip(&cache.up_out, |d, u| d * u).zip(&cache.gate_out, |d, g| d * silu_grad(g));
+        let dgate = da
+            .zip(&cache.up_out, |d, u| d * u)
+            .zip(&cache.gate_out, |d, g| d * silu_grad(g));
         let dup = da.zip(&cache.gate_out, |d, g| d * silu(g));
         let mut dxn2 = self.bwd_linear(LayerKind::Gate, &dgate, &cache.gc, rng, rec);
         dxn2.add_assign(&self.bwd_linear(LayerKind::Up, &dup, &cache.uc, rng, rec));

@@ -63,13 +63,13 @@ impl ModelConfig {
         if self.hidden == 0 || self.n_layers == 0 || self.vocab_size == 0 {
             return Err("dimensions must be positive".into());
         }
-        if self.n_heads == 0 || self.hidden % self.n_heads != 0 {
+        if self.n_heads == 0 || !self.hidden.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "hidden ({}) must be divisible by n_heads ({})",
                 self.hidden, self.n_heads
             ));
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             return Err("head_dim must be even for RoPE".into());
         }
         if self.quant_group == 0 {
@@ -181,7 +181,8 @@ mod tests {
             ModelConfig::openllama_7b_sim(),
             ModelConfig::llama_70b_sim(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

@@ -12,7 +12,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Creates a Gaussian-initialized embedding table.
-    pub fn new(name: impl Into<String>, vocab: usize, hidden: usize, std: f32, rng: &mut Rng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        vocab: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut Rng,
+    ) -> Self {
         Embedding {
             table: Param::randn(name, vocab, hidden, std, rng),
         }
@@ -38,7 +44,8 @@ impl Embedding {
         let mut out = Tensor::zeros(tokens.len(), hidden);
         for (r, &tok) in tokens.iter().enumerate() {
             assert!((tok as usize) < vocab, "token {tok} out of range {vocab}");
-            out.row_mut(r).copy_from_slice(self.table.value().row(tok as usize));
+            out.row_mut(r)
+                .copy_from_slice(self.table.value().row(tok as usize));
         }
         out
     }

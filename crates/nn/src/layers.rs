@@ -78,7 +78,10 @@ impl LayerKind {
 
     /// Whether this is one of the attention projections.
     pub fn is_attention(self) -> bool {
-        matches!(self, LayerKind::Q | LayerKind::K | LayerKind::V | LayerKind::O)
+        matches!(
+            self,
+            LayerKind::Q | LayerKind::K | LayerKind::V | LayerKind::O
+        )
     }
 
     /// Whether this is one of the MLP projections.

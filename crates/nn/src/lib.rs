@@ -49,4 +49,5 @@ pub mod rope;
 pub use batch::Batch;
 pub use config::ModelConfig;
 pub use layers::{LayerId, LayerKind};
+pub use linear::{Linear, LinearCache, QCache};
 pub use model::{Model, StepOptions, StepOutput};

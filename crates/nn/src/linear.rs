@@ -16,9 +16,9 @@ use crate::param::Param;
 use serde::{Deserialize, Serialize};
 use snip_quant::{format::bf16_round_slice, LinearPrecision, Quantizer, TensorRole};
 use snip_tensor::{
-    matmul::{matmul, matmul_nt, matmul_tn},
+    packed::{qgemm, qgemm_nt, qgemm_tn},
     rng::Rng,
-    Tensor,
+    QOperandRef, QTensor, Tensor,
 };
 
 /// A linear layer `y = x · Wᵀ` with per-operand quantization.
@@ -35,17 +35,80 @@ pub struct Linear {
     exact: bool,
 }
 
+/// A quantized GEMM operand held for the backward pass: bit-packed when the
+/// operand's precision supports it (FP4/FP8 — 8× / 4× smaller than f32),
+/// dense only for BF16 emulation and exact mode.
+#[derive(Clone, Debug)]
+pub enum QCache {
+    /// Dense f32 storage (BF16-emulated or exact-mode operands).
+    Dense(Tensor),
+    /// Bit-packed subbyte storage with per-group scales.
+    Packed(QTensor),
+}
+
+impl QCache {
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            QCache::Dense(t) => t.shape(),
+            QCache::Packed(t) => t.shape(),
+        }
+    }
+
+    /// Whether the operand is stored bit-packed.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, QCache::Packed(_))
+    }
+
+    /// A GEMM operand view (no decode for dense, on-the-fly decode for
+    /// packed).
+    pub fn operand(&self) -> QOperandRef<'_> {
+        match self {
+            QCache::Dense(t) => QOperandRef::Dense(t),
+            QCache::Packed(t) => QOperandRef::Packed(t),
+        }
+    }
+
+    /// Materializes the operand as a dense tensor — bit-for-bit what the
+    /// fake-quantization path would have produced. Probes and statistics
+    /// read the cache through this.
+    pub fn dequantize(&self) -> Tensor {
+        match self {
+            QCache::Dense(t) => t.clone(),
+            QCache::Packed(t) => t.dequantize(),
+        }
+    }
+
+    /// Resident bytes of this cached operand (codes + scales + decode table
+    /// for packed storage, raw buffer for dense).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            QCache::Dense(t) => std::mem::size_of::<Tensor>() + t.len() * 4,
+            QCache::Packed(t) => t.resident_bytes(),
+        }
+    }
+}
+
 /// Activations saved by [`Linear::forward`] for the backward pass.
 ///
 /// `qx`/`qw` are the *quantized* operands — exactly what the backward GEMMs
 /// consume, and (during BF16 statistics collection) numerically equal to the
-/// BF16 activations/weights.
+/// BF16 activations/weights. Subbyte operands stay bit-packed here, which
+/// is where the packed representation pays off: the dominant activation
+/// memory of the backward pass shrinks by ~8× under FP4.
 #[derive(Clone, Debug)]
 pub struct LinearCache {
     /// Quantized input activations, `tokens × in_features`.
-    pub qx: Tensor,
+    pub qx: QCache,
     /// Quantized weight, `out_features × in_features`.
-    pub qw: Tensor,
+    pub qw: QCache,
+}
+
+impl LinearCache {
+    /// Total resident bytes of the saved operands.
+    pub fn resident_bytes(&self) -> usize {
+        self.qx.resident_bytes() + self.qw.resident_bytes()
+    }
 }
 
 impl Linear {
@@ -112,24 +175,35 @@ impl Linear {
         p.quantizer_with_group(role, self.quant_group)
     }
 
-    /// Forward pass: quantizes `x` and `W`, runs the GEMM, rounds the output
-    /// to BF16. Returns the output and the cache for backward.
+    /// Quantizes one GEMM operand, bit-packed when the precision allows.
+    /// The packed and fake-quantized forms are numerically identical and
+    /// consume identical stochastic-rounding draws, so which storage is
+    /// chosen never changes the training trajectory.
+    fn quantize_cached(&self, role: TensorRole, t: &Tensor, rng: &mut Rng) -> QCache {
+        let q = self.quantizer(role);
+        match q.quantize_packed(t, rng) {
+            Some(packed) => QCache::Packed(packed),
+            None => QCache::Dense(q.fake_quantize(t, rng)),
+        }
+    }
+
+    /// Forward pass: quantizes `x` and `W` (bit-packed for subbyte
+    /// precisions), runs the quantized GEMM, rounds the output to BF16.
+    /// Returns the output and the cache for backward.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != in_features`.
     pub fn forward(&self, x: &Tensor, rng: &mut Rng) -> (Tensor, LinearCache) {
         if self.exact {
-            let qx = x.clone();
-            let qw = self.weight.value().clone();
-            let y = matmul_nt(&qx, &qw);
+            let qx = QCache::Dense(x.clone());
+            let qw = QCache::Dense(self.weight.value().clone());
+            let y = qgemm_nt(qx.operand(), qw.operand());
             return (y, LinearCache { qx, qw });
         }
-        let qx = self.quantizer(TensorRole::Input).fake_quantize(x, rng);
-        let qw = self
-            .quantizer(TensorRole::Weight)
-            .fake_quantize(self.weight.value(), rng);
-        let mut y = matmul_nt(&qx, &qw);
+        let qx = self.quantize_cached(TensorRole::Input, x, rng);
+        let qw = self.quantize_cached(TensorRole::Weight, self.weight.value(), rng);
+        let mut y = qgemm_nt(qx.operand(), qw.operand());
         bf16_round_slice(y.as_mut_slice());
         (y, LinearCache { qx, qw })
     }
@@ -153,15 +227,15 @@ impl Linear {
         rng: &mut Rng,
     ) -> (Tensor, Tensor) {
         if self.exact {
-            let dx = matmul(dy, &cache.qw);
-            let dw = matmul_tn(dy, &cache.qx);
+            let dx = qgemm(QOperandRef::from(dy), cache.qw.operand());
+            let dw = qgemm_tn(QOperandRef::from(dy), cache.qx.operand());
             self.weight.accumulate_grad(&dw);
             return (dx, dw);
         }
-        let qdy = self.quantizer(TensorRole::OutputGrad).fake_quantize(dy, rng);
-        let mut dx = matmul(&qdy, &cache.qw);
+        let qdy = self.quantize_cached(TensorRole::OutputGrad, dy, rng);
+        let mut dx = qgemm(qdy.operand(), cache.qw.operand());
         bf16_round_slice(dx.as_mut_slice());
-        let mut dw = matmul_tn(&qdy, &cache.qx);
+        let mut dw = qgemm_tn(qdy.operand(), cache.qx.operand());
         bf16_round_slice(dw.as_mut_slice());
         self.weight.accumulate_grad(&dw);
         (dx, dw)
@@ -272,6 +346,100 @@ mod tests {
         let _ = lin.backward(&dy, &cache, &mut rng);
         let g2 = lin.weight().grad().frobenius_norm();
         assert!((g2 - 2.0 * g1).abs() < 1e-6 * g1.max(1.0));
+    }
+
+    #[test]
+    fn packed_pipeline_bit_matches_the_fake_quant_reference() {
+        // The packed path must reproduce the seed's fake-quantization
+        // implementation exactly — same outputs, same gradients, same RNG
+        // stream — so training trajectories are unchanged.
+        use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+        for precision in [
+            LinearPrecision::uniform(Precision::Fp4),
+            LinearPrecision::uniform(Precision::Fp8),
+            LinearPrecision {
+                input: Precision::Fp4,
+                weight: Precision::Fp8,
+                grad: Precision::Fp4,
+            },
+            LinearPrecision::uniform(Precision::Bf16),
+        ] {
+            let mut rng = Rng::seed_from(31);
+            let mut lin = Linear::new("w", 12, 16, 1.0, 8, &mut rng);
+            lin.set_precision(precision);
+            let x = Tensor::randn(6, 16, 1.0, &mut rng);
+            let dy = Tensor::randn(6, 12, 1.0, &mut rng);
+
+            let mut rng_new = Rng::seed_from(77);
+            let (y, cache) = lin.forward(&x, &mut rng_new);
+            lin.weight_mut().zero_grad();
+            let (dx, dw) = lin.backward_recorded(&dy, &cache, &mut rng_new);
+
+            // Reference: the fake-quantization data flow of the seed.
+            let mut rng_ref = Rng::seed_from(77);
+            let qx = lin
+                .quantizer(TensorRole::Input)
+                .fake_quantize(&x, &mut rng_ref);
+            let qw = lin
+                .quantizer(TensorRole::Weight)
+                .fake_quantize(lin.weight().value(), &mut rng_ref);
+            let mut y_ref = matmul_nt(&qx, &qw);
+            bf16_round_slice(y_ref.as_mut_slice());
+            let qdy = lin
+                .quantizer(TensorRole::OutputGrad)
+                .fake_quantize(&dy, &mut rng_ref);
+            let mut dx_ref = matmul(&qdy, &qw);
+            bf16_round_slice(dx_ref.as_mut_slice());
+            let mut dw_ref = matmul_tn(&qdy, &qx);
+            bf16_round_slice(dw_ref.as_mut_slice());
+
+            for (got, want) in [(&y, &y_ref), (&dx, &dx_ref), (&dw, &dw_ref)] {
+                assert_eq!(got.shape(), want.shape());
+                for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{precision}: {a} vs {b}");
+                }
+            }
+            // Same stochastic draws consumed.
+            assert_eq!(rng_new.next_u64(), rng_ref.next_u64(), "{precision}");
+            // Cache dequantization reproduces the fake-quant operands.
+            for (got, want) in [(cache.qx.dequantize(), qx), (cache.qw.dequantize(), qw)] {
+                for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{precision} cache");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp4_backward_cache_is_packed_and_at_least_7x_smaller() {
+        let mut rng = Rng::seed_from(41);
+        let mut lin = Linear::new("w", 128, 256, 1.0, 128, &mut rng);
+        lin.set_precision(LinearPrecision::uniform(Precision::Fp4));
+        let x = Tensor::randn(64, 256, 1.0, &mut rng);
+        let (_, cache) = lin.forward(&x, &mut rng);
+
+        assert!(cache.qx.is_packed(), "FP4 activations must be packed");
+        assert!(cache.qw.is_packed(), "FP4 weights must be packed");
+
+        // ≤ 0.5 B/element + scale overhead (4 B per 1×128 tile) + small
+        // constant metadata (decode table + container).
+        let elems = 64 * 256;
+        let budget = 0.5 * elems as f64 + 4.0 * (64 * 2) as f64 + 256.0;
+        let got = cache.qx.resident_bytes() as f64;
+        assert!(got <= budget, "qx resident {got} B > budget {budget} B");
+
+        // ≥ ~7× smaller than the seed's dense f32 cache.
+        let dense = (elems * 4) as f64;
+        assert!(
+            dense / got >= 7.0,
+            "packed cache only {}x smaller than f32",
+            dense / got
+        );
+
+        // BF16 falls back to dense storage.
+        lin.set_precision(LinearPrecision::uniform(Precision::Bf16));
+        let (_, cache16) = lin.forward(&x, &mut rng);
+        assert!(!cache16.qx.is_packed());
     }
 
     #[test]

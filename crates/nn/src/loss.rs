@@ -54,7 +54,11 @@ pub fn cross_entropy_loss_only(logits: &Tensor, targets: &[u32]) -> f64 {
         assert!(t < vocab, "target {t} out of range {vocab}");
         let row = logits.row(r);
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        let logsum: f64 = row.iter().map(|&x| ((x - max) as f64).exp()).sum::<f64>().ln()
+        let logsum: f64 = row
+            .iter()
+            .map(|&x| ((x - max) as f64).exp())
+            .sum::<f64>()
+            .ln()
             + max as f64;
         loss += logsum - row[t] as f64;
     }
@@ -104,8 +108,8 @@ mod tests {
             p[(i, j)] += h;
             let mut m = logits.clone();
             m[(i, j)] -= h;
-            let fd = (cross_entropy(&p, &targets).0 - cross_entropy(&m, &targets).0)
-                / (2.0 * h as f64);
+            let fd =
+                (cross_entropy(&p, &targets).0 - cross_entropy(&m, &targets).0) / (2.0 * h as f64);
             let an = dlogits[(i, j)] as f64;
             assert!((fd - an).abs() < 1e-4, "fd={fd} an={an}");
         }

@@ -92,8 +92,7 @@ impl RmsNorm {
                 dg[c] += dyr[c] * xr[c] * inv;
             }
         }
-        self.gain
-            .accumulate_grad(&Tensor::from_vec(1, cols, dg));
+        self.gain.accumulate_grad(&Tensor::from_vec(1, cols, dg));
         dx
     }
 }

@@ -27,7 +27,13 @@ impl Param {
     }
 
     /// Gaussian-initialized parameter.
-    pub fn randn(name: impl Into<String>, rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+    pub fn randn(
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        rng: &mut Rng,
+    ) -> Self {
         Param::new(name, Tensor::randn(rows, cols, std, rng))
     }
 

@@ -110,8 +110,10 @@ mod tests {
 
     #[test]
     fn norms_computed_from_tensors() {
-        let mut rec = LinearRecord::default();
-        rec.dw = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        let rec = LinearRecord {
+            dw: Tensor::from_vec(1, 2, vec![3.0, 4.0]),
+            ..Default::default()
+        };
         assert!((rec.dw_norm() - 5.0).abs() < 1e-12);
         assert_eq!(rec.x_norm(), 0.0);
     }

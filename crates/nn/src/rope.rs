@@ -21,7 +21,7 @@ impl Rope {
     ///
     /// Panics if `head_dim` is odd.
     pub fn new(head_dim: usize, max_seq: usize, theta: f32) -> Self {
-        assert!(head_dim % 2 == 0, "head_dim must be even");
+        assert!(head_dim.is_multiple_of(2), "head_dim must be even");
         let half = head_dim / 2;
         let mut cos = Vec::with_capacity(max_seq);
         let mut sin = Vec::with_capacity(max_seq);

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use snip_nn::batch::Batch;
 use snip_nn::config::ModelConfig;
 use snip_nn::model::{Model, StepOptions};
-use snip_nn::{LayerId, LayerKind};
+use snip_nn::LayerKind;
 use snip_tensor::rng::Rng;
 
 fn setup(seed: u64) -> (Model, Batch, Rng) {

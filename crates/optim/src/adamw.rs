@@ -203,7 +203,10 @@ mod tests {
     fn setup() -> (Model, Batch, Rng) {
         let model = Model::new(ModelConfig::tiny_test(), 5).unwrap();
         let batch = Batch::from_sequences(
-            &[vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![2, 4, 6, 8, 10, 12, 14, 16, 1]],
+            &[
+                vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                vec![2, 4, 6, 8, 10, 12, 14, 16, 1],
+            ],
             8,
         );
         (model, batch, Rng::seed_from(6))
@@ -306,7 +309,11 @@ mod tests {
         let _ = model.step(&batch, &mut rng, &StepOptions::train());
         opt.update(&mut model);
         let idx = model.param_index_of(snip_nn::LayerId::new(0, snip_nn::LayerKind::V));
-        let g = model.linear(snip_nn::LayerId::new(0, snip_nn::LayerKind::V)).weight().grad().clone();
+        let g = model
+            .linear(snip_nn::LayerId::new(0, snip_nn::LayerKind::V))
+            .weight()
+            .grad()
+            .clone();
         let s1 = opt.update_sensitivity(idx, &g);
         assert!(s1 > 0.0, "sensitivity must be positive");
         let mut opt2 = opt.clone();

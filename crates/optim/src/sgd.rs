@@ -110,6 +110,10 @@ mod tests {
                 after = p.value()[(0, 0)];
             }
         });
-        assert!(((before - after) - 0.25).abs() < 1e-6, "moved {}", before - after);
+        assert!(
+            ((before - after) - 0.25).abs() < 1e-6,
+            "moved {}",
+            before - after
+        );
     }
 }

@@ -15,7 +15,11 @@
 //! Gaussian perturbations, and checks the two agree within the
 //! concentration tolerance Theorem 4.1 promises at these dimensions.
 
-use snip_nn::{batch::Batch, model::{Model, StepOptions}, ModelConfig};
+use snip_nn::{
+    batch::Batch,
+    model::{Model, StepOptions},
+    ModelConfig,
+};
 use snip_optim::{AdamW, AdamWConfig};
 use snip_tensor::rng::Rng;
 use snip_tensor::Tensor;
@@ -50,7 +54,10 @@ fn sensitivity_matches_finite_difference() {
     let mut model = Model::new(model_cfg, 41).expect("valid config");
     let mut rng = Rng::seed_from(42);
     let batch = Batch::from_sequences(
-        &[vec![1, 6, 2, 7, 3, 8, 4, 9, 5], vec![3, 8, 4, 9, 5, 10, 6, 11, 7]],
+        &[
+            vec![1, 6, 2, 7, 3, 8, 4, 9, 5],
+            vec![3, 8, 4, 9, 5, 10, 6, 11, 7],
+        ],
         8,
     );
     let cfg = AdamWConfig::default();

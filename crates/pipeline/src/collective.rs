@@ -81,7 +81,8 @@ impl Wire {
         }
     }
 
-    /// Payload width in bits.
+    /// Payload width in bits (element codes only; subbyte wires also move
+    /// per-tile scales, which [`Wire::transmit`] accounts for exactly).
     pub fn bits(&self) -> u32 {
         self.bits
     }
@@ -91,12 +92,37 @@ impl Wire {
         self.label
     }
 
-    /// Quantizes a payload in place (no-op for exact wires).
+    /// Quantizes a payload in place (no-op for exact wires). Numerically
+    /// identical to what a receiver decodes after [`Wire::transmit`].
     pub fn quantize(&self, payload: &mut Vec<f32>, rng: &mut Rng) {
         if let Some(q) = &self.quantizer {
             let mut t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
             q.fake_quantize_inplace(&mut t, rng);
             *payload = t.into_vec();
+        }
+    }
+
+    /// Sends a payload across the wire: quantizes it in place (bit-packing
+    /// subbyte formats) and returns the **actual bytes moved** — packed
+    /// element codes plus the per-tile scale factors for FP8/FP4, two bytes
+    /// per element for BF16, four for exact wires. This is what makes the
+    /// simulator's communication volumes byte-accurate instead of
+    /// `len × bits / 8` estimates.
+    pub fn transmit(&self, payload: &mut Vec<f32>, rng: &mut Rng) -> u64 {
+        let Some(q) = &self.quantizer else {
+            return payload.len() as u64 * 4;
+        };
+        let t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
+        if let Some(packed) = q.quantize_packed(&t, rng) {
+            let bytes = packed.wire_bytes();
+            *payload = packed.dequantize().into_vec();
+            bytes
+        } else {
+            // BF16: not packable, 2 bytes per element on the wire.
+            let mut t = t;
+            q.fake_quantize_inplace(&mut t, rng);
+            *payload = t.into_vec();
+            payload.len() as u64 * 2
         }
     }
 }
@@ -157,6 +183,9 @@ pub fn exact_sum(grads: &[Vec<f32>]) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `grads` is empty or ranks disagree on the gradient length.
+// Ranks act in lockstep on parallel per-rank state; indexing by rank id
+// across several arrays at once is the natural expression here.
+#[allow(clippy::needless_range_loop)]
 pub fn ring_reduce_scatter(
     grads: &[Vec<f32>],
     wire: &Wire,
@@ -183,8 +212,7 @@ pub fn ring_reduce_scatter(
             let (lo, hi) = bounds[c];
             let mut payload = local[r][lo..hi].to_vec();
             if policy == QuantizePolicy::EveryHop {
-                wire.quantize(&mut payload, rng);
-                bytes += (payload.len() as u64 * wire.bits() as u64).div_ceil(8);
+                bytes += wire.transmit(&mut payload, rng);
             } else {
                 bytes += payload.len() as u64 * 4;
             }
@@ -223,6 +251,9 @@ pub fn ring_reduce_scatter(
 /// rank the full reduced vector. Payloads are quantized per hop under
 /// [`QuantizePolicy::EveryHop`] (idempotent for already-quantized chunks
 /// under nearest rounding) and passed through otherwise.
+// Ranks act in lockstep on parallel per-rank state; indexing by rank id
+// across several arrays at once is the natural expression here.
+#[allow(clippy::needless_range_loop)]
 pub fn ring_all_gather(
     scattered: &CollectiveResult,
     n: usize,
@@ -249,8 +280,7 @@ pub fn ring_all_gather(
                 .expect("ring schedule guarantees possession")
                 .clone();
             if policy == QuantizePolicy::EveryHop {
-                wire.quantize(&mut payload, rng);
-                bytes += (payload.len() as u64 * wire.bits() as u64).div_ceil(8);
+                bytes += wire.transmit(&mut payload, rng);
             } else {
                 bytes += payload.len() as u64 * 4;
             }
@@ -328,6 +358,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn exact_wire_reduce_scatter_matches_reference() {
         let grads = make_grads(4, 64, 1);
         let exact = exact_sum(&grads);
@@ -397,7 +428,8 @@ mod tests {
             let grads = make_grads(ranks, 512, 11);
             let exact = exact_sum(&grads);
             let mut rng = Rng::seed_from(12);
-            let rs = ring_reduce_scatter(&grads, &Wire::fp4(64), QuantizePolicy::EveryHop, &mut rng);
+            let rs =
+                ring_reduce_scatter(&grads, &Wire::fp4(64), QuantizePolicy::EveryHop, &mut rng);
             relative_error(&rs, &exact)
         };
         let e2 = err_at(2);
@@ -436,26 +468,46 @@ mod tests {
         let grads = make_grads(2, 512, 15);
         let exact = exact_sum(&grads);
         let mut rng = Rng::seed_from(16);
-        let every =
-            ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::EveryHop, &mut rng);
+        let every = ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::EveryHop, &mut rng);
         let finale =
             ring_reduce_scatter(&grads, &Wire::fp4(32), QuantizePolicy::FinalOnly, &mut rng);
         assert!(relative_error(&every, &exact) < relative_error(&finale, &exact));
     }
 
     #[test]
-    fn bytes_accounting() {
-        // R ranks, N elements: reduce-scatter moves (R−1)·(N/R) elements per
-        // rank per step... in total (R−1)·N elements at `bits` each.
+    fn bytes_accounting_is_byte_accurate() {
+        // R = 4 ranks, N = 64 elements: reduce-scatter moves (R−1)·N = 192
+        // elements in 3·4 = 12 payloads of 16 elements. Each payload carries
+        // its packed codes *and* its 1×16-tile scale factor (one f32), so
+        // subbyte wires are charged for scales, not just element bits.
         let grads = make_grads(4, 64, 15);
         let mut rng = Rng::seed_from(16);
         let rs = ring_reduce_scatter(&grads, &Wire::fp8(16), QuantizePolicy::EveryHop, &mut rng);
-        assert_eq!(rs.bytes_on_wire, 3 * 64);
+        assert_eq!(rs.bytes_on_wire, 12 * (16 + 4)); // 1 B/elem + scale
         let rs4 = ring_reduce_scatter(&grads, &Wire::fp4(16), QuantizePolicy::EveryHop, &mut rng);
-        assert_eq!(rs4.bytes_on_wire, 3 * 64 / 2);
-        // FinalOnly pays full f32 on the wire.
+        assert_eq!(rs4.bytes_on_wire, 12 * (8 + 4)); // 0.5 B/elem + scale
+        let rsb = ring_reduce_scatter(&grads, &Wire::bf16(), QuantizePolicy::EveryHop, &mut rng);
+        assert_eq!(rsb.bytes_on_wire, 12 * 16 * 2); // 2 B/elem, no scales
+                                                    // FinalOnly pays full f32 on the wire.
         let rsf = ring_reduce_scatter(&grads, &Wire::fp4(16), QuantizePolicy::FinalOnly, &mut rng);
         assert_eq!(rsf.bytes_on_wire, 3 * 64 * 4);
+    }
+
+    #[test]
+    fn transmit_decodes_to_the_fake_quantized_payload() {
+        // The packed wire must be numerically invisible: transmit's decode
+        // equals the fake-quantization of the same payload, bit for bit.
+        let mut payload: Vec<f32> = (0..48).map(|i| (i as f32 - 20.0) * 0.37).collect();
+        let mut reference = payload.clone();
+        let wire = Wire::fp4(16);
+        let mut r1 = Rng::seed_from(9);
+        let mut r2 = Rng::seed_from(9);
+        let bytes = wire.transmit(&mut payload, &mut r1);
+        wire.quantize(&mut reference, &mut r2);
+        assert_eq!(bytes, 24 + 3 * 4);
+        for (a, b) in payload.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
     }
 
     #[test]

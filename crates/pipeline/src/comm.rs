@@ -6,11 +6,19 @@
 //! accounting side of that direction: per-step communication volume of
 //! weight-gradient reduce-scatter / all-gather under a precision scheme, so
 //! the trade-off can be explored ahead of kernel support.
+//!
+//! Volumes are **byte-accurate** for the packed wire representation: a
+//! subbyte operand moves its packed codes (4-bit rows padded to whole
+//! bytes, exactly as [`snip_tensor::QTensor`] stores them) *plus* one f32
+//! scale per scale group — gradients at the 1×`quant_group` tile recipe,
+//! weights at the `quant_group`² block recipe. BF16 operands move two bytes
+//! per element and no scales.
 
 use crate::stage::StagePartition;
 use serde::{Deserialize, Serialize};
 use snip_core::Scheme;
 use snip_nn::{LayerId, LayerKind, ModelConfig};
+use snip_quant::{Codebook, Precision, TensorRole};
 
 /// Bytes moved by one data-parallel step for one stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +47,29 @@ pub enum WirePolicy {
     SchemePrecision,
 }
 
+/// Bytes one `rows × cols` operand occupies on the wire at a precision:
+/// packed codes + scale factors for subbyte formats, 2 B/element for BF16.
+/// This matches [`snip_tensor::QTensor::wire_bytes`] for the tensor a real
+/// collective would ship.
+pub fn operand_wire_bytes(
+    rows: usize,
+    cols: usize,
+    p: Precision,
+    role: TensorRole,
+    group: usize,
+) -> u64 {
+    let q = p.quantizer_with_group(role, group);
+    match Codebook::for_float(q.format()) {
+        Some(cb) if q.packable() => {
+            let code_bytes = (rows * cb.width().row_bytes(cols)) as u64;
+            let scale_bytes = 4 * q.granularity().group_count(rows, cols) as u64;
+            code_bytes + scale_bytes
+        }
+        // BF16 wires: two bytes per element, no scale factors.
+        _ => (rows * cols) as u64 * u64::from(p.bits()) / 8,
+    }
+}
+
 /// Per-stage communication volume of one optimizer step under a scheme.
 ///
 /// Counts each linear layer's weight tensor once for all-gather and its
@@ -57,16 +88,33 @@ pub fn step_comm_volume(
                 for kind in LayerKind::ALL {
                     let id = LayerId::new(block, kind);
                     let (n, kk) = kind.dims(cfg);
-                    let numel = (n * kk) as u64;
-                    let (grad_bits, weight_bits) = match policy {
-                        WirePolicy::Bf16 => (16, 16),
+                    let (grad_bytes, weight_bytes) = match policy {
+                        WirePolicy::Bf16 => {
+                            let numel = (n * kk) as u64;
+                            (numel * 2, numel * 2)
+                        }
                         WirePolicy::SchemePrecision => {
                             let p = scheme.layer(id);
-                            (p.grad.bits() as u64, p.weight.bits() as u64)
+                            (
+                                operand_wire_bytes(
+                                    n,
+                                    kk,
+                                    p.grad,
+                                    TensorRole::OutputGrad,
+                                    cfg.quant_group,
+                                ),
+                                operand_wire_bytes(
+                                    n,
+                                    kk,
+                                    p.weight,
+                                    TensorRole::Weight,
+                                    cfg.quant_group,
+                                ),
+                            )
                         }
                     };
-                    v.reduce_scatter += numel * grad_bits / 8;
-                    v.all_gather += numel * weight_bits / 8;
+                    v.reduce_scatter += grad_bytes;
+                    v.all_gather += weight_bytes;
                 }
             }
             v
@@ -111,13 +159,38 @@ mod tests {
     }
 
     #[test]
-    fn fp4_wires_save_4x_over_bf16() {
+    fn fp4_wires_save_nearly_4x_over_bf16() {
+        // Byte-accurate accounting includes the scale factors, so the saving
+        // sits just below the element-only 4× / 2× ideals.
         let cfg = ModelConfig::tinyllama_1b_sim();
         let scheme = Scheme::uniform(Precision::Fp4, cfg.n_linear_layers());
+        // quant_group = 16 here, so tile scales add a full 0.25 B/element
+        // to the 0.5 B/element FP4 gradients — the honest factor is ~3.15,
+        // approaching 4 only as scale groups grow (128 at paper scale).
         let factor = comm_saving_factor(&cfg, &scheme);
-        assert!((factor - 4.0).abs() < 1e-9, "factor = {factor}");
+        assert!((3.0..4.0).contains(&factor), "fp4 factor = {factor}");
         let fp8 = Scheme::uniform(Precision::Fp8, cfg.n_linear_layers());
-        assert!((comm_saving_factor(&cfg, &fp8) - 2.0).abs() < 1e-9);
+        let factor8 = comm_saving_factor(&cfg, &fp8);
+        assert!((1.7..2.0).contains(&factor8), "fp8 factor = {factor8}");
+        assert!(factor > factor8);
+    }
+
+    #[test]
+    fn operand_wire_bytes_hand_check() {
+        // 16×16 FP4 gradient at 1×8 tiles: 16 rows × 8 packed bytes
+        // + 16·2 scales × 4 B.
+        let b = operand_wire_bytes(16, 16, Precision::Fp4, TensorRole::OutputGrad, 8);
+        assert_eq!(b, 16 * 8 + 32 * 4);
+        // Same operand as an FP8 weight at 8×8 blocks: 256 code bytes
+        // + 4 blocks × 4 B.
+        let b = operand_wire_bytes(16, 16, Precision::Fp8, TensorRole::Weight, 8);
+        assert_eq!(b, 256 + 4 * 4);
+        // BF16: two bytes per element, no scales.
+        let b = operand_wire_bytes(16, 16, Precision::Bf16, TensorRole::Weight, 8);
+        assert_eq!(b, 512);
+        // Odd FP4 rows pad to whole bytes, exactly like QTensor storage.
+        let b = operand_wire_bytes(3, 5, Precision::Fp4, TensorRole::OutputGrad, 8);
+        assert_eq!(b, 3 * 3 + 3 * 4);
     }
 
     #[test]

@@ -22,10 +22,16 @@ pub fn simulate_gpipe(costs: &[StageCost], n_microbatches: usize) -> PipelineSim
     let mut free_at = vec![0.0f64; s];
     let mut fwd_done = vec![vec![0.0f64; m]; s];
 
-    // Forward wave.
+    // Forward wave. Stages and microbatches advance in lockstep over the
+    // `fwd_done`/`free_at` grids, so indexed loops read clearest.
+    #[allow(clippy::needless_range_loop)]
     for mb in 0..m {
         for stage in 0..s {
-            let dep = if stage == 0 { 0.0 } else { fwd_done[stage - 1][mb] };
+            let dep = if stage == 0 {
+                0.0
+            } else {
+                fwd_done[stage - 1][mb]
+            };
             let start = dep.max(free_at[stage]);
             let end = start + costs[stage].forward;
             fwd_done[stage][mb] = end;

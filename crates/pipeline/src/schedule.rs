@@ -101,7 +101,11 @@ pub fn simulate_1f1b(costs: &[StageCost], n_microbatches: usize) -> PipelineSim 
                     if fwd_ran[stage][mb] {
                         continue;
                     }
-                    let dep = if stage == 0 { 0.0 } else { fwd_done[stage - 1][mb] };
+                    let dep = if stage == 0 {
+                        0.0
+                    } else {
+                        fwd_done[stage - 1][mb]
+                    };
                     if dep.is_finite() {
                         let start = dep.max(free_at[stage]);
                         let cand = (start, stage, Phase::Forward, mb);
@@ -158,10 +162,7 @@ pub fn simulate_1f1b(costs: &[StageCost], n_microbatches: usize) -> PipelineSim 
 
 /// Preference order: earlier start, then backward before forward, then lower
 /// microbatch.
-fn better(
-    current: &Option<(f64, usize, Phase, usize)>,
-    cand: &(f64, usize, Phase, usize),
-) -> bool {
+fn better(current: &Option<(f64, usize, Phase, usize)>, cand: &(f64, usize, Phase, usize)) -> bool {
     match current {
         None => true,
         Some(cur) => {
@@ -243,9 +244,7 @@ mod tests {
                         >= find(stage + 1, mb, Phase::Backward).end - 1e-9
                 );
             }
-            assert!(
-                find(3, mb, Phase::Backward).start >= find(3, mb, Phase::Forward).end - 1e-9
-            );
+            assert!(find(3, mb, Phase::Backward).start >= find(3, mb, Phase::Forward).end - 1e-9);
         }
     }
 
@@ -284,6 +283,10 @@ mod tests {
         assert!(sim.makespan >= 16.0 * 9.0 - 1e-9);
         // And the slow stage has almost no idle time in steady state.
         let busy = sim.stage_busy[2];
-        assert!(busy / sim.makespan > 0.85, "slow stage busy {busy} of {}", sim.makespan);
+        assert!(
+            busy / sim.makespan > 0.85,
+            "slow stage busy {busy} of {}",
+            sim.makespan
+        );
     }
 }

@@ -67,7 +67,11 @@ impl StagePartition {
     /// Linear-layer ids owned by stage `k`.
     pub fn linears(&self, k: usize) -> Vec<LayerId> {
         self.blocks(k)
-            .flat_map(|b| LayerKind::ALL.iter().map(move |&kind| LayerId::new(b, kind)))
+            .flat_map(|b| {
+                LayerKind::ALL
+                    .iter()
+                    .map(move |&kind| LayerId::new(b, kind))
+            })
             .collect()
     }
 }

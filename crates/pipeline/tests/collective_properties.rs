@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use snip_pipeline::collective::{
-    chunk_bounds, exact_sum, relative_error, ring_all_reduce, ring_reduce_scatter,
-    QuantizePolicy, Wire,
+    chunk_bounds, exact_sum, relative_error, ring_all_reduce, ring_reduce_scatter, QuantizePolicy,
+    Wire,
 };
 use snip_tensor::rng::Rng;
 
@@ -98,8 +98,11 @@ proptest! {
             .bytes_on_wire;
         let b8 = ring_reduce_scatter(&grads, &Wire::fp8(8), QuantizePolicy::EveryHop, &mut rng)
             .bytes_on_wire;
-        // Chunk-level ceil rounding can only add a byte per payload.
-        prop_assert!(b8 <= b16 / 2 + (grads.len() as u64 - 1) * grads.len() as u64);
-        prop_assert!(b8 * 2 >= b16 / 2, "fp8 {b8} vs bf16 {b16}");
+        // Byte-accurate fp8 wires move 1 B of codes per element plus one
+        // f32 scale per 1×8 tile: between half and three-quarters of the
+        // bf16 volume, plus at most one partial tile per payload.
+        let payloads = (grads.len() as u64 - 1) * grads.len() as u64;
+        prop_assert!(b8 <= (b16 * 3) / 4 + payloads * 4, "fp8 {b8} vs bf16 {b16}");
+        prop_assert!(b8 >= b16 / 2, "fp8 {b8} vs bf16 {b16}");
     }
 }

@@ -1,0 +1,302 @@
+//! Codebooks: the bridge between number formats and packed storage.
+//!
+//! A subbyte format has at most 2⁸ representable values, so a packed tensor
+//! stores each element as an index — a **code** — into the format's value
+//! table. Codes are sign-magnitude: the top bit of the code space is the
+//! sign, the low bits index the sorted non-negative value list. Code 0 is
+//! always +0, so zero-initialized packed storage decodes to zero.
+//!
+//! ```text
+//!   FP4 E2M1 (CodeWidth::U4):
+//!     code  0..=7  → {0, 0.5, 1, 1.5, 2, 3, 4, 6}
+//!     code  8..=15 → {-0, -0.5, -1, -1.5, -2, -3, -4, -6}
+//!   FP8 / INT8 (CodeWidth::U8): same shape with a 128-entry half.
+//! ```
+//!
+//! [`Codebook::encode`] maps a value that is *already on the format grid*
+//! (the output of `quantize_nearest`/`quantize_stochastic`) to its code;
+//! the decode table it emits reproduces that value bit-for-bit, which is
+//! what makes the packed pipeline exactly equivalent to fake quantization.
+
+use crate::format::{FloatFormat, FormatKind};
+use crate::granularity::Granularity;
+use crate::int::IntFormat;
+use snip_tensor::rng::Rng;
+use snip_tensor::{CodeWidth, QTensor, Tensor};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of a decode table in the shared per-format registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum LutKey {
+    Float(FormatKind),
+    Int(u32),
+}
+
+/// Decode tables, one per format, shared by every tensor of that format.
+static LUT_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[f32]>>>> = OnceLock::new();
+
+/// A sign-magnitude code table for one subbyte format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Codebook {
+    /// Non-negative representable values, ascending, starting at 0.
+    nonneg: Vec<f32>,
+    width: CodeWidth,
+    key: LutKey,
+}
+
+impl Codebook {
+    /// Builds the codebook of a floating-point format, or `None` if the
+    /// format is wider than 8 bits (BF16 is not packable).
+    pub fn for_float(fmt: FloatFormat) -> Option<Codebook> {
+        if fmt.bits() > 8 {
+            return None;
+        }
+        Some(Codebook::from_nonneg(
+            fmt.enumerate_non_negative(),
+            LutKey::Float(fmt.kind()),
+        ))
+    }
+
+    /// Builds the codebook of a symmetric integer format, or `None` if the
+    /// format is wider than 8 bits.
+    pub fn for_int(fmt: IntFormat) -> Option<Codebook> {
+        if fmt.bits() > 8 {
+            return None;
+        }
+        let qmax = fmt.qmax() as i64;
+        Some(Codebook::from_nonneg(
+            (0..=qmax).map(|i| i as f32).collect(),
+            LutKey::Int(fmt.bits()),
+        ))
+    }
+
+    fn from_nonneg(nonneg: Vec<f32>, key: LutKey) -> Codebook {
+        assert!(
+            !nonneg.is_empty() && nonneg[0] == 0.0,
+            "table must start at 0"
+        );
+        assert!(
+            nonneg.windows(2).all(|w| w[0] < w[1]),
+            "table must be strictly ascending"
+        );
+        let width = if nonneg.len() <= 8 {
+            CodeWidth::U4
+        } else {
+            assert!(
+                nonneg.len() <= 128,
+                "format has {} non-negative values; codes would not fit a byte",
+                nonneg.len()
+            );
+            CodeWidth::U8
+        };
+        Codebook { nonneg, width, key }
+    }
+
+    /// The packed storage width codes of this book need.
+    pub fn width(&self) -> CodeWidth {
+        self.width
+    }
+
+    /// Number of distinct non-negative values (codes actually in use are
+    /// `0..values()` and `half..half + values()`).
+    pub fn values(&self) -> usize {
+        self.nonneg.len()
+    }
+
+    /// The decode table: `lut[code] = value`. Unused codes decode to 0.
+    ///
+    /// Tables are interned per format, so every packed tensor of one format
+    /// shares a single allocation — decode tables are format metadata and
+    /// cost nothing per tensor.
+    pub fn lut(&self) -> Arc<[f32]> {
+        let registry = LUT_REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().expect("lut registry poisoned");
+        map.entry(self.key)
+            .or_insert_with(|| self.build_lut().into())
+            .clone()
+    }
+
+    fn build_lut(&self) -> Vec<f32> {
+        let len = self.width.lut_len();
+        let half = len / 2;
+        let mut lut = vec![0.0f32; len];
+        for (i, &v) in self.nonneg.iter().enumerate() {
+            lut[i] = v;
+            lut[half + i] = -v;
+        }
+        lut
+    }
+
+    /// Quantizes `t` into packed storage in a single pass: per scale group,
+    /// compute `scale = grid_max / max|group|`, then write each element's
+    /// code straight into the packed byte buffer. Elements are visited in
+    /// [`Granularity::for_each_group`] order — the same element order (and
+    /// the same stochastic-draw order) as the fake-quantization path, which
+    /// is what keeps the two bit-identical.
+    ///
+    /// `quantize` maps an already-scaled value onto the format grid,
+    /// consuming `rng` only for stochastic rounding.
+    pub fn pack(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        grid_max: f32,
+        rng: &mut Rng,
+        quantize: impl Fn(f32, &mut Rng) -> f32,
+    ) -> QTensor {
+        let (rows, cols) = t.shape();
+        let layout = granularity.layout();
+        let width = self.width();
+        let row_bytes = width.row_bytes(cols);
+        let mut data = vec![0u8; rows * row_bytes];
+        let mut scales = Vec::with_capacity(layout.group_count(rows, cols));
+        granularity.for_each_group(rows, cols, |rr, cr| {
+            let mut max_abs = 0.0f32;
+            for r in rr.clone() {
+                let row = t.row(r);
+                for c in cr.clone() {
+                    max_abs = max_abs.max(row[c].abs());
+                }
+            }
+            let scale = Granularity::group_scale(grid_max, max_abs);
+            scales.push(1.0 / scale);
+            for r in rr {
+                let row = t.row(r);
+                for c in cr.clone() {
+                    let code = self.encode(quantize(row[c] * scale, rng));
+                    match width {
+                        CodeWidth::U4 => {
+                            let byte = &mut data[r * row_bytes + c / 2];
+                            // Buffer starts zeroed and each element is
+                            // visited once, so OR-ing nibbles suffices.
+                            *byte |= if c % 2 == 0 { code } else { code << 4 };
+                        }
+                        CodeWidth::U8 => data[r * row_bytes + c] = code,
+                    }
+                }
+            }
+        });
+        QTensor::from_parts(rows, cols, width, self.lut(), layout, scales, data)
+    }
+
+    /// Encodes a value that lies on the format grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `q` is not a representable value; release builds
+    /// fall back to the nearest table entry.
+    #[inline]
+    pub fn encode(&self, q: f32) -> u8 {
+        let half = (self.width.lut_len() / 2) as u8;
+        let sign = if q.is_sign_negative() { half } else { 0 };
+        if q == 0.0 {
+            // Signed zeros round-trip bitwise: lut[half] is -0.0.
+            return sign;
+        }
+        let a = q.abs();
+        let idx = match self
+            .nonneg
+            .binary_search_by(|v| v.partial_cmp(&a).expect("table values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                debug_assert!(false, "{a} is not on the format grid");
+                // Nearest neighbour as a safe fallback.
+                if i == 0 {
+                    0
+                } else if i >= self.nonneg.len() {
+                    self.nonneg.len() - 1
+                } else if a - self.nonneg[i - 1] <= self.nonneg[i] - a {
+                    i - 1
+                } else {
+                    i
+                }
+            }
+        };
+        sign + idx as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp4_codebook_is_the_mx_table() {
+        let cb = Codebook::for_float(FloatFormat::e2m1()).unwrap();
+        assert_eq!(cb.width(), CodeWidth::U4);
+        assert_eq!(cb.values(), 8);
+        let lut = cb.lut();
+        assert_eq!(&lut[0..8], &[0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]);
+        assert_eq!(lut[9], -0.5);
+        assert_eq!(lut[15], -6.0);
+    }
+
+    #[test]
+    fn fp8_codebooks_fit_a_byte() {
+        for fmt in [
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ] {
+            let cb = Codebook::for_float(fmt).unwrap();
+            assert_eq!(cb.width(), CodeWidth::U8, "{fmt}");
+            assert!(cb.values() <= 128, "{fmt}: {}", cb.values());
+        }
+    }
+
+    #[test]
+    fn bf16_is_not_packable() {
+        assert!(Codebook::for_float(FloatFormat::bf16()).is_none());
+        assert!(Codebook::for_int(IntFormat::new(16)).is_none());
+    }
+
+    #[test]
+    fn int_codebooks() {
+        let cb = Codebook::for_int(IntFormat::int4()).unwrap();
+        assert_eq!(cb.width(), CodeWidth::U4);
+        assert_eq!(cb.values(), 8);
+        let cb8 = Codebook::for_int(IntFormat::int8()).unwrap();
+        assert_eq!(cb8.width(), CodeWidth::U8);
+        assert_eq!(cb8.values(), 128);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_representable_value() {
+        for fmt in [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ] {
+            let cb = Codebook::for_float(fmt).unwrap();
+            let lut = cb.lut();
+            for v in fmt.enumerate_non_negative() {
+                assert_eq!(
+                    lut[cb.encode(v) as usize].to_bits(),
+                    v.to_bits(),
+                    "{fmt}: {v}"
+                );
+                if v != 0.0 {
+                    let n = -v;
+                    assert_eq!(
+                        lut[cb.encode(n) as usize].to_bits(),
+                        n.to_bits(),
+                        "{fmt}: {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_zeros_round_trip_bitwise() {
+        let cb = Codebook::for_float(FloatFormat::e2m1()).unwrap();
+        let lut = cb.lut();
+        assert_eq!(cb.encode(0.0), 0);
+        assert_eq!(lut[0].to_bits(), 0.0f32.to_bits());
+        assert_eq!(cb.encode(-0.0), 8);
+        assert_eq!(lut[8].to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -220,7 +220,11 @@ impl FloatFormat {
         // subnormal, both correct.
         let bits = a.to_bits();
         let exp_field = ((bits >> 23) & 0xFF) as i32;
-        let e = if exp_field == 0 { -127 } else { exp_field - 127 };
+        let e = if exp_field == 0 {
+            -127
+        } else {
+            exp_field - 127
+        };
         let e_eff = e.max(self.emin);
         // Representable values at this binade are multiples of the quantum.
         let quantum = exp2i(e_eff - self.man_bits as i32);
@@ -237,7 +241,10 @@ impl FloatFormat {
     /// Panics if the format has more than 8 total bits (the enumeration
     /// would be impractically large).
     pub fn enumerate_non_negative(&self) -> Vec<f32> {
-        assert!(self.bits() <= 8, "enumeration only supported for subbyte/byte formats");
+        assert!(
+            self.bits() <= 8,
+            "enumeration only supported for subbyte/byte formats"
+        );
         let mut values = vec![0.0];
         let m = self.man_bits;
         // Subnormals: j * 2^(emin - m), j = 1..2^m
@@ -366,12 +373,7 @@ mod tests {
             let best = vals
                 .iter()
                 .copied()
-                .min_by(|a, b| {
-                    (a - probe)
-                        .abs()
-                        .partial_cmp(&(b - probe).abs())
-                        .unwrap()
-                })
+                .min_by(|a, b| (a - probe).abs().partial_cmp(&(b - probe).abs()).unwrap())
                 .unwrap();
             assert!(
                 (q - probe).abs() <= (best - probe).abs() + 1e-7,
@@ -433,7 +435,7 @@ mod tests {
         assert_eq!(bf16_round(1.0 + 3.0 * 2f32.powi(-9)), 1.0 + 2f32.powi(-7));
         // The fast bit path agrees with the generic codec on normal values.
         let generic = FloatFormat::bf16();
-        for &x in &[3.0e38f32, 1.5e-20, -7.25, 0.333, 123456.789] {
+        for &x in &[3.0e38f32, 1.5e-20, -7.25, 0.333, 123_456.79] {
             assert_eq!(bf16_round(x), generic.quantize_nearest(x), "x = {x}");
         }
         assert!(bf16_round(f32::NAN).is_nan());

@@ -13,7 +13,7 @@
 //! and gradients, **128×128 block-wise** scaling for weights.
 
 use serde::{Deserialize, Serialize};
-use snip_tensor::Tensor;
+use snip_tensor::{GroupLayout, Tensor};
 
 /// How scaling factors are assigned to regions of a tensor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -112,6 +112,34 @@ impl Granularity {
         }
     }
 
+    /// The scaling factor for one group: `grid_max / max|group|`, with an
+    /// identity fallback for all-zero or non-finite groups.
+    ///
+    /// Every quantization path — fake (float and int) and packed — must use
+    /// this one definition: the packed↔fake bit-identity contract depends
+    /// on the scale expression never drifting between them.
+    #[inline]
+    pub fn group_scale(grid_max: f32, max_abs: f32) -> f32 {
+        if max_abs > 0.0 && max_abs.is_finite() {
+            grid_max / max_abs
+        } else {
+            1.0
+        }
+    }
+
+    /// The storage-level layout of this granularity for packed tensors.
+    /// Group order (and therefore scale-vector order) is identical between
+    /// [`Granularity::for_each_group`] and the layout's index arithmetic.
+    pub fn layout(&self) -> GroupLayout {
+        match *self {
+            Granularity::Tensorwise => GroupLayout::Tensorwise,
+            Granularity::Rowwise => GroupLayout::Rowwise,
+            Granularity::Columnwise => GroupLayout::Columnwise,
+            Granularity::Block { nb } => GroupLayout::Block { nb },
+            Granularity::Tile { nb } => GroupLayout::Tile { nb },
+        }
+    }
+
     /// Maximum absolute value within each group, in group order.
     pub fn group_max_abs(&self, t: &Tensor) -> Vec<f32> {
         let (rows, cols) = t.shape();
@@ -146,9 +174,15 @@ impl std::fmt::Display for Granularity {
 mod tests {
     use super::*;
 
-    fn collect_groups(g: Granularity, rows: usize, cols: usize) -> Vec<(usize, usize, usize, usize)> {
+    fn collect_groups(
+        g: Granularity,
+        rows: usize,
+        cols: usize,
+    ) -> Vec<(usize, usize, usize, usize)> {
         let mut v = Vec::new();
-        g.for_each_group(rows, cols, |rr, cr| v.push((rr.start, rr.end, cr.start, cr.end)));
+        g.for_each_group(rows, cols, |rr, cr| {
+            v.push((rr.start, rr.end, cr.start, cr.end))
+        });
         v
     }
 
@@ -186,7 +220,10 @@ mod tests {
                 }
             });
             assert!(covered.iter().all(|&x| x == 1), "{g}: {covered:?}");
-            assert_eq!(collect_groups(g, rows, cols).len(), g.group_count(rows, cols));
+            assert_eq!(
+                collect_groups(g, rows, cols).len(),
+                g.group_count(rows, cols)
+            );
         }
     }
 
@@ -219,6 +256,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Granularity::Tile { nb: 128 }.to_string(), "1x128 tilewise");
-        assert_eq!(Granularity::Block { nb: 128 }.to_string(), "128x128 blockwise");
+        assert_eq!(
+            Granularity::Block { nb: 128 }.to_string(),
+            "128x128 blockwise"
+        );
     }
 }

@@ -19,11 +19,12 @@
 //! better near the group maximum, worse near zero — which is exactly the
 //! trade-off the ILP can arbitrate per layer.
 
+use crate::codebook::Codebook;
 use crate::granularity::Granularity;
 use crate::quantizer::Rounding;
 use serde::{Deserialize, Serialize};
 use snip_tensor::rng::Rng;
-use snip_tensor::Tensor;
+use snip_tensor::{QTensor, Tensor};
 
 /// A symmetric signed-integer element format of 2–16 bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -85,7 +86,11 @@ impl IntFormat {
         }
         let lo = v.floor();
         let frac = v - lo;
-        let q = if (u as f64) < frac as f64 { lo + 1.0 } else { lo };
+        let q = if (u as f64) < frac as f64 {
+            lo + 1.0
+        } else {
+            lo
+        };
         q.clamp(-self.qmax(), self.qmax())
     }
 }
@@ -118,12 +123,20 @@ impl IntQuantizer {
     /// INT8 with the DeepSeek-style `1×nb` tile scaling used for
     /// activations and gradients.
     pub fn int8_tile(nb: usize) -> Self {
-        IntQuantizer::new(IntFormat::int8(), Granularity::Tile { nb }, Rounding::Nearest)
+        IntQuantizer::new(
+            IntFormat::int8(),
+            Granularity::Tile { nb },
+            Rounding::Nearest,
+        )
     }
 
     /// INT4 with `1×nb` tile scaling.
     pub fn int4_tile(nb: usize) -> Self {
-        IntQuantizer::new(IntFormat::int4(), Granularity::Tile { nb }, Rounding::Nearest)
+        IntQuantizer::new(
+            IntFormat::int4(),
+            Granularity::Tile { nb },
+            Rounding::Nearest,
+        )
     }
 
     /// The element format.
@@ -162,11 +175,7 @@ impl IntQuantizer {
                     max_abs = max_abs.max(row[c].abs());
                 }
             }
-            let scale = if max_abs > 0.0 && max_abs.is_finite() {
-                qmax / max_abs
-            } else {
-                1.0
-            };
+            let scale = Granularity::group_scale(qmax, max_abs);
             let inv_scale = 1.0 / scale;
             for r in rr {
                 let row = t.row_mut(r);
@@ -181,6 +190,31 @@ impl IntQuantizer {
                 }
             }
         });
+    }
+
+    /// Whether this quantizer's output can be stored bit-packed (widths of
+    /// 8 bits or fewer).
+    pub fn packable(&self) -> bool {
+        self.format.bits() <= 8
+    }
+
+    /// Quantizes `t` into bit-packed storage, or `None` for widths above 8
+    /// bits. Exactly equivalent to [`IntQuantizer::fake_quantize`]: the
+    /// dequantized packed tensor is bit-for-bit identical and the same
+    /// stochastic draws are consumed.
+    pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
+        let cb = Codebook::for_int(self.format)?;
+        let fmt = self.format;
+        let stochastic = self.rounding == Rounding::Stochastic;
+        Some(
+            cb.pack(t, self.granularity, fmt.qmax(), rng, |scaled, rng| {
+                if stochastic {
+                    fmt.quantize_stochastic(scaled, rng.next_f32())
+                } else {
+                    fmt.quantize_nearest(scaled)
+                }
+            }),
+        )
     }
 
     /// Frobenius norm of the quantization error under deterministic nearest
@@ -277,19 +311,12 @@ mod tests {
 
     #[test]
     fn per_element_error_bounded_by_half_step() {
-        let q = IntQuantizer::new(
-            IntFormat::int4(),
-            Granularity::Rowwise,
-            Rounding::Nearest,
-        );
+        let q = IntQuantizer::new(IntFormat::int4(), Granularity::Rowwise, Rounding::Nearest);
         let mut r = rng();
         let t = Tensor::randn(8, 32, 2.0, &mut r);
         let fq = q.fake_quantize(&t, &mut r);
         for row in 0..8 {
-            let max_abs = t
-                .row(row)
-                .iter()
-                .fold(0.0f32, |m, v| m.max(v.abs()));
+            let max_abs = t.row(row).iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let step = max_abs / IntFormat::int4().qmax();
             for c in 0..32 {
                 let err = (fq[(row, c)] - t[(row, c)]).abs();
@@ -363,5 +390,40 @@ mod tests {
     fn display() {
         assert_eq!(IntFormat::int8().to_string(), "int8");
         assert_eq!(IntFormat::int4().to_string(), "int4");
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_fake_quantization() {
+        let mut data_rng = rng();
+        let t = Tensor::randn(10, 24, 2.0, &mut data_rng);
+        for fmt in [IntFormat::int4(), IntFormat::int8(), IntFormat::new(3)] {
+            for g in [
+                Granularity::Rowwise,
+                Granularity::Block { nb: 6 },
+                Granularity::Tile { nb: 6 },
+            ] {
+                for rounding in [Rounding::Nearest, Rounding::Stochastic] {
+                    let q = IntQuantizer::new(fmt, g, rounding);
+                    let mut rng_fake = Rng::seed_from(4);
+                    let mut rng_packed = Rng::seed_from(4);
+                    let fake = q.fake_quantize(&t, &mut rng_fake);
+                    let packed = q.quantize_packed(&t, &mut rng_packed).expect("packable");
+                    let deq = packed.dequantize();
+                    for (i, (x, y)) in fake.as_slice().iter().zip(deq.as_slice()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{fmt} {g} {rounding:?}: element {i}: {x} vs {y}"
+                        );
+                    }
+                    assert_eq!(rng_fake.next_u64(), rng_packed.next_u64());
+                }
+            }
+        }
+        assert!(
+            IntQuantizer::new(IntFormat::new(12), Granularity::Rowwise, Rounding::Nearest)
+                .quantize_packed(&t, &mut rng())
+                .is_none()
+        );
     }
 }

@@ -37,6 +37,7 @@
 //! assert_eq!(lp.forward_gemm(), Precision::Fp4);
 //! ```
 
+pub mod codebook;
 pub mod error;
 pub mod format;
 pub mod granularity;
@@ -46,6 +47,7 @@ pub mod outlier;
 mod quantizer;
 pub mod rht;
 
+pub use codebook::Codebook;
 pub use quantizer::{Quantizer, Rounding};
 
 use format::FloatFormat;

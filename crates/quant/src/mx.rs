@@ -54,7 +54,7 @@ impl MxQuantizer {
         // → p = 2^ceil(log2(max_abs / fmt_max)).
         let e = (max_abs / self.fmt.max_value()).log2().ceil();
         let e = e.clamp(-127.0, 127.0);
-        (e as f32).exp2()
+        e.exp2()
     }
 
     /// Fake-quantizes `t` with per-row 32-element MX blocks.
@@ -172,7 +172,11 @@ mod tests {
         for &m in &[0.1f32, 1.0, 5.9, 6.0, 6.1, 100.0, 1e-6] {
             let s = q.block_scale(m);
             assert!(s > 0.0);
-            assert_eq!(s.log2().fract(), 0.0, "scale {s} for max {m} not a power of two");
+            assert_eq!(
+                s.log2().fract(),
+                0.0,
+                "scale {s} for max {m} not a power of two"
+            );
             // The scaled max must fit the format.
             assert!(m / s <= q.format().max_value() * (1.0 + 1e-6));
         }

@@ -165,7 +165,11 @@ mod tests {
     }
 
     fn fp4_tile(nb: usize) -> Quantizer {
-        Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb }, Rounding::Nearest)
+        Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Tile { nb },
+            Rounding::Nearest,
+        )
     }
 
     #[test]

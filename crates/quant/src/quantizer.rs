@@ -6,11 +6,12 @@
 //! arithmetic. [`Quantizer`] bundles a format, a scaling granularity and a
 //! rounding mode into the reusable object the linear layers consume.
 
+use crate::codebook::Codebook;
 use crate::format::FloatFormat;
 use crate::granularity::Granularity;
 use serde::{Deserialize, Serialize};
 use snip_tensor::rng::Rng;
-use snip_tensor::Tensor;
+use snip_tensor::{QTensor, Tensor};
 
 /// Rounding mode used when mapping to the low-precision grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -132,11 +133,7 @@ impl Quantizer {
                 }
             }
             // scale = FPX_MAX / max(abs(x)); an all-zero group needs no scaling.
-            let scale = if max_abs > 0.0 && max_abs.is_finite() {
-                max_value / max_abs
-            } else {
-                1.0
-            };
+            let scale = Granularity::group_scale(max_value, max_abs);
             let inv_scale = 1.0 / scale;
             for r in rr {
                 let row = t.row_mut(r);
@@ -151,6 +148,45 @@ impl Quantizer {
                 }
             }
         });
+    }
+
+    /// Whether this quantizer's output can be stored bit-packed: scaled
+    /// subbyte/byte formats can; unscaled BF16 emulation cannot (16-bit
+    /// values have no code table).
+    pub fn packable(&self) -> bool {
+        self.scaled && self.format.bits() <= 8
+    }
+
+    /// Quantizes `t` into bit-packed storage, or `None` when the format is
+    /// not packable (the caller falls back to [`Quantizer::fake_quantize`]).
+    ///
+    /// The packed result is **exactly equivalent** to fake quantization:
+    /// `quantize_packed(t, rng).dequantize()` is bit-for-bit equal to
+    /// `fake_quantize(t, rng)` for the same starting `rng` state, and both
+    /// consume the same number of stochastic-rounding draws. Scales are
+    /// stored as the decode multiplier `1 / (FPX_MAX / max|group|)` — the
+    /// same `inv_scale` the fake path multiplies by.
+    pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
+        if !self.packable() {
+            return None;
+        }
+        let cb = Codebook::for_float(self.format)?;
+        let fmt = self.format;
+        let stochastic = self.rounding == Rounding::Stochastic;
+        Some(
+            cb.pack(t, self.granularity, fmt.max_value(), rng, |scaled, rng| {
+                if stochastic {
+                    fmt.quantize_stochastic(scaled, rng.next_f32())
+                } else {
+                    fmt.quantize_nearest(scaled)
+                }
+            }),
+        )
+    }
+
+    /// Decodes a packed tensor produced by [`Quantizer::quantize_packed`].
+    pub fn dequantize(&self, qt: &QTensor) -> Tensor {
+        qt.dequantize()
     }
 
     /// Frobenius norm of the quantization error `‖q(t) − t‖_F`, using
@@ -202,11 +238,7 @@ mod tests {
     fn group_max_is_preserved_exactly() {
         // Scaling maps each group's max-abs onto FPX_MAX, which is exactly
         // representable, so the max element must round-trip.
-        let q = Quantizer::new(
-            FloatFormat::e2m1(),
-            Granularity::Rowwise,
-            Rounding::Nearest,
-        );
+        let q = Quantizer::new(FloatFormat::e2m1(), Granularity::Rowwise, Rounding::Nearest);
         let t = Tensor::from_vec(2, 3, vec![0.3, -1.7, 0.2, 55.0, 1.0, -3.0]);
         let fq = q.fake_quantize(&t, &mut rng());
         assert!((fq[(0, 1)] - -1.7).abs() < 1e-6);
@@ -298,13 +330,83 @@ mod tests {
         assert_eq!(q.error_norm(&t), q.error_norm(&t));
     }
 
+    fn assert_bit_identical(a: &Tensor, b: &Tensor, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+        }
+    }
+
     #[test]
-    fn infinite_inputs_saturate_without_poisoning_group() {
-        let q = Quantizer::new(
+    fn packed_path_is_bit_identical_to_fake_quantization() {
+        let mut data_rng = rng();
+        let t = Tensor::randn(12, 20, 1.5, &mut data_rng);
+        for fmt in [
+            FloatFormat::e2m1(),
             FloatFormat::e4m3(),
-            Granularity::Rowwise,
+            FloatFormat::e5m2(),
+        ] {
+            for g in [
+                Granularity::Tensorwise,
+                Granularity::Rowwise,
+                Granularity::Columnwise,
+                Granularity::Block { nb: 5 },
+                Granularity::Tile { nb: 5 },
+            ] {
+                for rounding in [Rounding::Nearest, Rounding::Stochastic] {
+                    let q = Quantizer::new(fmt, g, rounding);
+                    let mut rng_fake = Rng::seed_from(99);
+                    let mut rng_packed = Rng::seed_from(99);
+                    let fake = q.fake_quantize(&t, &mut rng_fake);
+                    let packed = q.quantize_packed(&t, &mut rng_packed).expect("packable");
+                    assert_bit_identical(
+                        &fake,
+                        &q.dequantize(&packed),
+                        &format!("{fmt} {g} {rounding:?}"),
+                    );
+                    // Both paths must consume the same stochastic draws.
+                    assert_eq!(rng_fake.next_u64(), rng_packed.next_u64(), "{fmt} {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_is_not_packable() {
+        let q = Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest);
+        assert!(!q.packable());
+        let t = Tensor::zeros(2, 2);
+        assert!(q.quantize_packed(&t, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn packed_storage_is_subbyte_for_fp4() {
+        let mut r = rng();
+        let t = Tensor::randn(64, 256, 1.0, &mut r);
+        let q = Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Tile { nb: 128 },
             Rounding::Nearest,
         );
+        let packed = q.quantize_packed(&t, &mut r).unwrap();
+        assert_eq!(packed.packed_data_bytes(), 64 * 128); // 0.5 B/element
+        assert_eq!(packed.scale_bytes(), 64 * 2 * 4); // one f32 per 1×128 tile
+    }
+
+    #[test]
+    fn packed_handles_non_finite_groups() {
+        let q = Quantizer::new(FloatFormat::e4m3(), Granularity::Rowwise, Rounding::Nearest);
+        let t = Tensor::from_vec(1, 3, vec![f32::INFINITY, 1.0, -2.0]);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let fake = q.fake_quantize(&t, &mut r1);
+        let packed = q.quantize_packed(&t, &mut r2).unwrap();
+        assert_bit_identical(&fake, &packed.dequantize(), "inf group");
+    }
+
+    #[test]
+    fn infinite_inputs_saturate_without_poisoning_group() {
+        let q = Quantizer::new(FloatFormat::e4m3(), Granularity::Rowwise, Rounding::Nearest);
         let t = Tensor::from_vec(1, 3, vec![f32::INFINITY, 1.0, -2.0]);
         let fq = q.fake_quantize(&t, &mut rng());
         assert!(fq.all_finite());

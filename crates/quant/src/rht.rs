@@ -316,7 +316,10 @@ mod tests {
         let before: f64 = v.iter().map(|x| (*x as f64).powi(2)).sum();
         rot.forward(&mut v);
         let after: f64 = v.iter().map(|x| (*x as f64).powi(2)).sum();
-        assert!((before - after).abs() < 1e-3 * before, "{before} vs {after}");
+        assert!(
+            (before - after).abs() < 1e-3 * before,
+            "{before} vs {after}"
+        );
     }
 
     #[test]
@@ -341,7 +344,11 @@ mod tests {
     }
 
     fn fp4_tile(nb: usize) -> Quantizer {
-        Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb }, Rounding::Nearest)
+        Quantizer::new(
+            FloatFormat::e2m1(),
+            Granularity::Tile { nb },
+            Rounding::Nearest,
+        )
     }
 
     #[test]

@@ -17,7 +17,11 @@ fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
 }
 
 fn fp4_tile(nb: usize) -> Quantizer {
-    Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb }, Rounding::Nearest)
+    Quantizer::new(
+        FloatFormat::e2m1(),
+        Granularity::Tile { nb },
+        Rounding::Nearest,
+    )
 }
 
 proptest! {

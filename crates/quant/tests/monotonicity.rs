@@ -95,11 +95,7 @@ fn scaling_invariance_of_relative_error() {
     let mut rng = Rng::seed_from(10);
     let t = Tensor::randn(4, 8, 1.0, &mut rng);
     let scaled = t.map(|x| x * 8.0);
-    let q = Quantizer::new(
-        FloatFormat::e2m1(),
-        Granularity::Rowwise,
-        Rounding::Nearest,
-    );
+    let q = Quantizer::new(FloatFormat::e2m1(), Granularity::Rowwise, Rounding::Nearest);
     let e1 = q.relative_error(&t);
     let e2 = q.relative_error(&scaled);
     assert!(

@@ -10,6 +10,10 @@
 //!   flattened, so a 2-D tensor keeps the whole stack simple and auditable.
 //! * [`matmul`] — blocked, optionally multi-threaded GEMM kernels in the three
 //!   orientations used by a linear layer's forward and backward passes.
+//! * [`packed`] — bit-packed subbyte tensors ([`QTensor`]: 4/8-bit codes +
+//!   per-group scales) and quantized GEMM kernels that decode them on the
+//!   fly, bit-for-bit equivalent to the dense kernels over dequantized
+//!   operands.
 //! * [`ops`] — elementwise and reduction helpers (softmax, SiLU, norms).
 //! * [`rng`] — deterministic xoshiro256++ random streams with Gaussian
 //!   sampling; all randomness in the workspace flows from explicit seeds so
@@ -31,14 +35,17 @@
 
 pub mod matmul;
 pub mod ops;
+pub mod packed;
 pub mod rng;
 mod tensor;
 
+pub use packed::{CodeWidth, GroupLayout, QOperandRef, QTensor};
 pub use tensor::Tensor;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::matmul::{matmul, matmul_nt, matmul_tn};
+    pub use crate::packed::{qgemm, qgemm_nt, qgemm_tn, QOperandRef, QTensor};
     pub use crate::rng::Rng;
     pub use crate::Tensor;
 }

@@ -19,7 +19,7 @@ use crate::Tensor;
 /// — around 2^22 MACs on commodity cores.
 const PARALLEL_THRESHOLD: usize = 1 << 22;
 
-fn thread_count(work: usize) -> usize {
+pub(crate) fn thread_count(work: usize) -> usize {
     if work < PARALLEL_THRESHOLD {
         return 1;
     }
@@ -31,7 +31,7 @@ fn thread_count(work: usize) -> usize {
 
 /// Splits `rows` into `parts` contiguous chunks and runs `f(start, end)` for
 /// each chunk, in parallel when `parts > 1`.
-fn for_each_row_chunk(
+pub(crate) fn for_each_row_chunk(
     rows: usize,
     parts: usize,
     out: &mut [f32],

@@ -78,7 +78,10 @@ pub fn frobenius_distance(a: &[f32], b: &[f32]) -> f64 {
 /// Panics if lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum()
 }
 
 /// Per-row Frobenius norms of a tensor (length = `rows`).

@@ -1,0 +1,867 @@
+//! Bit-packed subbyte tensors and the quantized GEMM kernels that consume
+//! them.
+//!
+//! The fake-quantization path emulates low-precision GEMMs by rounding
+//! operands and immediately re-materializing them as dense `f32` — it gets
+//! the *numerics* right but none of the *systems* benefit. [`QTensor`] is
+//! the real representation: each element is a small integer **code** (a
+//! nibble for 4-bit formats, a byte for 8-bit), decoded through a per-format
+//! lookup table and a per-group scale:
+//!
+//! ```text
+//!              ┌ data: packed codes, row-major ───────────────┐
+//!   4-bit      │ byte 0: [c1|c0]  byte 1: [c3|c2]  …          │  0.5 B/elem
+//!   8-bit      │ byte 0:  c0      byte 1:  c1      …          │  1   B/elem
+//!              └──────────────────────────────────────────────┘
+//!   lut:    code → representable value        (16 or 256 × f32)
+//!   scales: group → decode multiplier         (one f32 per scale group)
+//!
+//!   value(r, c) = lut[code(r, c)] * scales[group(r, c)]
+//! ```
+//!
+//! The GEMM kernels ([`qgemm`], [`qgemm_nt`], [`qgemm_tn`]) decode rows on
+//! the fly into small per-thread scratch buffers inside the same blocked,
+//! multi-threaded loop structure as the dense kernels in
+//! [`crate::matmul`] — the per-element accumulation order is *identical*,
+//! so a quantized GEMM over packed operands returns bit-for-bit the same
+//! result as the dense GEMM over the dequantized operands. Mixed
+//! packed×dense products are supported through [`QOperandRef`], which
+//! borrows dense rows directly (no copy) and decodes packed rows into the
+//! caller's scratch.
+//!
+//! This crate stays format-agnostic: the lookup table and scales are built
+//! by `snip-quant`, which knows about FP4/FP8/INT codecs. [`GroupLayout`]
+//! mirrors the scaling granularities at the storage level.
+
+use crate::matmul::{for_each_row_chunk, thread_count};
+use crate::Tensor;
+use std::sync::Arc;
+
+/// Storage width of one code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeWidth {
+    /// 4-bit codes, two per byte (FP4 E2M1, INT4, narrower integer grids).
+    U4,
+    /// 8-bit codes, one per byte (FP8 variants, INT8).
+    U8,
+}
+
+impl CodeWidth {
+    /// Number of entries a decode table for this width must have.
+    pub fn lut_len(self) -> usize {
+        match self {
+            CodeWidth::U4 => 16,
+            CodeWidth::U8 => 256,
+        }
+    }
+
+    /// Storage bits per element.
+    pub fn bits(self) -> u32 {
+        match self {
+            CodeWidth::U4 => 4,
+            CodeWidth::U8 => 8,
+        }
+    }
+
+    /// Packed bytes needed for one row of `cols` codes (4-bit rows are
+    /// padded to whole bytes so rows stay independently addressable).
+    pub fn row_bytes(self, cols: usize) -> usize {
+        match self {
+            CodeWidth::U4 => cols.div_ceil(2),
+            CodeWidth::U8 => cols,
+        }
+    }
+}
+
+/// How decode scales map onto tensor regions — the storage-level mirror of
+/// `snip-quant`'s scaling granularities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GroupLayout {
+    /// One scale for the whole tensor.
+    Tensorwise,
+    /// One scale per row.
+    Rowwise,
+    /// One scale per column.
+    Columnwise,
+    /// One scale per `nb × nb` block.
+    Block {
+        /// Block side length.
+        nb: usize,
+    },
+    /// One scale per `1 × nb` tile within each row.
+    Tile {
+        /// Tile length along the row.
+        nb: usize,
+    },
+}
+
+impl GroupLayout {
+    /// Number of scale groups for a `rows × cols` tensor (0 when empty).
+    pub fn group_count(&self, rows: usize, cols: usize) -> usize {
+        if rows == 0 || cols == 0 {
+            return 0;
+        }
+        match *self {
+            GroupLayout::Tensorwise => 1,
+            GroupLayout::Rowwise => rows,
+            GroupLayout::Columnwise => cols,
+            GroupLayout::Block { nb } => rows.div_ceil(nb) * cols.div_ceil(nb),
+            GroupLayout::Tile { nb } => rows * cols.div_ceil(nb),
+        }
+    }
+
+    /// Scale groups per row-band of columns (the stride between consecutive
+    /// row groups in the scale vector).
+    fn col_groups(&self, cols: usize) -> usize {
+        match *self {
+            GroupLayout::Tensorwise | GroupLayout::Rowwise => 1,
+            GroupLayout::Columnwise => cols,
+            GroupLayout::Block { nb } | GroupLayout::Tile { nb } => cols.div_ceil(nb),
+        }
+    }
+
+    /// Index into the scale vector for element `(r, c)`. Group order matches
+    /// `snip-quant`'s `Granularity::for_each_group` iteration order.
+    #[inline]
+    fn group_index(&self, r: usize, c: usize, col_groups: usize) -> usize {
+        match *self {
+            GroupLayout::Tensorwise => 0,
+            GroupLayout::Rowwise => r,
+            GroupLayout::Columnwise => c,
+            GroupLayout::Block { nb } => (r / nb) * col_groups + c / nb,
+            GroupLayout::Tile { nb } => r * col_groups + c / nb,
+        }
+    }
+
+    /// Length of the run of columns starting at `c` that shares one scale.
+    #[inline]
+    fn run_len(&self, c: usize, cols: usize) -> usize {
+        match *self {
+            GroupLayout::Tensorwise | GroupLayout::Rowwise => cols - c,
+            GroupLayout::Columnwise => 1,
+            GroupLayout::Block { nb } | GroupLayout::Tile { nb } => (nb - c % nb).min(cols - c),
+        }
+    }
+}
+
+/// A bit-packed low-precision tensor: codes + decode table + group scales.
+///
+/// Invariants: `lut.len() == width.lut_len()`, `scales.len() ==
+/// layout.group_count(rows, cols)`, and every stored code indexes a valid
+/// table entry. Construction goes through [`QTensor::new_zeroed`] +
+/// [`QTensor::set_code`] (all-zero codes are valid: code 0 decodes to 0).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QTensor {
+    rows: usize,
+    cols: usize,
+    width: CodeWidth,
+    /// Packed codes, row-major, rows padded to whole bytes.
+    data: Vec<u8>,
+    /// Code → representable value. Shared per format (a decode table is
+    /// format metadata, not per-tensor data), so cloning a `QTensor` or
+    /// quantizing many tensors of one format stores the table once.
+    lut: Arc<[f32]>,
+    layout: GroupLayout,
+    /// Cached `layout.col_groups(cols)`.
+    col_groups: usize,
+    /// Group → decode multiplier.
+    scales: Vec<f32>,
+}
+
+impl QTensor {
+    /// Creates a packed tensor with all codes zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lookup table or scale vector lengths do not match the
+    /// width/layout.
+    pub fn new_zeroed(
+        rows: usize,
+        cols: usize,
+        width: CodeWidth,
+        lut: impl Into<Arc<[f32]>>,
+        layout: GroupLayout,
+        scales: Vec<f32>,
+    ) -> Self {
+        let lut = lut.into();
+        assert_eq!(
+            lut.len(),
+            width.lut_len(),
+            "decode table must have {} entries",
+            width.lut_len()
+        );
+        assert_eq!(
+            scales.len(),
+            layout.group_count(rows, cols),
+            "scale count must match {layout:?} on {rows}x{cols}"
+        );
+        QTensor {
+            rows,
+            cols,
+            width,
+            data: vec![0u8; rows * width.row_bytes(cols)],
+            lut,
+            layout,
+            col_groups: layout.col_groups(cols),
+            scales,
+        }
+    }
+
+    /// Creates a packed tensor from an already-filled code buffer (the bulk
+    /// construction path quantizers use — no per-element `set_code` calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`, `lut` or `scales` lengths do not match the
+    /// shape/width/layout.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        width: CodeWidth,
+        lut: impl Into<Arc<[f32]>>,
+        layout: GroupLayout,
+        scales: Vec<f32>,
+        data: Vec<u8>,
+    ) -> Self {
+        let lut = lut.into();
+        assert_eq!(
+            data.len(),
+            rows * width.row_bytes(cols),
+            "code buffer length must match {rows}x{cols} at {width:?}"
+        );
+        assert_eq!(
+            lut.len(),
+            width.lut_len(),
+            "decode table must have {} entries",
+            width.lut_len()
+        );
+        assert_eq!(
+            scales.len(),
+            layout.group_count(rows, cols),
+            "scale count must match {layout:?} on {rows}x{cols}"
+        );
+        QTensor {
+            rows,
+            cols,
+            width,
+            data,
+            lut,
+            layout,
+            col_groups: layout.col_groups(cols),
+            scales,
+        }
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The code storage width.
+    pub fn width(&self) -> CodeWidth {
+        self.width
+    }
+
+    /// The scale-group layout.
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// The decode table.
+    pub fn lut(&self) -> &[f32] {
+        &self.lut
+    }
+
+    /// The per-group decode multipliers.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The packed code bytes.
+    pub fn packed_data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Stores a code at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or the code does not fit the width.
+    #[inline]
+    pub fn set_code(&mut self, r: usize, c: usize, code: u8) {
+        assert!(r < self.rows && c < self.cols, "({r}, {c}) out of bounds");
+        match self.width {
+            CodeWidth::U4 => {
+                assert!(code < 16, "code {code} does not fit 4 bits");
+                let byte = &mut self.data[r * self.cols.div_ceil(2) + c / 2];
+                if c.is_multiple_of(2) {
+                    *byte = (*byte & 0xF0) | code;
+                } else {
+                    *byte = (*byte & 0x0F) | (code << 4);
+                }
+            }
+            CodeWidth::U8 => self.data[r * self.cols + c] = code,
+        }
+    }
+
+    /// Reads the code at `(r, c)`.
+    #[inline]
+    pub fn code(&self, r: usize, c: usize) -> u8 {
+        debug_assert!(r < self.rows && c < self.cols);
+        match self.width {
+            CodeWidth::U4 => {
+                let byte = self.data[r * self.cols.div_ceil(2) + c / 2];
+                if c.is_multiple_of(2) {
+                    byte & 0x0F
+                } else {
+                    byte >> 4
+                }
+            }
+            CodeWidth::U8 => self.data[r * self.cols + c],
+        }
+    }
+
+    /// Decodes the element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let scale = self.scales[self.layout.group_index(r, c, self.col_groups)];
+        self.lut[self.code(r, c) as usize] * scale
+    }
+
+    /// Decodes row `r` into `out` (length `cols`). This is the hot decode
+    /// path of the GEMM kernels; scales are applied per constant-scale run
+    /// rather than per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != cols` or `r` is out of bounds.
+    pub fn decode_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "decode buffer length mismatch");
+        assert!(r < self.rows, "row {r} out of bounds");
+        let mut c = 0;
+        while c < self.cols {
+            let run = self.layout.run_len(c, self.cols);
+            let scale = self.scales[self.layout.group_index(r, c, self.col_groups)];
+            match self.width {
+                CodeWidth::U8 => {
+                    let base = r * self.cols;
+                    for (o, &code) in out[c..c + run]
+                        .iter_mut()
+                        .zip(&self.data[base + c..base + c + run])
+                    {
+                        *o = self.lut[code as usize] * scale;
+                    }
+                }
+                CodeWidth::U4 => {
+                    let stride = self.cols.div_ceil(2);
+                    for (i, o) in out[c..c + run].iter_mut().enumerate() {
+                        let cc = c + i;
+                        let byte = self.data[r * stride + cc / 2];
+                        let code = if cc % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                        *o = self.lut[code as usize] * scale;
+                    }
+                }
+            }
+            c += run;
+        }
+    }
+
+    /// Decodes the whole tensor into a dense `f32` tensor. Bit-for-bit
+    /// identical to what the packing quantizer's fake-quantization path
+    /// would have produced.
+    pub fn dequantize(&self) -> Tensor {
+        let mut t = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            self.decode_row_into(r, t.row_mut(r));
+        }
+        t
+    }
+
+    /// Bytes of packed code storage (what HBM would hold for the elements).
+    pub fn packed_data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes of scale storage.
+    pub fn scale_bytes(&self) -> usize {
+        self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes a collective must move for this tensor: codes + scales (the
+    /// decode table is format metadata, shared per format, not per tensor).
+    pub fn wire_bytes(&self) -> u64 {
+        (self.packed_data_bytes() + self.scale_bytes()) as u64
+    }
+
+    /// Total resident bytes of this value: codes, scales and the container
+    /// itself. The decode table is shared per format (an `Arc` owned by the
+    /// format's codebook), so it amortizes to zero across tensors and is
+    /// not charged here.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.packed_data_bytes() + self.scale_bytes()
+    }
+}
+
+/// One GEMM operand: either a dense `f32` tensor (borrowed rows, no copy)
+/// or a packed tensor (rows decoded into caller scratch on demand).
+#[derive(Clone, Copy, Debug)]
+pub enum QOperandRef<'a> {
+    /// Dense operand.
+    Dense(&'a Tensor),
+    /// Packed operand.
+    Packed(&'a QTensor),
+}
+
+impl<'a> From<&'a Tensor> for QOperandRef<'a> {
+    fn from(t: &'a Tensor) -> Self {
+        QOperandRef::Dense(t)
+    }
+}
+
+impl<'a> From<&'a QTensor> for QOperandRef<'a> {
+    fn from(t: &'a QTensor) -> Self {
+        QOperandRef::Packed(t)
+    }
+}
+
+impl QOperandRef<'_> {
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            QOperandRef::Dense(t) => t.shape(),
+            QOperandRef::Packed(t) => t.shape(),
+        }
+    }
+
+    /// The element at `(r, c)` (decoded if packed).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        match self {
+            QOperandRef::Dense(t) => t[(r, c)],
+            QOperandRef::Packed(t) => t.get(r, c),
+        }
+    }
+
+    /// Row `r` as a slice: a direct borrow for dense operands, a decode
+    /// into `scratch` for packed ones. `scratch.len()` must equal `cols`.
+    #[inline]
+    fn row<'s>(&'s self, r: usize, scratch: &'s mut [f32]) -> &'s [f32] {
+        match self {
+            QOperandRef::Dense(t) => t.row(r),
+            QOperandRef::Packed(t) => {
+                t.decode_row_into(r, scratch);
+                scratch
+            }
+        }
+    }
+
+    /// Copies row `r` into `out` (decoding if packed).
+    fn row_into(&self, r: usize, out: &mut [f32]) {
+        match self {
+            QOperandRef::Dense(t) => out.copy_from_slice(t.row(r)),
+            QOperandRef::Packed(t) => t.decode_row_into(r, out),
+        }
+    }
+}
+
+/// B-rows decoded per panel in [`qgemm_nt`]; amortizes A-row decoding
+/// across the panel while bounding scratch to `PANEL × K` floats.
+const NT_PANEL: usize = 32;
+
+/// `C = A · B` over packed/dense operands (`A`: `M×K`, `B`: `K×N`).
+///
+/// Bit-for-bit identical to `matmul(&a.dequantize(), &b.dequantize())`:
+/// the kernel visits `k` in the same ascending order per output element and
+/// accumulates in `f32` exactly like the dense kernel.
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn qgemm(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    // Two dense operands need no decode machinery; the dense kernel is
+    // bit-identical (same loops) and skips the row-copy scratch.
+    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
+        return crate::matmul::matmul(da, db);
+    }
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "qgemm: inner dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut b_buf = vec![0.0f32; n];
+        for kk in 0..k {
+            let brow = b.row(kk, &mut b_buf);
+            for i in start..end {
+                let aik = a.get(i, kk);
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// `C = A · Bᵀ` over packed/dense operands (`A`: `M×K`, `B`: `N×K`) — the
+/// forward GEMM of a linear layer with `out × in` weights.
+///
+/// Decodes `B` in panels of [`NT_PANEL`] rows per thread; each output
+/// element is a single sequential dot product over `k`, so results are
+/// bit-for-bit identical to `matmul_nt` on the dequantized operands.
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn qgemm_nt(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
+        return crate::matmul::matmul_nt(da, db);
+    }
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "qgemm_nt: inner dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut a_buf = vec![0.0f32; k];
+        let mut panel = vec![0.0f32; NT_PANEL.min(n.max(1)) * k];
+        let mut j0 = 0;
+        while j0 < n {
+            let jend = (j0 + NT_PANEL).min(n);
+            for j in j0..jend {
+                b.row_into(j, &mut panel[(j - j0) * k..(j - j0 + 1) * k]);
+            }
+            for i in start..end {
+                let arow = a.row(i, &mut a_buf);
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for j in j0..jend {
+                    let brow = &panel[(j - j0) * k..(j - j0 + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    crow[j] = acc;
+                }
+            }
+            j0 = jend;
+        }
+    });
+    c
+}
+
+/// `C = Aᵀ · B` over packed/dense operands (`A`: `K×M`, `B`: `K×N`) — the
+/// weight-gradient GEMM `dW = dYᵀ · X`.
+///
+/// Decodes one `A` row and one `B` row per `k` step; per-element
+/// accumulation order matches `matmul_tn` exactly.
+///
+/// # Panics
+///
+/// Panics if outer dimensions differ.
+pub fn qgemm_tn(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
+        return crate::matmul::matmul_tn(da, db);
+    }
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "qgemm_tn: outer dims differ ({k} vs {kb})");
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut a_buf = vec![0.0f32; m];
+        let mut b_buf = vec![0.0f32; n];
+        for kk in 0..k {
+            let arow = a.row(kk, &mut a_buf);
+            let brow = b.row(kk, &mut b_buf);
+            for i in start..end {
+                let aik = arow[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{matmul, matmul_nt, matmul_tn};
+    use crate::rng::Rng;
+
+    /// A little 4-bit sign-magnitude codebook over {0, 0.5, 1, 1.5, …}:
+    /// enough structure to exercise packing without snip-quant.
+    fn test_lut_u4() -> Vec<f32> {
+        let mut lut = vec![0.0f32; 16];
+        for i in 0..8 {
+            lut[i] = i as f32 * 0.5;
+            lut[8 + i] = -(i as f32 * 0.5);
+        }
+        lut
+    }
+
+    fn random_qtensor(rows: usize, cols: usize, layout: GroupLayout, seed: u64) -> QTensor {
+        let mut rng = Rng::seed_from(seed);
+        let groups = layout.group_count(rows, cols);
+        let scales: Vec<f32> = (0..groups).map(|_| 0.25 + rng.next_f32()).collect();
+        let mut q = QTensor::new_zeroed(rows, cols, CodeWidth::U4, test_lut_u4(), layout, scales);
+        for r in 0..rows {
+            for c in 0..cols {
+                q.set_code(r, c, (rng.next_u64() % 16) as u8);
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn codes_round_trip_u4_and_u8() {
+        for width in [CodeWidth::U4, CodeWidth::U8] {
+            let lut = vec![0.0f32; width.lut_len()];
+            let mut q = QTensor::new_zeroed(3, 5, width, lut, GroupLayout::Tensorwise, vec![1.0]);
+            let limit = match width {
+                CodeWidth::U4 => 16u8,
+                CodeWidth::U8 => 255,
+            };
+            for r in 0..3 {
+                for c in 0..5 {
+                    q.set_code(r, c, ((r * 5 + c) as u8 * 7) % limit);
+                }
+            }
+            for r in 0..3 {
+                for c in 0..5 {
+                    assert_eq!(q.code(r, c), ((r * 5 + c) as u8 * 7) % limit, "{width:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_code_does_not_disturb_nibble_neighbours() {
+        let mut q = QTensor::new_zeroed(
+            1,
+            4,
+            CodeWidth::U4,
+            test_lut_u4(),
+            GroupLayout::Tensorwise,
+            vec![1.0],
+        );
+        q.set_code(0, 0, 0xA);
+        q.set_code(0, 1, 0x3);
+        q.set_code(0, 0, 0x5); // rewrite low nibble
+        assert_eq!(q.code(0, 0), 0x5);
+        assert_eq!(q.code(0, 1), 0x3);
+    }
+
+    #[test]
+    fn decode_row_matches_get_for_every_layout() {
+        for layout in [
+            GroupLayout::Tensorwise,
+            GroupLayout::Rowwise,
+            GroupLayout::Columnwise,
+            GroupLayout::Block { nb: 3 },
+            GroupLayout::Tile { nb: 3 },
+        ] {
+            let q = random_qtensor(5, 7, layout, 11);
+            let d = q.dequantize();
+            for r in 0..5 {
+                for c in 0..7 {
+                    assert_eq!(d[(r, c)], q.get(r, c), "{layout:?} at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_counts_and_indices_are_consistent() {
+        for layout in [
+            GroupLayout::Tensorwise,
+            GroupLayout::Rowwise,
+            GroupLayout::Columnwise,
+            GroupLayout::Block { nb: 4 },
+            GroupLayout::Tile { nb: 4 },
+        ] {
+            let (rows, cols) = (6, 10);
+            let count = layout.group_count(rows, cols);
+            let cg = layout.col_groups(cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let g = layout.group_index(r, c, cg);
+                    assert!(g < count, "{layout:?}: index {g} >= count {count}");
+                }
+            }
+        }
+        assert_eq!(GroupLayout::Tensorwise.group_count(0, 8), 0);
+    }
+
+    #[test]
+    fn packed_storage_is_half_byte_per_element() {
+        let q = random_qtensor(64, 128, GroupLayout::Tile { nb: 32 }, 5);
+        assert_eq!(q.packed_data_bytes(), 64 * 64);
+        assert_eq!(q.scale_bytes(), 64 * 4 * 4);
+        let per_elem = q.resident_bytes() as f64 / q.len() as f64;
+        assert!(per_elem < 0.7, "bytes/element = {per_elem}");
+    }
+
+    #[test]
+    fn odd_width_rows_are_padded_per_row() {
+        let q = random_qtensor(3, 5, GroupLayout::Rowwise, 6);
+        // Each 5-code row occupies 3 bytes; rows must not share bytes.
+        assert_eq!(q.packed_data_bytes(), 9);
+        let d = q.dequantize();
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(d[(r, c)], q.get(r, c));
+            }
+        }
+    }
+
+    fn gemm_trio_matches_dense(layout_a: GroupLayout, layout_b: GroupLayout, seed: u64) {
+        let (m, k, n) = (9, 14, 11);
+        let a = random_qtensor(m, k, layout_a, seed);
+        let b = random_qtensor(k, n, layout_b, seed + 1);
+        let (da, db) = (a.dequantize(), b.dequantize());
+
+        let c = qgemm(QOperandRef::from(&a), QOperandRef::from(&b));
+        assert_eq!(c, matmul(&da, &db), "qgemm {layout_a:?}x{layout_b:?}");
+
+        let bt = random_qtensor(n, k, layout_b, seed + 2);
+        let dbt = bt.dequantize();
+        let c = qgemm_nt(QOperandRef::from(&a), QOperandRef::from(&bt));
+        assert_eq!(
+            c,
+            matmul_nt(&da, &dbt),
+            "qgemm_nt {layout_a:?}x{layout_b:?}"
+        );
+
+        let at = random_qtensor(k, m, layout_a, seed + 3);
+        let dat = at.dequantize();
+        let c = qgemm_tn(QOperandRef::from(&at), QOperandRef::from(&b));
+        assert_eq!(
+            c,
+            matmul_tn(&dat, &db),
+            "qgemm_tn {layout_a:?}x{layout_b:?}"
+        );
+    }
+
+    #[test]
+    fn qgemm_kernels_bit_match_dense_kernels() {
+        gemm_trio_matches_dense(
+            GroupLayout::Tile { nb: 4 },
+            GroupLayout::Block { nb: 4 },
+            21,
+        );
+        gemm_trio_matches_dense(GroupLayout::Rowwise, GroupLayout::Columnwise, 22);
+        gemm_trio_matches_dense(GroupLayout::Tensorwise, GroupLayout::Tile { nb: 5 }, 23);
+    }
+
+    #[test]
+    fn mixed_packed_dense_operands_bit_match() {
+        let mut rng = Rng::seed_from(31);
+        let a = random_qtensor(8, 12, GroupLayout::Tile { nb: 4 }, 32);
+        let da = a.dequantize();
+        let b = Tensor::randn(12, 10, 1.0, &mut rng);
+        assert_eq!(
+            qgemm(QOperandRef::from(&a), QOperandRef::from(&b)),
+            matmul(&da, &b)
+        );
+        assert_eq!(
+            qgemm(QOperandRef::from(&da), QOperandRef::from(&b)),
+            matmul(&da, &b)
+        );
+        let bt = Tensor::randn(10, 12, 1.0, &mut rng);
+        assert_eq!(
+            qgemm_nt(QOperandRef::from(&a), QOperandRef::from(&bt)),
+            matmul_nt(&da, &bt)
+        );
+    }
+
+    #[test]
+    fn large_parallel_qgemm_bit_matches() {
+        // Big enough to cross the threading threshold in matmul.
+        let a = random_qtensor(128, 160, GroupLayout::Tile { nb: 32 }, 41);
+        let b = random_qtensor(160, 112, GroupLayout::Block { nb: 32 }, 42);
+        let (da, db) = (a.dequantize(), b.dequantize());
+        assert_eq!(
+            qgemm(QOperandRef::from(&a), QOperandRef::from(&b)),
+            matmul(&da, &db)
+        );
+        let bt = random_qtensor(112, 160, GroupLayout::Tile { nb: 32 }, 43);
+        let dbt = bt.dequantize();
+        assert_eq!(
+            qgemm_nt(QOperandRef::from(&a), QOperandRef::from(&bt)),
+            matmul_nt(&da, &dbt)
+        );
+        let at = random_qtensor(160, 128, GroupLayout::Block { nb: 32 }, 44);
+        let dat = at.dequantize();
+        assert_eq!(
+            qgemm_tn(QOperandRef::from(&at), QOperandRef::from(&b)),
+            matmul_tn(&dat, &db)
+        );
+    }
+
+    #[test]
+    fn empty_dims_work() {
+        let a = QTensor::new_zeroed(
+            0,
+            4,
+            CodeWidth::U4,
+            test_lut_u4(),
+            GroupLayout::Rowwise,
+            vec![],
+        );
+        let b = random_qtensor(4, 3, GroupLayout::Rowwise, 51);
+        let c = qgemm(QOperandRef::from(&a), QOperandRef::from(&b));
+        assert_eq!(c.shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn shape_mismatch_panics() {
+        let a = random_qtensor(2, 3, GroupLayout::Rowwise, 61);
+        let b = random_qtensor(4, 2, GroupLayout::Rowwise, 62);
+        let _ = qgemm(QOperandRef::from(&a), QOperandRef::from(&b));
+    }
+
+    #[test]
+    fn wire_bytes_counts_codes_and_scales() {
+        let q = random_qtensor(4, 32, GroupLayout::Tile { nb: 16 }, 71);
+        assert_eq!(q.wire_bytes(), (4 * 16 + 4 * 2 * 4) as u64);
+    }
+}

@@ -33,9 +33,7 @@ fn main() {
     let batch = trainer.peek_batch();
     let mut rng = Rng::seed_from(7);
     trainer.model.zero_grads();
-    let out = trainer
-        .model
-        .step(&batch, &mut rng, &StepOptions::record());
+    let out = trainer.model.step(&batch, &mut rng, &StepOptions::record());
     let record = out.record.expect("recorded");
     let stats = StepStats::from_record(&record, &cfg.model);
 
@@ -57,11 +55,11 @@ fn main() {
         let l = &stats.layers[i];
         let rel = |err: f64, norm: f64| err / norm.max(1e-12);
         // FP8: tiny error, no FP4 FLOPs.
-        let q_fp8 = rel(l.x_err.fp8, l.x_norm) + rel(l.w_err.fp8, l.w_norm)
-            + rel(l.dy_err.fp8, l.dy_norm);
+        let q_fp8 =
+            rel(l.x_err.fp8, l.x_norm) + rel(l.w_err.fp8, l.w_norm) + rel(l.dy_err.fp8, l.dy_norm);
         // Plain FP4 (the paper's recipe).
-        let q_fp4 = rel(l.x_err.fp4, l.x_norm) + rel(l.w_err.fp4, l.w_norm)
-            + rel(l.dy_err.fp4, l.dy_norm);
+        let q_fp4 =
+            rel(l.x_err.fp4, l.x_norm) + rel(l.w_err.fp4, l.w_norm) + rel(l.dy_err.fp4, l.dy_norm);
         // RHT-FP4: measured on the actual tensors.
         let rht = |role: TensorRole, t: &snip::tensor::Tensor| {
             RhtQuantizer::new(
@@ -91,7 +89,10 @@ fn main() {
     for (i, &j) in sol.picks.iter().enumerate() {
         counts[j] += 1;
         if i < 7 {
-            let q: Vec<String> = groups[i].iter().map(|c| format!("{:.4}", c.quality)).collect();
+            let q: Vec<String> = groups[i]
+                .iter()
+                .map(|c| format!("{:.4}", c.quality))
+                .collect();
             println!(
                 "layer {i:>2}: {}  (q: fp8 {}, fp4 {}, rht {})",
                 labels[i][j], q[0], q[1], q[2]

@@ -8,9 +8,7 @@
 //! cargo run --release --example memory_planning
 //! ```
 
-use snip::nn::memory::{
-    activation_bytes, MemoryBreakdown, MemoryModel, StateBytes,
-};
+use snip::nn::memory::{activation_bytes, MemoryBreakdown, MemoryModel, StateBytes};
 use snip::nn::ModelConfig;
 
 fn gb(bytes: f64) -> f64 {
@@ -68,7 +66,11 @@ fn main() {
         let states = m70.model_state_bytes(&bf16);
         let acts = activation_bytes(&paper70, batch, 4096, flash);
         let total = gb(states) + gb(acts);
-        let verdict = if total < cluster_gb { "fits" } else { "DOES NOT FIT" };
+        let verdict = if total < cluster_gb {
+            "fits"
+        } else {
+            "DOES NOT FIT"
+        };
         println!(
             "{label:<34} states {:>6.0} GB + acts {:>6.0} GB = {total:>7.0} GB  → {verdict}",
             gb(states),

@@ -3,8 +3,8 @@
 
 use snip::core::baselines::{self, ErrorMetric};
 use snip::core::{
-    analyze, measure, FlopModel, OptionSet, PolicyConfig, Scheme, SnipConfig, SnipEngine,
-    Trainer, TrainerConfig,
+    analyze, measure, FlopModel, OptionSet, PolicyConfig, Scheme, SnipConfig, SnipEngine, Trainer,
+    TrainerConfig,
 };
 use snip::quant::{LinearPrecision, Precision};
 use snip::tensor::rng::Rng;

@@ -145,6 +145,7 @@ fn stage_times_helper_matches_cost_model_ratios() {
     let flops = FlopModel::new(&cfg);
     let n = cfg.n_linear_layers();
     let mut stage_flops = vec![0.0f64; 4];
+    #[allow(clippy::needless_range_loop)]
     for k in 0..4 {
         for id in partition.linears(k) {
             stage_flops[k] += flops.fraction(id.linear_index());
@@ -152,7 +153,7 @@ fn stage_times_helper_matches_cost_model_ratios() {
     }
     let fp8 = Scheme::uniform(Precision::Fp8, n);
     let costs = stage_costs(&cfg, &fp8, &partition, 64);
-    let analytic = stage_times(&stage_flops, &vec![0.0; 4]);
+    let analytic = stage_times(&stage_flops, &[0.0; 4]);
     for k in 1..4 {
         let cost_ratio = costs[k].total() / costs[0].total();
         let analytic_ratio = analytic[k] / analytic[0];
@@ -221,8 +222,14 @@ fn rowwise_statistics_from_a_real_checkpoint() {
     for (i, lr) in record.linears.iter().enumerate() {
         let rw = snip::core::RowwiseLayerStats::from_record(lr, cfg.quant_group);
         // Rowwise norms must aggregate exactly to the Step-1 globals.
-        assert!((rw.x.global() - stats.layers[i].x_norm).abs() < 1e-9, "layer {i}");
-        assert!((rw.dy.global() - stats.layers[i].dy_norm).abs() < 1e-9, "layer {i}");
+        assert!(
+            (rw.x.global() - stats.layers[i].x_norm).abs() < 1e-9,
+            "layer {i}"
+        );
+        assert!(
+            (rw.dy.global() - stats.layers[i].dy_norm).abs() < 1e-9,
+            "layer {i}"
+        );
     }
 }
 

@@ -7,8 +7,7 @@ use snip::core::{
     SnipEngine, StepStats, Trainer, TrainerConfig,
 };
 use snip::ilp::{
-    solve, solve_time_balanced, time_balanced_targets, Choice, McKnapsack, SolveError,
-    SolveOptions,
+    solve, solve_time_balanced, time_balanced_targets, Choice, McKnapsack, SolveError, SolveOptions,
 };
 use snip::nn::model::StepOptions;
 use snip::nn::ModelConfig;
@@ -41,13 +40,9 @@ fn nan_statistics_are_rejected_not_propagated() {
     let cfg = ckpt.config().model.clone();
     let mut stats = stats_of(&ckpt);
     stats.layers[3].x_err.fp4 = f64::NAN;
-    let err = baselines::error_minimizing_scheme(
-        &stats,
-        &cfg,
-        baselines::ErrorMetric::Absolute,
-        0.5,
-    )
-    .unwrap_err();
+    let err =
+        baselines::error_minimizing_scheme(&stats, &cfg, baselines::ErrorMetric::Absolute, 0.5)
+            .unwrap_err();
     assert!(matches!(err, SolveError::Invalid(_)), "{err:?}");
 }
 
@@ -205,13 +200,8 @@ fn zero_budget_scheme_is_all_fp8_everywhere() {
     let stats = stats_of(&ckpt);
     for scheme in [
         fisher_scheme(&stats, &cfg, 0.0).unwrap(),
-        baselines::error_minimizing_scheme(
-            &stats,
-            &cfg,
-            baselines::ErrorMetric::Relative,
-            0.0,
-        )
-        .unwrap(),
+        baselines::error_minimizing_scheme(&stats, &cfg, baselines::ErrorMetric::Relative, 0.0)
+            .unwrap(),
     ] {
         assert_eq!(scheme.fp4_layer_count(), 0, "{}", scheme.name);
     }

@@ -44,7 +44,10 @@ fn balanced_scheme_meets_per_stage_budget() {
     let flops = snip::core::FlopModel::new(&model);
     for k in 0..4 {
         let linears = partition.linears(k);
-        let stage_total: f64 = linears.iter().map(|id| flops.fraction(id.linear_index())).sum();
+        let stage_total: f64 = linears
+            .iter()
+            .map(|id| flops.fraction(id.linear_index()))
+            .sum();
         let stage_fp4: f64 = linears
             .iter()
             .map(|id| flops.efficiency(id.linear_index(), scheme.layer(*id)))
@@ -70,7 +73,10 @@ fn balanced_scheme_improves_worst_stage_fp4_fraction() {
         (0..4)
             .map(|k| {
                 let linears = partition.linears(k);
-                let total: f64 = linears.iter().map(|id| flops.fraction(id.linear_index())).sum();
+                let total: f64 = linears
+                    .iter()
+                    .map(|id| flops.fraction(id.linear_index()))
+                    .sum();
                 let fp4: f64 = linears
                     .iter()
                     .map(|id| flops.efficiency(id.linear_index(), s.layer(*id)))

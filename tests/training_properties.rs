@@ -1,7 +1,11 @@
 //! Property-based tests on model/training invariants.
 
 use proptest::prelude::*;
-use snip::nn::{batch::Batch, config::ModelConfig, model::{Model, StepOptions}};
+use snip::nn::{
+    batch::Batch,
+    config::ModelConfig,
+    model::{Model, StepOptions},
+};
 use snip::quant::{LinearPrecision, Precision};
 use snip::tensor::rng::Rng;
 

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal replacement. Instead of serde's visitor-based
+//! serializer/deserializer pair, the data model is a concrete JSON-shaped
+//! tree, [`Content`]: `Serialize` lowers a value into a `Content`,
+//! `Deserialize` lifts one back. `serde_json` (also vendored) renders and
+//! parses that tree.
+//!
+//! The surface is intentionally limited to what this workspace uses:
+//! primitives, `String`/`&str`, `Option`, `Vec`, slices, fixed-size arrays,
+//! small tuples, and `#[derive(Serialize, Deserialize)]` on named-field
+//! structs and unit/struct-variant enums. Numeric encodings follow real
+//! serde_json (integers stay integers, floats round-trip via shortest
+//! display form), so artifacts persisted here parse identically if the
+//! real crates are restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// JSON-shaped serialization tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer (also used for unsigned 64-bit state words).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float. Non-finite floats serialize as `Null`, as in serde_json.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Lifts a value out of a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value, failing on shape mismatches.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: deserializes map field `key`, failing if absent.
+pub fn de_field<T: Deserialize>(c: &Content, key: &str) -> Result<T, Error> {
+    match c.get(key) {
+        Some(v) => T::from_content(v),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Derive-macro helper for `#[serde(default)]` fields: absent means default.
+pub fn de_field_or_default<T: Deserialize + Default>(c: &Content, key: &str) -> Result<T, Error> {
+    match c.get(key) {
+        Some(v) => T::from_content(v),
+        None => Ok(T::default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    _ => return Err(Error::custom("expected unsigned integer")),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => {
+                        i64::try_from(*v).map_err(|_| Error::custom("integer out of range"))?
+                    }
+                    _ => return Err(Error::custom("expected integer")),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        // f32 → f64 is exact, so the f64 path round-trips every finite f32.
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            // serde_json writes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        // Only used for `&'static str` fields on config-like types (wire
+        // labels); leaking is acceptable for this stand-in.
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_content(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(Error::custom(format!("expected array of length {N}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+ ; $n:literal)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == $n => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom(concat!("expected tuple of length ", $n))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4)
+);

@@ -1,0 +1,350 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io `serde`/`serde_derive` pair is unavailable in this
+//! build environment, so the workspace vendors a minimal facade (see
+//! `vendor/serde`) whose data model is a JSON-shaped [`Content`] tree. This
+//! proc-macro derives the facade's `Serialize`/`Deserialize` traits for the
+//! two shapes the workspace actually uses:
+//!
+//! * structs with named fields (optionally `#[serde(default)]` per field)
+//! * enums whose variants are units or carry named fields
+//!
+//! The generated JSON encoding matches real serde's defaults for those
+//! shapes (`{"field": ...}`, `"UnitVariant"`, `{"StructVariant": {...}}`),
+//! so persisted artifacts stay interchangeable if the real crates are ever
+//! swapped back in.
+//!
+//! Parsing is done directly on the token stream — no `syn`/`quote` — which
+//! is enough because the supported grammar is deliberately small. Tuple
+//! structs, tuple variants and generic types are rejected with a compile
+//! error rather than mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+}
+
+enum Input {
+    Struct(String, Vec<Field>),
+    Enum(String, Vec<Variant>),
+}
+
+/// Consumes leading attributes (`#[...]`), returning whether any of them is
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_default(g) {
+                        has_default = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.get(1) {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type expression: everything up to a top-level `,` (tracking
+/// `<`/`>` nesting so generic arguments survive).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group, ctx: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: unexpected token {other:?} in {ctx}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive stub: expected `:` after `{name}` in {ctx}, got {other:?}")
+            }
+        }
+        i = skip_type(&tokens, i);
+        fields.push(Field { name, default });
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive stub: `{name}` must have a brace-delimited body (tuple structs unsupported), got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => {
+            let fields = parse_named_fields(body, &format!("struct {name}"));
+            Input::Struct(name, fields)
+        }
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < tokens.len() {
+                let (nj, _) = skip_attrs(&tokens, j);
+                j = nj;
+                let vname = match tokens.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde_derive stub: unexpected token {other:?} in enum {name}"),
+                };
+                j += 1;
+                match tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g, &format!("variant {name}::{vname}"));
+                        variants.push(Variant::Struct(vname, fields));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde_derive stub: tuple variant {name}::{vname} is not supported");
+                    }
+                    _ => variants.push(Variant::Unit(vname)),
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Input::Enum(name, variants)
+        }
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Variant::Struct(vn, fields) => {
+                        let binds: String = fields
+                            .iter()
+                            .map(|f| format!("{},", f.name))
+                            .collect();
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content({n})),",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{entries}])),\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive stub: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default {
+                        "de_field_or_default"
+                    } else {
+                        "de_field"
+                    };
+                    format!("{n}: ::serde::{helper}(c, \"{n}\")?,", n = f.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Variant::Struct(..) => None,
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                let helper = if f.default {
+                                    "de_field_or_default"
+                                } else {
+                                    "de_field"
+                                };
+                                format!("{n}: ::serde::{helper}(inner, \"{n}\")?,", n = f.name)
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "#[allow(unused_variables)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                                         \"unknown struct variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 \"expected string or single-entry map for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive stub: generated code must parse")
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde` facade's [`Content`] tree as
+//! JSON. Floats use Rust's shortest round-trip `Display` form (the same
+//! guarantee Ryū gives real serde_json), integers are emitted verbatim, and
+//! non-finite floats serialize as `null`, matching upstream behaviour.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON encode/decode failure.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::from_content(&content).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(Error::new)?;
+    from_str(s)
+}
+
+fn render(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // Rust's Display for floats is the shortest string that
+                // round-trips, but renders integral values without a dot;
+                // add one so the value re-parses as a float.
+                let s = v.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => render_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Content::Null),
+            Some(b't') if self.literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected input {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex).map_err(Error::new)?;
+                            let code = u32::from_str_radix(hex, 16).map_err(Error::new)?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // reject them rather than mis-decode.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u escape"))?;
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed. Only
+                    // a bounded window is validated — a char is ≤ 4 bytes —
+                    // so string parsing stays linear in the input size.
+                    let start = self.pos - 1;
+                    let end = (start + 4).min(self.bytes.len());
+                    let window = &self.bytes[start..end];
+                    let ch = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().expect("non-empty by construction"),
+                        // A valid char truncated by the window still decodes;
+                        // from_utf8's error tells us how much was valid.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty by construction")
+                        }
+                        Err(e) => return Err(Error::new(e)),
+                    };
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::new)?;
+        if is_float {
+            text.parse::<f64>().map(Content::F64).map_err(Error::new)
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Content::I64).map_err(Error::new)
+        } else {
+            text.parse::<u64>().map(Content::U64).map_err(Error::new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let s = to_string(&vec![1u64, u64::MAX]).unwrap();
+        assert_eq!(s, format!("[1,{}]", u64::MAX));
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, vec![1, u64::MAX]);
+
+        let f = vec![0.1f32, -3.25, f32::MAX, f32::MIN_POSITIVE];
+        let back: Vec<f32> = from_str(&to_string(&f).unwrap()).unwrap();
+        assert_eq!(back, f);
+
+        let neg: Vec<i64> = from_str(&to_string(&vec![-5i64]).unwrap()).unwrap();
+        assert_eq!(neg, vec![-5]);
+    }
+
+    #[test]
+    fn strings_escape_round_trip() {
+        let s = String::from("a\"b\\c\nd\te\u{0001}é");
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        let v: Vec<Option<(usize, usize)>> = vec![None, Some((3, 9))];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[null,[3,9]]");
+        let back: Vec<Option<(usize, usize)>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_float_shape() {
+        let json = to_string(&2.0f64).unwrap();
+        assert_eq!(json, "2.0");
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    // Sized to finish in well under a second in debug builds while still
+    // hanging visibly if parsing regresses to superlinear behaviour (the
+    // string path once re-validated the whole remaining buffer per char,
+    // which at this size would scan hundreds of gigabytes).
+    #[test]
+    fn large_float_array_parses_in_linear_time() {
+        let n = 400_000usize;
+        let v: Vec<f32> = (0..n).map(|i| (i as f32) * 0.001 - 3.0).collect();
+        let back: Vec<f32> = super::from_str(&super::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_heavy_payload_parses_in_linear_time() {
+        let v: Vec<String> = (0..60_000).map(|i| format!("key-{i:08}")).collect();
+        let back: Vec<String> = super::from_str(&super::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}
