@@ -1,13 +1,13 @@
 //! Sensitivity-heuristic baselines from the related-work families the paper
 //! positions itself against (§1, §7).
 //!
-//! * **Fisher-information selection** (FGMP-style [32]): layer sensitivity
+//! * **Fisher-information selection** (FGMP-style \[32\]): layer sensitivity
 //!   is the squared first-order loss perturbation — squared gradient norms
 //!   (the empirical Fisher) times squared quantization error — for the
 //!   *forward* operands only. This is the "impact on loss in the forward
 //!   pass only" family (§7): no weight-divergence term, no optimizer
 //!   dynamics, no cross-layer propagation.
-//! * **Greedy iterative refinement** (BitSET [56] / HAQ [72] flavour):
+//! * **Greedy iterative refinement** (BitSET \[56\] / HAQ \[72\] flavour):
 //!   instead of solving the ILP, start from the all-FP4 assignment and
 //!   repeatedly upgrade the single most cost-effective layer to FP8 while
 //!   the efficiency budget still holds. Running it on SNIP's own quality

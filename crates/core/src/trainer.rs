@@ -59,6 +59,14 @@ impl TrainerConfig {
             language: snip_data::LanguageConfig::default(),
         }
     }
+
+    /// The same configuration with a different optimizer moment-state
+    /// precision (`MomentPrecision::PackedFp8` turns on bit-packed FP8
+    /// AdamW moments; master weights stay f32 per paper §4.3.2).
+    pub fn with_moment_precision(mut self, moments: snip_optim::MomentPrecision) -> Self {
+        self.adamw.moments = moments;
+        self
+    }
 }
 
 /// A resumable trainer (model + optimizer + data + RNG + step counter).
@@ -273,6 +281,57 @@ mod tests {
                 .iter()
                 .any(|&p| p != LinearPrecision::uniform(Precision::Bf16)),
             "engine never applied a scheme"
+        );
+    }
+
+    #[test]
+    fn packed_fp8_moments_train_and_checkpoint_exactly() {
+        use snip_optim::MomentPrecision;
+        let cfg = TrainerConfig::tiny().with_moment_precision(MomentPrecision::PackedFp8);
+        let mut t = Trainer::new(cfg).unwrap();
+        let first = t.train(5).iter().sum::<f64>() / 5.0;
+        let _ = t.train(40);
+        let last = t.train(5).iter().sum::<f64>() / 5.0;
+        assert!(last < first, "loss {first} -> {last}");
+
+        // Packed moment state must be measurably smaller than the f32 run's.
+        let mut dense = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let _ = dense.train(5);
+        let ratio =
+            dense.optimizer.moment_state_bytes() as f64 / t.optimizer.moment_state_bytes() as f64;
+        assert!(ratio >= 3.0, "moment bytes only {ratio:.2}x smaller");
+
+        // Checkpoint resume stays bit-exact with packed moments: the codes
+        // and scales serialize verbatim.
+        let dir =
+            std::env::temp_dir().join(format!("snip_trainer_packed_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        t.save(&path).unwrap();
+        let mut restored = Trainer::load(&path).unwrap();
+        let a = t.train(3);
+        let b = restored.train(3);
+        assert_eq!(a, b, "packed-moment resume must be bit-exact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn packed_moments_stay_within_divergence_tolerance_of_f32() {
+        // The §4.3.2-style sanity check at the trainer level: swapping the
+        // moment storage must not change training quality beyond the noise
+        // the paper's divergence tolerance allows.
+        use snip_optim::MomentPrecision;
+        let mut dense = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let mut packed =
+            Trainer::new(TrainerConfig::tiny().with_moment_precision(MomentPrecision::PackedFp8))
+                .unwrap();
+        let _ = dense.train(60);
+        let _ = packed.train(60);
+        let dense_val = dense.validation_loss(3, 4);
+        let packed_val = packed.validation_loss(3, 4);
+        assert!(
+            (packed_val / dense_val - 1.0).abs() < 0.05,
+            "packed-moment validation loss {packed_val} vs f32 {dense_val}"
         );
     }
 

@@ -5,9 +5,9 @@
 //! Compares, per tensor role (activations X, weights W, output gradients
 //! ∇Y), the mean relative quantization error of: plain FP4 (the paper's
 //! DeepSeek-style recipe), MXFP4 (power-of-two block scales), RHT-FP4
-//! (randomized Hadamard pre-rotation, the MXFP4-training trick [68]),
-//! outlier-split FP4 (dense FP4 + BF16 outliers, the [73] mechanism), INT4,
-//! and FP8/INT8 references.
+//! (randomized Hadamard pre-rotation, the MXFP4-training trick \[68\]),
+//! outlier-split FP4 (dense FP4 + BF16 outliers, the \[73\] mechanism),
+//! INT4, and FP8/INT8 references.
 
 use snip_experiments::*;
 use snip_nn::ModelConfig;

@@ -62,6 +62,17 @@ fn main() {
             (Wire::bf16(), QuantizePolicy::EveryHop, "every-hop"),
             (Wire::fp8(nb), QuantizePolicy::EveryHop, "every-hop"),
             (Wire::fp4(nb), QuantizePolicy::EveryHop, "every-hop"),
+            // The §5.2 alternative quantizers as wire codecs, all shipping
+            // byte-accurate packed volumes through PackedQuantize: MX's
+            // one-byte E8M0 block scales, RHT's rotation (identical bytes
+            // to plain FP4), and the outlier split's 6 B sparse entries.
+            (Wire::mxfp4(), QuantizePolicy::EveryHop, "every-hop"),
+            (Wire::rht_fp4(nb, 17), QuantizePolicy::EveryHop, "every-hop"),
+            (
+                Wire::outlier_fp4(nb, 1.0 / 256.0),
+                QuantizePolicy::EveryHop,
+                "every-hop",
+            ),
             (Wire::fp4(nb), QuantizePolicy::FinalOnly, "final-only"),
         ] {
             let mut rng = Rng::seed_from(2);
@@ -84,4 +95,9 @@ fn main() {
     println!("# storage floor; every-hop starts below it on small rings because");
     println!("# the receiver's own addend is never quantized, and crosses it as");
     println!("# R grows — here around R = 16.");
+    println!("# The alternative codecs trade within the FP4 budget: mxfp4 ships");
+    println!("# the smallest payloads (1-byte E8M0 block scales vs 4-byte f32");
+    println!("# tile scales); rht-fp4 and ol-fp4 spend the same (or near-same)");
+    println!("# bytes as plain fp4 to buy error robustness on outlier-heavy");
+    println!("# gradients.");
 }

@@ -54,6 +54,15 @@ fn main() {
             "fp4 weights (1×128 tiles)",
             base.with_quantized_weights(4, 128),
         ),
+        (
+            "fp8 moments (1×128 tiles)",
+            base.with_quantized_moments(8, 128),
+        ),
+        (
+            "fp4 wts + fp8 moments",
+            base.with_quantized_weights(4, 128 * 128)
+                .with_quantized_moments(8, 128),
+        ),
     ] {
         let gb = MemoryBreakdown::gb(m70.model_state_bytes(&recipe));
         println!("{label:<28} {:>14.4} {gb:>12.1}", recipe.per_param());
@@ -143,11 +152,15 @@ fn main() {
     let batch = Batch::from_sequences(&seqs, 32);
     println!("{:<10} {:>14} {:>10}", "scheme", "cache (B)", "vs bf16");
     let mut bf16_bytes = 0usize;
+    let mut fp4_cache_bytes = 0usize;
     for p in [Precision::Bf16, Precision::Fp8, Precision::Fp4] {
         model.set_scheme(&vec![LinearPrecision::uniform(p); cfg.n_linear_layers()]);
         let out = model.step(&batch, &mut rng, &StepOptions::train());
         if p == Precision::Bf16 {
             bf16_bytes = out.linear_cache_bytes;
+        }
+        if p == Precision::Fp4 {
+            fp4_cache_bytes = out.linear_cache_bytes;
         }
         println!(
             "{:<10} {:>14} {:>9.2}x",
@@ -157,4 +170,51 @@ fn main() {
         );
     }
     model.zero_grads();
+
+    // --- Measured packed optimizer moments -----------------------------
+    // Also not an estimate: AdamW's moment state lives in packed FP8
+    // QTensors under MomentPrecision::PackedFp8, and the optimizer reports
+    // its actual resident code + scale bytes.
+    println!("\n## measured optimizer-state bytes (AdamW moments, 3 steps)");
+    use snip_optim::{AdamW, AdamWConfig, MomentPrecision};
+    println!("{:<12} {:>14} {:>10}", "moments", "bytes", "vs f32");
+    let mut moment_bytes = [0usize; 2];
+    for (slot, moments) in [(0, MomentPrecision::F32), (1, MomentPrecision::PackedFp8)] {
+        let mut m = Model::new(cfg.clone(), 7).expect("valid config");
+        let mut r = Rng::seed_from(8);
+        let mut opt = AdamW::new(AdamWConfig {
+            moments,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            m.zero_grads();
+            let _ = m.step(&batch, &mut r, &StepOptions::train());
+            opt.update(&mut m);
+        }
+        moment_bytes[slot] = opt.moment_state_bytes();
+        let label = match moments {
+            MomentPrecision::F32 => "f32",
+            MomentPrecision::PackedFp8 => "packed fp8",
+        };
+        println!(
+            "{label:<12} {:>14} {:>9.2}x",
+            moment_bytes[slot],
+            moment_bytes[0] as f64 / moment_bytes[slot] as f64
+        );
+    }
+
+    // --- Total resident training state, measured -----------------------
+    println!("\n## total measured resident bytes (fp4 scheme, tinyllama-1b-sim)");
+    let master_bytes = cfg.param_count() * 4; // f32 master weights (§4.3.2)
+    for (label, moments) in [
+        ("f32 moments", moment_bytes[0]),
+        ("packed fp8 moments", moment_bytes[1]),
+    ] {
+        let total = master_bytes + moments + fp4_cache_bytes;
+        println!(
+            "{label:<20} master {master_bytes:>10} + moments {moments:>10} + bwd cache {fp4_cache_bytes:>10} = {total:>11} B"
+        );
+    }
+    println!("(packed moments + packed fp4 caches: the two largest non-master");
+    println!(" tensor classes now both live in subbyte/byte QTensor storage)");
 }

@@ -240,8 +240,9 @@ pub fn snip_scheme_pipeline(
         .expect("feasible budget")
 }
 
-/// SNIP Steps 1–4 on a checkpoint: the full divergence [`Analysis`] (for
-/// solver ablations and heuristics that reuse SNIP's quality tables).
+/// SNIP Steps 1–4 on a checkpoint: the full divergence
+/// [`Analysis`](snip_core::Analysis) (for solver ablations and heuristics
+/// that reuse SNIP's quality tables).
 pub fn checkpoint_analysis(ckpt: &Trainer) -> snip_core::Analysis {
     let mut t = ckpt.clone();
     let batch = t.peek_batch();

@@ -25,7 +25,7 @@
 //! result is the *closest achievable* time balance, not a forced equality.
 //!
 //! [`solve_time_balanced`] feeds these targets straight into
-//! [`solve_grouped`](crate::grouped::solve_grouped); the
+//! [`solve_grouped`]; the
 //! `ablation_pipeline_balance` experiment measures the resulting bubble
 //! reduction against the relative-balance interpretation.
 
@@ -144,7 +144,7 @@ pub fn imbalance_fraction(times: &[f64]) -> f64 {
 /// Solves the grouped ILP with time-equalizing stage targets: computes each
 /// stage's FLOPs from its groups' maximum efficiency option (the all-FP4
 /// capacity), water-fills the targets, and delegates to
-/// [`solve_grouped`](crate::grouped::solve_grouped).
+/// [`solve_grouped`].
 ///
 /// `stage_of[i]` assigns decision group `i` to a stage, as in
 /// `solve_grouped`; `n_stages` is the stage count; `global_target` is the

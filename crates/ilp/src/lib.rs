@@ -8,7 +8,7 @@
 //! quality loss `q` and an efficiency saving `e`; exactly one option per
 //! layer must be picked while the total efficiency meets a target. The
 //! solver is an exact branch-and-bound with LP-relaxation bounds
-//! ([`solve`]) and a pipeline-stage-aware grouped variant ([`solve_grouped`])
+//! ([`solve()`]) and a pipeline-stage-aware grouped variant ([`solve_grouped`])
 //! implementing the paper's per-stage constraint (Eq. 5).
 //!
 //! # Example

@@ -78,6 +78,21 @@ impl StateBytes {
         }
     }
 
+    /// Replaces both AdamW moments with a `bits`-wide packed format plus
+    /// the amortized f32-scale overhead of one scale per `group_elems`
+    /// elements — the FP8-LM-style optimizer-state saving
+    /// (`snip_optim::MomentPrecision::PackedFp8` is `bits = 8`,
+    /// `group_elems = 128`). Master weights are untouched (paper §4.3.2).
+    pub fn with_quantized_moments(self, bits: u32, group_elems: usize) -> Self {
+        assert!(group_elems > 0, "scale group must be non-empty");
+        let per_moment = bits as f64 / 8.0 + scale_overhead_bytes_per_param(group_elems);
+        StateBytes {
+            moment1: per_moment,
+            moment2: per_moment,
+            ..self
+        }
+    }
+
     /// Total persistent bytes per parameter.
     pub fn per_param(&self) -> f64 {
         self.weights + self.grads + self.master + self.moment1 + self.moment2
@@ -227,6 +242,18 @@ mod tests {
         let per_param = scale_overhead_bytes_per_param(128);
         assert!((per_param - 0.03125).abs() < 1e-12);
         assert!(per_param / StateBytes::mixed_precision_bf16().per_param() < 0.01);
+    }
+
+    #[test]
+    fn fp8_moments_shrink_optimizer_state_4x() {
+        // FP8-LM-style packed moments: 8 B/param of AdamW state becomes
+        // ~2 B + tile-scale overhead; total state drops from 16 to ~10.06.
+        let bf16 = StateBytes::mixed_precision_bf16();
+        let fp8m = bf16.with_quantized_moments(8, 128);
+        let moments = |s: &StateBytes| s.moment1 + s.moment2;
+        assert!((moments(&bf16) / moments(&fp8m) - 4.0).abs() < 0.15);
+        assert!(fp8m.master == bf16.master, "master weights stay f32");
+        assert!((fp8m.per_param() - (16.0 - 8.0 + 2.0625)).abs() < 1e-9);
     }
 
     #[test]

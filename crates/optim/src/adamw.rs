@@ -12,11 +12,36 @@
 //!     ‖ (1−β₁)/(√v_t+ε) − (1−β₂)·m_t·g_t / (√v_t·(√v_t+ε)²) ‖_F ·
 //!     ‖ε_g‖_F / √(N·K)
 //! ```
+//!
+//! Moment state can optionally live in **bit-packed FP8** storage
+//! ([`MomentPrecision::PackedFp8`], the FP8-LM recipe): `m` as E4M3, `v` as
+//! the wider-range E5M2, both under 1×128 tile scales in the same `QTensor`
+//! representation the linear-layer caches use. Master weights stay FP32
+//! (§4.3.2); only the moments shrink (~4 B/param instead of 8). The moments
+//! are re-quantized after every update, which is exactly the low-precision
+//! optimizer-state trade FP8-LM studies — the sanity experiments verify the
+//! trajectory stays within the divergence tolerance.
 
 use crate::ParamOptimizer;
 use serde::{Deserialize, Serialize};
 use snip_nn::model::Model;
-use snip_tensor::Tensor;
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::{Quantizer, Rounding};
+use snip_tensor::rng::Rng;
+use snip_tensor::{QTensor, Tensor};
+
+/// Storage precision of the AdamW moment state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MomentPrecision {
+    /// Dense f32 moments — the classic recipe (8 B/param for `m` + `v`).
+    #[default]
+    F32,
+    /// Bit-packed FP8 moments: `m` in E4M3, `v` in E5M2 (second moments
+    /// span a wider dynamic range), 1×128 tile scales — ≥ 3× smaller than
+    /// f32 including scale overhead.
+    PackedFp8,
+}
 
 /// AdamW hyperparameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -31,6 +56,9 @@ pub struct AdamWConfig {
     pub eps: f64,
     /// Decoupled weight decay `λ`.
     pub weight_decay: f64,
+    /// Storage precision of the moment state (defaults to dense f32).
+    #[serde(default)]
+    pub moments: MomentPrecision,
 }
 
 impl Default for AdamWConfig {
@@ -43,17 +71,107 @@ impl Default for AdamWConfig {
             beta2: 0.95,
             eps: 1e-8,
             weight_decay: 0.1,
+            moments: MomentPrecision::F32,
         }
     }
 }
 
-/// Per-parameter moment state.
+/// Per-parameter moment state, as dense tensors. For packed storage this is
+/// the *decoded view* — bit-identical to what the update loop reads.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MomentState {
     /// First moment `m_t`.
     pub m: Tensor,
     /// Second moment `v_t`.
     pub v: Tensor,
+}
+
+/// The quantizer for packed first moments (E4M3, 1×128 tiles).
+fn m_quantizer() -> Quantizer {
+    Quantizer::new(
+        FloatFormat::e4m3(),
+        Granularity::Tile { nb: 128 },
+        Rounding::Nearest,
+    )
+}
+
+/// The quantizer for packed second moments. E5M2: `v` accumulates squared
+/// gradients, whose within-tile dynamic range can exceed E4M3's; flushing a
+/// small `v` to zero while its `m` survives would blow the update up to
+/// `m/ε`, so the wider exponent range matters more than mantissa here.
+fn v_quantizer() -> Quantizer {
+    Quantizer::new(
+        FloatFormat::e5m2(),
+        Granularity::Tile { nb: 128 },
+        Rounding::Nearest,
+    )
+}
+
+fn pack_moment(q: &Quantizer, t: &Tensor) -> QTensor {
+    let mut rng = Rng::seed_from(0); // nearest rounding draws nothing
+    q.quantize_packed(t, &mut rng)
+        .expect("FP8 moment formats are packable")
+}
+
+/// How one parameter's moments are actually stored.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum StoredMoments {
+    /// Dense f32 tensors.
+    Dense {
+        /// First moment.
+        m: Tensor,
+        /// Second moment.
+        v: Tensor,
+    },
+    /// Bit-packed FP8 codes + tile scales, re-quantized after each update.
+    PackedFp8 {
+        /// First moment (E4M3 codes).
+        m: QTensor,
+        /// Second moment (E5M2 codes).
+        v: QTensor,
+    },
+}
+
+impl StoredMoments {
+    fn zeros(rows: usize, cols: usize, precision: MomentPrecision) -> Self {
+        let m = Tensor::zeros(rows, cols);
+        let v = Tensor::zeros(rows, cols);
+        match precision {
+            MomentPrecision::F32 => StoredMoments::Dense { m, v },
+            MomentPrecision::PackedFp8 => StoredMoments::PackedFp8 {
+                m: pack_moment(&m_quantizer(), &m),
+                v: pack_moment(&v_quantizer(), &v),
+            },
+        }
+    }
+
+    /// The dense view the update math operates on (a decode for packed
+    /// storage, a clone for dense).
+    fn decode(&self) -> MomentState {
+        match self {
+            StoredMoments::Dense { m, v } => MomentState {
+                m: m.clone(),
+                v: v.clone(),
+            },
+            StoredMoments::PackedFp8 { m, v } => MomentState {
+                m: m.dequantize(),
+                v: v.dequantize(),
+            },
+        }
+    }
+
+    /// Resident buffer bytes of this parameter's moment storage: the f32
+    /// element buffers when dense, the packed codes + tile scales when
+    /// packed. Container metadata is excluded on both sides so the ratio
+    /// measures what HBM would hold.
+    fn resident_bytes(&self) -> usize {
+        match self {
+            StoredMoments::Dense { m, v } => (m.len() + v.len()) * std::mem::size_of::<f32>(),
+            StoredMoments::PackedFp8 { m, v } => {
+                m.packed_data_bytes() + m.scale_bytes() + v.packed_data_bytes() + v.scale_bytes()
+            }
+        }
+    }
 }
 
 /// The AdamW optimizer.
@@ -64,7 +182,7 @@ pub struct MomentState {
 pub struct AdamW {
     cfg: AdamWConfig,
     step: u64,
-    states: Vec<MomentState>,
+    states: Vec<StoredMoments>,
 }
 
 impl AdamW {
@@ -92,13 +210,28 @@ impl AdamW {
         self.step
     }
 
-    /// Moment state for parameter `index` (in visit order), if it exists yet.
-    pub fn moments(&self, index: usize) -> Option<&MomentState> {
-        self.states.get(index)
+    /// Moment state for parameter `index` (in visit order), if it exists
+    /// yet, as dense tensors (decoded from packed storage when the
+    /// [`MomentPrecision::PackedFp8`] recipe is active).
+    pub fn moments(&self, index: usize) -> Option<MomentState> {
+        self.states.get(index).map(StoredMoments::decode)
+    }
+
+    /// Measured resident buffer bytes of all moment state: dense f32
+    /// buffers, or packed codes + tile scales under
+    /// [`MomentPrecision::PackedFp8`] (container metadata excluded on both
+    /// sides). The optimizer-state counterpart of
+    /// `snip_nn::model::StepOutput::linear_cache_bytes`.
+    pub fn moment_state_bytes(&self) -> usize {
+        self.states.iter().map(StoredMoments::resident_bytes).sum()
     }
 
     /// Applies one AdamW update to every parameter of the model using the
     /// accumulated gradients. Gradients are *not* zeroed.
+    ///
+    /// Under packed moments the previous `m`/`v` are decoded, updated in
+    /// f32, applied to the FP32 master weights, and re-quantized — the
+    /// low-precision state is the *only* deviation from the f32 recipe.
     pub fn update(&mut self, model: &mut Model) {
         self.step += 1;
         let t = self.step as i32;
@@ -110,17 +243,23 @@ impl AdamW {
         model.visit_params_mut(&mut |p| {
             let (rows, cols) = p.value().shape();
             if states.len() <= idx {
-                states.push(MomentState {
-                    m: Tensor::zeros(rows, cols),
-                    v: Tensor::zeros(rows, cols),
-                });
+                states.push(StoredMoments::zeros(rows, cols, cfg.moments));
             }
             let st = &mut states[idx];
+            // Working copies of the moments: borrowed in place for dense
+            // storage, decoded for packed.
+            let mut decoded = match st {
+                StoredMoments::Dense { .. } => None,
+                StoredMoments::PackedFp8 { .. } => Some(st.decode()),
+            };
+            let (m_data, s_data): (&mut [f32], &mut [f32]) = match (&mut *st, &mut decoded) {
+                (StoredMoments::Dense { m, v }, _) => (m.as_mut_slice(), v.as_mut_slice()),
+                (_, Some(d)) => (d.m.as_mut_slice(), d.v.as_mut_slice()),
+                _ => unreachable!("packed storage always decodes"),
+            };
             let (value, grad) = p.value_grad_mut();
             let v_data = value.as_mut_slice();
             let g_data = grad.as_slice();
-            let m_data = st.m.as_mut_slice();
-            let s_data = st.v.as_mut_slice();
             let lr = cfg.lr as f32;
             let b1 = cfg.beta1 as f32;
             let b2 = cfg.beta2 as f32;
@@ -137,6 +276,12 @@ impl AdamW {
                 let m_hat = m_data[i] * inv_bias1;
                 let v_hat = s_data[i] * inv_bias2;
                 v_data[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            if let Some(d) = decoded {
+                *st = StoredMoments::PackedFp8 {
+                    m: pack_moment(&m_quantizer(), &d.m),
+                    v: pack_moment(&v_quantizer(), &d.v),
+                };
             }
             idx += 1;
         });
@@ -160,8 +305,15 @@ impl AdamW {
         let b2 = cfg.beta2;
         let eps = cfg.eps;
         let mut sq = 0.0f64;
-        let m = st.m.as_slice();
-        let v = st.v.as_slice();
+        // Borrow dense storage directly; decode packed storage once.
+        let decoded;
+        let (m, v): (&[f32], &[f32]) = match st {
+            StoredMoments::Dense { m, v } => (m.as_slice(), v.as_slice()),
+            StoredMoments::PackedFp8 { .. } => {
+                decoded = st.decode();
+                (decoded.m.as_slice(), decoded.v.as_slice())
+            }
+        };
         let gd = g.as_slice();
         for i in 0..gd.len() {
             let sv = (v[i] as f64).max(0.0).sqrt();
@@ -239,6 +391,7 @@ mod tests {
             beta2: 0.99,
             eps: 1e-8,
             weight_decay: 0.0,
+            ..Default::default()
         };
         let mut opt = AdamW::new(cfg);
         model.zero_grads();
@@ -340,5 +493,120 @@ mod tests {
         let restored: AdamW = serde_json::from_str(&json).unwrap();
         assert_eq!(restored.step_count(), opt.step_count());
         assert_eq!(restored.moments(3), opt.moments(3));
+    }
+
+    fn packed_cfg(lr: f64) -> AdamWConfig {
+        AdamWConfig {
+            lr,
+            moments: MomentPrecision::PackedFp8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn packed_moments_reduce_training_loss() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(packed_cfg(5e-3));
+        let initial = model.forward_loss(&batch, &mut rng);
+        for _ in 0..40 {
+            model.zero_grads();
+            let _ = model.step(&batch, &mut rng, &StepOptions::train());
+            opt.update(&mut model);
+        }
+        let fin = model.forward_loss(&batch, &mut rng);
+        assert!(fin < initial * 0.7, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn packed_moments_are_at_least_3x_smaller_than_f32() {
+        let (model0, batch, _) = setup();
+        let mut bytes = [0usize; 2];
+        for (slot, moments) in [(0, MomentPrecision::F32), (1, MomentPrecision::PackedFp8)] {
+            let mut model = model0.clone();
+            let mut rng = Rng::seed_from(9);
+            let mut opt = AdamW::new(AdamWConfig {
+                moments,
+                ..Default::default()
+            });
+            for _ in 0..3 {
+                model.zero_grads();
+                let _ = model.step(&batch, &mut rng, &StepOptions::train());
+                opt.update(&mut model);
+            }
+            bytes[slot] = opt.moment_state_bytes();
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!(
+            ratio >= 3.0,
+            "packed moments only {ratio:.2}x smaller ({} vs {} B)",
+            bytes[0],
+            bytes[1]
+        );
+    }
+
+    #[test]
+    fn packed_moments_track_the_f32_trajectory() {
+        // The FP8 moment path must follow the f32 trajectory closely enough
+        // that training quality is unchanged — the §4.3.2 rationale for
+        // keeping master weights in f32 while shrinking optimizer state.
+        let (model0, batch, _) = setup();
+        let mut final_losses = [0.0f64; 2];
+        for (slot, moments) in [(0, MomentPrecision::F32), (1, MomentPrecision::PackedFp8)] {
+            let mut model = model0.clone();
+            let mut rng = Rng::seed_from(17);
+            let mut opt = AdamW::new(AdamWConfig {
+                lr: 5e-3,
+                moments,
+                ..Default::default()
+            });
+            for _ in 0..30 {
+                model.zero_grads();
+                let _ = model.step(&batch, &mut rng, &StepOptions::train());
+                opt.update(&mut model);
+            }
+            final_losses[slot] = model.forward_loss(&batch, &mut rng);
+        }
+        let (f32_loss, fp8_loss) = (final_losses[0], final_losses[1]);
+        assert!(
+            (fp8_loss / f32_loss - 1.0).abs() < 0.1,
+            "fp8-moment loss {fp8_loss} diverged from f32 loss {f32_loss}"
+        );
+    }
+
+    #[test]
+    fn packed_moments_decode_view_is_on_the_fp8_grid() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(packed_cfg(1e-3));
+        model.zero_grads();
+        let _ = model.step(&batch, &mut rng, &StepOptions::train());
+        opt.update(&mut model);
+        let idx = model.param_index_of(snip_nn::LayerId::new(0, snip_nn::LayerKind::Q));
+        let st = opt.moments(idx).expect("state exists");
+        assert!(st.m.frobenius_norm() > 0.0);
+        // The decoded moments sit on the FP8 grid: re-quantizing them is
+        // idempotent up to the scale-recomputation rounding noise (the same
+        // tolerance `fake_quantize_is_idempotent_under_nearest` pins).
+        let requant = pack_moment(&m_quantizer(), &st.m).dequantize();
+        for (a, b) in st.m.as_slice().iter().zip(requant.as_slice()) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-9), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_serde_round_trip_is_bit_exact() {
+        let (mut model, batch, mut rng) = setup();
+        let mut opt = AdamW::new(packed_cfg(2e-3));
+        for _ in 0..2 {
+            model.zero_grads();
+            let _ = model.step(&batch, &mut rng, &StepOptions::train());
+            opt.update(&mut model);
+        }
+        let json = serde_json::to_string(&opt).unwrap();
+        let restored: AdamW = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.step_count(), opt.step_count());
+        for i in 0..8 {
+            assert_eq!(restored.moments(i), opt.moments(i), "param {i}");
+        }
+        assert_eq!(restored.moment_state_bytes(), opt.moment_state_bytes());
     }
 }

@@ -30,7 +30,7 @@ pub mod clip;
 pub mod schedule;
 pub mod sgd;
 
-pub use adamw::{AdamW, AdamWConfig};
+pub use adamw::{AdamW, AdamWConfig, MomentPrecision, MomentState};
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;
 

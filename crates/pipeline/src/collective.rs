@@ -22,15 +22,85 @@
 use serde::{Deserialize, Serialize};
 use snip_quant::format::FloatFormat;
 use snip_quant::granularity::Granularity;
-use snip_quant::{Quantizer, Rounding};
+use snip_quant::int::IntQuantizer;
+use snip_quant::mx::MxQuantizer;
+use snip_quant::outlier::OutlierQuantizer;
+use snip_quant::rht::RhtQuantizer;
+use snip_quant::{PackedQuantize, PackedTensor, Quantizer, Rounding};
 use snip_tensor::rng::Rng;
 use snip_tensor::Tensor;
 
-/// A collective wire format: payload width plus the quantizer emulating it.
+/// The quantizer behind a lossy wire — every §5.2 quantization option can
+/// serve as a wire codec because they all implement [`PackedQuantize`]: the
+/// payload that crosses the ring is the canonical packed form, and its byte
+/// volume is whatever that form measures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// A plain float quantizer (BF16 / FP8 / FP4 recipes).
+    Float {
+        /// The quantizer.
+        q: Quantizer,
+    },
+    /// A symmetric integer quantizer (INT8/INT4 wires).
+    Int {
+        /// The quantizer.
+        q: IntQuantizer,
+    },
+    /// MX block scaling (power-of-two E8M0 scales, one byte each on the
+    /// wire).
+    Mx {
+        /// The quantizer.
+        q: MxQuantizer,
+    },
+    /// Randomized-Hadamard pre-rotation around an inner quantizer.
+    Rht {
+        /// The quantizer.
+        q: RhtQuantizer,
+    },
+    /// Dense low-precision body + sparse BF16 outliers.
+    Outlier {
+        /// The quantizer.
+        q: OutlierQuantizer,
+    },
+}
+
+impl PackedQuantize for WireCodec {
+    fn pack(&self, t: &Tensor, rng: &mut Rng) -> Option<PackedTensor> {
+        match self {
+            WireCodec::Float { q } => q.pack(t, rng),
+            WireCodec::Int { q } => q.pack(t, rng),
+            WireCodec::Mx { q } => q.pack(t, rng),
+            WireCodec::Rht { q } => q.pack(t, rng),
+            WireCodec::Outlier { q } => q.pack(t, rng),
+        }
+    }
+
+    fn fake_reference(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
+        match self {
+            WireCodec::Float { q } => q.fake_reference(t, rng),
+            WireCodec::Int { q } => q.fake_reference(t, rng),
+            WireCodec::Mx { q } => q.fake_reference(t, rng),
+            WireCodec::Rht { q } => q.fake_reference(t, rng),
+            WireCodec::Outlier { q } => q.fake_reference(t, rng),
+        }
+    }
+
+    fn packed_wire_bytes(&self, rows: usize, cols: usize) -> Option<u64> {
+        match self {
+            WireCodec::Float { q } => q.packed_wire_bytes(rows, cols),
+            WireCodec::Int { q } => q.packed_wire_bytes(rows, cols),
+            WireCodec::Mx { q } => q.packed_wire_bytes(rows, cols),
+            WireCodec::Rht { q } => q.packed_wire_bytes(rows, cols),
+            WireCodec::Outlier { q } => q.packed_wire_bytes(rows, cols),
+        }
+    }
+}
+
+/// A collective wire format: payload width plus the codec emulating it.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Wire {
     bits: u32,
-    quantizer: Option<Quantizer>,
+    codec: Option<WireCodec>,
     label: &'static str,
 }
 
@@ -39,7 +109,7 @@ impl Wire {
     pub fn exact() -> Self {
         Wire {
             bits: 32,
-            quantizer: None,
+            codec: None,
             label: "exact",
         }
     }
@@ -48,7 +118,9 @@ impl Wire {
     pub fn bf16() -> Self {
         Wire {
             bits: 16,
-            quantizer: Some(Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest)),
+            codec: Some(WireCodec::Float {
+                q: Quantizer::unscaled(FloatFormat::bf16(), Rounding::Nearest),
+            }),
             label: "bf16",
         }
     }
@@ -57,11 +129,13 @@ impl Wire {
     pub fn fp8(nb: usize) -> Self {
         Wire {
             bits: 8,
-            quantizer: Some(Quantizer::new(
-                FloatFormat::e4m3(),
-                Granularity::Tile { nb },
-                Rounding::Nearest,
-            )),
+            codec: Some(WireCodec::Float {
+                q: Quantizer::new(
+                    FloatFormat::e4m3(),
+                    Granularity::Tile { nb },
+                    Rounding::Nearest,
+                ),
+            }),
             label: "fp8",
         }
     }
@@ -72,12 +146,78 @@ impl Wire {
     pub fn fp4(nb: usize) -> Self {
         Wire {
             bits: 4,
-            quantizer: Some(Quantizer::new(
-                FloatFormat::e2m1(),
-                Granularity::Tile { nb },
-                Rounding::Stochastic,
-            )),
+            codec: Some(WireCodec::Float {
+                q: Quantizer::new(
+                    FloatFormat::e2m1(),
+                    Granularity::Tile { nb },
+                    Rounding::Stochastic,
+                ),
+            }),
             label: "fp4",
+        }
+    }
+
+    /// MXFP4 wires: E2M1 codes under one-byte E8M0 scales per 32-block,
+    /// stochastic element rounding.
+    pub fn mxfp4() -> Self {
+        Wire {
+            bits: 4,
+            codec: Some(WireCodec::Mx {
+                q: MxQuantizer::mxfp4().with_rounding(Rounding::Stochastic),
+            }),
+            label: "mxfp4",
+        }
+    }
+
+    /// RHT-rotated FP4 wires: payloads rotate, quantize at `1×nb` tiles with
+    /// stochastic rounding, and the receiver inverts the rotation (the seed
+    /// is shared configuration, not payload).
+    pub fn rht_fp4(nb: usize, seed: u64) -> Self {
+        Wire {
+            bits: 4,
+            codec: Some(WireCodec::Rht {
+                q: RhtQuantizer::new(
+                    Quantizer::new(
+                        FloatFormat::e2m1(),
+                        Granularity::Tile { nb },
+                        Rounding::Stochastic,
+                    ),
+                    nb.next_power_of_two(),
+                    seed,
+                ),
+            }),
+            label: "rht-fp4",
+        }
+    }
+
+    /// FP4 wires with a sparse BF16 outlier side-channel: the top
+    /// `fraction` magnitudes ship at 6 B each (u32 index + BF16 value) and
+    /// stop inflating the dense tile scales.
+    pub fn outlier_fp4(nb: usize, fraction: f64) -> Self {
+        Wire {
+            bits: 4,
+            codec: Some(WireCodec::Outlier {
+                q: OutlierQuantizer::new(
+                    Quantizer::new(
+                        FloatFormat::e2m1(),
+                        Granularity::Tile { nb },
+                        Rounding::Stochastic,
+                    ),
+                    fraction,
+                ),
+            }),
+            label: "ol-fp4",
+        }
+    }
+
+    /// INT8 wires with `1×nb` tile scaling.
+    pub fn int8(nb: usize) -> Self {
+        Wire {
+            bits: 8,
+            codec: Some(WireCodec::Int {
+                q: IntQuantizer::int8_tile(nb),
+            }),
+            label: "int8",
         }
     }
 
@@ -92,36 +232,41 @@ impl Wire {
         self.label
     }
 
-    /// Quantizes a payload in place (no-op for exact wires). Numerically
+    /// The codec behind this wire (`None` for exact f32 wires).
+    pub fn codec(&self) -> Option<&WireCodec> {
+        self.codec.as_ref()
+    }
+
+    /// Quantizes a payload in place (no-op for exact wires), through the
+    /// canonical codes path ([`PackedQuantize::quantize`] — decode of the
+    /// packed form, falling back to the dense oracle for BF16). Numerically
     /// identical to what a receiver decodes after [`Wire::transmit`].
     pub fn quantize(&self, payload: &mut Vec<f32>, rng: &mut Rng) {
-        if let Some(q) = &self.quantizer {
-            let mut t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
-            q.fake_quantize_inplace(&mut t, rng);
-            *payload = t.into_vec();
+        if let Some(codec) = &self.codec {
+            let t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
+            *payload = codec.quantize(&t, rng).into_vec();
         }
     }
 
-    /// Sends a payload across the wire: quantizes it in place (bit-packing
-    /// subbyte formats) and returns the **actual bytes moved** — packed
-    /// element codes plus the per-tile scale factors for FP8/FP4, two bytes
-    /// per element for BF16, four for exact wires. This is what makes the
+    /// Sends a payload across the wire: packs it through the codec's
+    /// [`PackedQuantize`] path and returns the **actual bytes moved** — the
+    /// packed form's own accounting (codes + scales, one-byte E8M0 scales
+    /// for MX, 6-byte sparse entries for outliers), two bytes per element
+    /// for unpackable BF16, four for exact wires. This is what makes the
     /// simulator's communication volumes byte-accurate instead of
     /// `len × bits / 8` estimates.
     pub fn transmit(&self, payload: &mut Vec<f32>, rng: &mut Rng) -> u64 {
-        let Some(q) = &self.quantizer else {
+        let Some(codec) = &self.codec else {
             return payload.len() as u64 * 4;
         };
         let t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
-        if let Some(packed) = q.quantize_packed(&t, rng) {
+        if let Some(packed) = codec.pack(&t, rng) {
             let bytes = packed.wire_bytes();
             *payload = packed.dequantize().into_vec();
             bytes
         } else {
             // BF16: not packable, 2 bytes per element on the wire.
-            let mut t = t;
-            q.fake_quantize_inplace(&mut t, rng);
-            *payload = t.into_vec();
+            *payload = codec.fake_reference(&t, rng).into_vec();
             payload.len() as u64 * 2
         }
     }
@@ -508,6 +653,87 @@ mod tests {
         for (a, b) in payload.iter().zip(&reference) {
             assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn alternative_quantizer_wires_transmit_byte_accurately() {
+        // Every §5.2 option rides the same PackedQuantize path: transmitted
+        // bytes equal the codec's analytic packed volume, and the decoded
+        // payload equals the derived quantization bit-for-bit.
+        let n = 96usize;
+        let mut base: Vec<f32> = (0..n).map(|i| (i as f32 - 40.0) * 0.21).collect();
+        base[7] = 50.0; // an outlier for the split wire
+        for wire in [
+            Wire::mxfp4(),
+            Wire::rht_fp4(32, 5),
+            Wire::outlier_fp4(32, 0.02),
+            Wire::int8(32),
+        ] {
+            let mut payload = base.clone();
+            let mut reference = base.clone();
+            let mut r1 = Rng::seed_from(21);
+            let mut r2 = Rng::seed_from(21);
+            let bytes = wire.transmit(&mut payload, &mut r1);
+            wire.quantize(&mut reference, &mut r2);
+            assert_eq!(
+                Some(bytes),
+                wire.codec().unwrap().packed_wire_bytes(1, n),
+                "{}",
+                wire.label()
+            );
+            for (a, b) in payload.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}: {a} vs {b}", wire.label());
+            }
+        }
+        // MX wires are cheaper than plain FP4 wires at the same element
+        // width: E8M0 block scales cost 1 B against f32 tile scales' 4 B.
+        let mx = Wire::mxfp4().codec().unwrap().packed_wire_bytes(1, n);
+        let fp4 = Wire::fp4(32).codec().unwrap().packed_wire_bytes(1, n);
+        assert!(mx < fp4, "mx {mx:?} !< fp4 {fp4:?}");
+    }
+
+    #[test]
+    fn rht_wire_reduces_error_on_outlier_heavy_gradients() {
+        // The point of shipping RHT as a wire option: spike-contaminated
+        // gradients quantize better after rotation, at identical bytes.
+        let mut rng = Rng::seed_from(31);
+        let n = 512;
+        let grads: Vec<Vec<f32>> = (0..4)
+            .map(|_| {
+                let mut g: Vec<f32> = (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+                for s in 0..4 {
+                    g[s * 128 + 17] = 60.0;
+                }
+                g
+            })
+            .collect();
+        let exact = exact_sum(&grads);
+        let err = |wire: Wire| {
+            let mut r = Rng::seed_from(32);
+            let rs = ring_reduce_scatter(&grads, &wire, QuantizePolicy::EveryHop, &mut r);
+            relative_error(&rs, &exact)
+        };
+        let plain = err(Wire::fp4(128));
+        let rht = err(Wire::rht_fp4(128, 9));
+        let split = err(Wire::outlier_fp4(128, 4.0 / 512.0));
+        assert!(rht < plain, "rht {rht} !< plain fp4 {plain}");
+        assert!(split < plain, "outlier {split} !< plain fp4 {plain}");
+        let b_plain = {
+            let mut r = Rng::seed_from(33);
+            ring_reduce_scatter(&grads, &Wire::fp4(128), QuantizePolicy::EveryHop, &mut r)
+                .bytes_on_wire
+        };
+        let b_rht = {
+            let mut r = Rng::seed_from(33);
+            ring_reduce_scatter(
+                &grads,
+                &Wire::rht_fp4(128, 9),
+                QuantizePolicy::EveryHop,
+                &mut r,
+            )
+            .bytes_on_wire
+        };
+        assert_eq!(b_plain, b_rht, "rotation must not change wire volume");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::stage::StagePartition;
 use serde::{Deserialize, Serialize};
 use snip_core::Scheme;
 use snip_nn::{LayerId, LayerKind, ModelConfig};
-use snip_quant::{Codebook, Precision, TensorRole};
+use snip_quant::{PackedQuantize, Precision, TensorRole};
 
 /// Bytes moved by one data-parallel step for one stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,9 +48,10 @@ pub enum WirePolicy {
 }
 
 /// Bytes one `rows × cols` operand occupies on the wire at a precision:
-/// packed codes + scale factors for subbyte formats, 2 B/element for BF16.
-/// This matches [`snip_tensor::QTensor::wire_bytes`] for the tensor a real
-/// collective would ship.
+/// the precision's quantizer answers through [`PackedQuantize`], so the
+/// number is exactly `pack(..).wire_bytes()` — what a real collective would
+/// ship for the canonical packed tensor. BF16 operands are not packable and
+/// move two bytes per element, no scale factors.
 pub fn operand_wire_bytes(
     rows: usize,
     cols: usize,
@@ -58,16 +59,22 @@ pub fn operand_wire_bytes(
     role: TensorRole,
     group: usize,
 ) -> u64 {
-    let q = p.quantizer_with_group(role, group);
-    match Codebook::for_float(q.format()) {
-        Some(cb) if q.packable() => {
-            let code_bytes = (rows * cb.width().row_bytes(cols)) as u64;
-            let scale_bytes = 4 * q.granularity().group_count(rows, cols) as u64;
-            code_bytes + scale_bytes
-        }
-        // BF16 wires: two bytes per element, no scale factors.
-        _ => (rows * cols) as u64 * u64::from(p.bits()) / 8,
-    }
+    codec_wire_bytes(&p.quantizer_with_group(role, group), rows, cols, p.bits())
+}
+
+/// [`operand_wire_bytes`] for any quantization option: the analytic packed
+/// volume of an arbitrary [`PackedQuantize`] codec (mx/rht/outlier wires in
+/// the comm-precision experiments), or the BF16 fallback at
+/// `fallback_bits` per element when the codec is not packable.
+pub fn codec_wire_bytes(
+    codec: &impl PackedQuantize,
+    rows: usize,
+    cols: usize,
+    fallback_bits: u32,
+) -> u64 {
+    codec
+        .packed_wire_bytes(rows, cols)
+        .unwrap_or((rows * cols) as u64 * u64::from(fallback_bits) / 8)
 }
 
 /// Per-stage communication volume of one optimizer step under a scheme.
@@ -191,6 +198,23 @@ mod tests {
         // Odd FP4 rows pad to whole bytes, exactly like QTensor storage.
         let b = operand_wire_bytes(3, 5, Precision::Fp4, TensorRole::OutputGrad, 8);
         assert_eq!(b, 3 * 3 + 3 * 4);
+    }
+
+    #[test]
+    fn codec_wire_bytes_covers_alternative_quantizers() {
+        use snip_quant::mx::MxQuantizer;
+        use snip_quant::outlier::OutlierQuantizer;
+        // MX: 0.5 B/elem + one E8M0 byte per 32-block.
+        let b = codec_wire_bytes(&MxQuantizer::mxfp4(), 2, 64, 16);
+        assert_eq!(b, 2 * 32 + 2 * 2);
+        // Outlier split over an FP4 tile body: body bytes + 6 B per outlier.
+        let dense = Precision::Fp4.quantizer_with_group(TensorRole::OutputGrad, 8);
+        let split = OutlierQuantizer::new(dense, 2.0 / 128.0);
+        let body = codec_wire_bytes(&dense, 8, 16, 16);
+        assert_eq!(codec_wire_bytes(&split, 8, 16, 16), body + 2 * 6);
+        // Unpackable codecs fall back to the given wire width.
+        let bf16 = Precision::Bf16.quantizer_with_group(TensorRole::Weight, 8);
+        assert_eq!(codec_wire_bytes(&bf16, 4, 4, 16), 32);
     }
 
     #[test]

@@ -36,6 +36,14 @@ enum LutKey {
 /// Decode tables, one per format, shared by every tensor of that format.
 static LUT_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[f32]>>>> = OnceLock::new();
 
+/// Direct-map encode tables (bits → code), one per format, shared like the
+/// decode tables.
+static ENC_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[u8]>>>> = OnceLock::new();
+
+/// Sentinel in the encode table for keys no grid value occupies. Valid
+/// magnitude indices are `< 128`, so `0xFF` can never collide with one.
+const ENC_EMPTY: u8 = u8::MAX;
+
 /// A sign-magnitude code table for one subbyte format.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Codebook {
@@ -43,6 +51,13 @@ pub struct Codebook {
     nonneg: Vec<f32>,
     width: CodeWidth,
     key: LutKey,
+    /// Right-shift applied to a value's f32 bit pattern to form its encode
+    /// key: keeps the exponent and exactly the mantissa bits any grid value
+    /// uses, so distinct grid values get distinct keys.
+    enc_shift: u32,
+    /// Direct map from shifted magnitude bits to the non-negative value
+    /// index ([`ENC_EMPTY`] where no grid value lands). Interned per format.
+    enc_table: Arc<[u8]>,
 }
 
 impl Codebook {
@@ -90,7 +105,49 @@ impl Codebook {
             );
             CodeWidth::U8
         };
-        Codebook { nonneg, width, key }
+        let enc_shift = Self::enc_shift_for(&nonneg);
+        let enc_table = {
+            let registry = ENC_REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+            let mut map = registry.lock().expect("encode registry poisoned");
+            map.entry(key)
+                .or_insert_with(|| Self::build_enc_table(&nonneg, enc_shift).into())
+                .clone()
+        };
+        Codebook {
+            nonneg,
+            width,
+            key,
+            enc_shift,
+            enc_table,
+        }
+    }
+
+    /// The bit-pattern shift under which every grid value keeps all of its
+    /// significant mantissa bits (and its full exponent), so the shifted
+    /// bits of distinct grid values are distinct.
+    fn enc_shift_for(nonneg: &[f32]) -> u32 {
+        let mut needed = 0u32;
+        for &v in nonneg {
+            let mantissa = v.to_bits() & 0x7F_FFFF;
+            if mantissa != 0 {
+                needed = needed.max(23 - mantissa.trailing_zeros());
+            }
+        }
+        23 - needed
+    }
+
+    fn build_enc_table(nonneg: &[f32], shift: u32) -> Vec<u8> {
+        let max_key = (nonneg.last().expect("non-empty table").to_bits() >> shift) as usize;
+        let mut table = vec![ENC_EMPTY; max_key + 1];
+        for (i, &v) in nonneg.iter().enumerate() {
+            if v == 0.0 {
+                continue; // zero is handled before the table lookup
+            }
+            let k = (v.to_bits() >> shift) as usize;
+            debug_assert_eq!(table[k], ENC_EMPTY, "encode keys must be distinct");
+            table[k] = i as u8;
+        }
+        table
     }
 
     /// The packed storage width codes of this book need.
@@ -145,6 +202,32 @@ impl Codebook {
         rng: &mut Rng,
         quantize: impl Fn(f32, &mut Rng) -> f32,
     ) -> QTensor {
+        self.pack_with(
+            t,
+            granularity,
+            rng,
+            |max_abs| {
+                let scale = Granularity::group_scale(grid_max, max_abs);
+                (scale, 1.0 / scale)
+            },
+            quantize,
+        )
+    }
+
+    /// [`Codebook::pack`] with caller-supplied scaling: `scale_of` maps a
+    /// group's max-abs to `(encode_multiplier, decode_multiplier)`. The
+    /// standard max-abs recipe uses `(scale, 1/scale)`; MX-style quantizers
+    /// use `(1/s, s)` with a power-of-two `s` so the *decode* side is the
+    /// exact E8M0 scale. Both multipliers must reproduce the corresponding
+    /// fake-quantization expressions bit-for-bit.
+    pub fn pack_with(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        rng: &mut Rng,
+        scale_of: impl Fn(f32) -> (f32, f32),
+        quantize: impl Fn(f32, &mut Rng) -> f32,
+    ) -> QTensor {
         let (rows, cols) = t.shape();
         let layout = granularity.layout();
         let width = self.width();
@@ -159,12 +242,12 @@ impl Codebook {
                     max_abs = max_abs.max(row[c].abs());
                 }
             }
-            let scale = Granularity::group_scale(grid_max, max_abs);
-            scales.push(1.0 / scale);
+            let (enc_scale, dec_scale) = scale_of(max_abs);
+            scales.push(dec_scale);
             for r in rr {
                 let row = t.row(r);
                 for c in cr.clone() {
-                    let code = self.encode(quantize(row[c] * scale, rng));
+                    let code = self.encode(quantize(row[c] * enc_scale, rng));
                     match width {
                         CodeWidth::U4 => {
                             let byte = &mut data[r * row_bytes + c / 2];
@@ -180,7 +263,9 @@ impl Codebook {
         QTensor::from_parts(rows, cols, width, self.lut(), layout, scales, data)
     }
 
-    /// Encodes a value that lies on the format grid.
+    /// Encodes a value that lies on the format grid, via the direct-map
+    /// table: one shift and one load per element (the per-element binary
+    /// search this replaces was the packed path's encode bottleneck).
     ///
     /// # Panics
     ///
@@ -188,6 +273,32 @@ impl Codebook {
     /// fall back to the nearest table entry.
     #[inline]
     pub fn encode(&self, q: f32) -> u8 {
+        let half = (self.width.lut_len() / 2) as u8;
+        let sign = if q.is_sign_negative() { half } else { 0 };
+        if q == 0.0 {
+            // Signed zeros round-trip bitwise: lut[half] is -0.0.
+            return sign;
+        }
+        let a = q.abs();
+        let key = (a.to_bits() >> self.enc_shift) as usize;
+        if let Some(&idx) = self.enc_table.get(key) {
+            if idx != ENC_EMPTY {
+                debug_assert_eq!(
+                    self.nonneg[idx as usize].to_bits(),
+                    a.to_bits(),
+                    "{a} is not on the format grid"
+                );
+                return sign + idx;
+            }
+        }
+        self.encode_binary_search(q)
+    }
+
+    /// The reference encode path: per-element binary search over the sorted
+    /// value table. [`Codebook::encode`] must agree with it code-for-code on
+    /// every grid value (property-tested); it also serves as the fallback
+    /// for off-grid inputs, where it picks the nearest table entry.
+    pub fn encode_binary_search(&self, q: f32) -> u8 {
         let half = (self.width.lut_len() / 2) as u8;
         let sign = if q.is_sign_negative() { half } else { 0 };
         if q == 0.0 {
@@ -286,6 +397,32 @@ mod tests {
                         "{fmt}: {n}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_map_encode_matches_binary_search_on_every_grid_value() {
+        let books: Vec<Codebook> = [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ]
+        .into_iter()
+        .map(|f| Codebook::for_float(f).unwrap())
+        .chain(
+            [IntFormat::int4(), IntFormat::int8(), IntFormat::new(3)]
+                .into_iter()
+                .map(|f| Codebook::for_int(f).unwrap()),
+        )
+        .collect();
+        for cb in &books {
+            let lut = cb.lut();
+            for code in 0..cb.values() {
+                let v = lut[code];
+                assert_eq!(cb.encode(v), cb.encode_binary_search(v));
+                assert_eq!(cb.encode(-v), cb.encode_binary_search(-v));
             }
         }
     }

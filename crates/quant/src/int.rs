@@ -1,7 +1,7 @@
 //! Symmetric integer quantization (INT8 / INT4).
 //!
 //! The paper's related work trains transformers with INT8 data flow
-//! (Jetfire, §7 [77]) and SNIP explicitly treats quantization methods as
+//! (Jetfire, §7 \[77\]) and SNIP explicitly treats quantization methods as
 //! pluggable options (§5.2: "new methods can be incorporated as additional
 //! quantization options"). This module provides the integer counterparts of
 //! the floating-point fake quantizers so they can enter SNIP's ILP as extra

@@ -11,10 +11,15 @@
 //!   activations & gradients, 128×128 blocks for weights).
 //! * [`Quantizer`] — fake quantize→dequantize kernels plus quantization-error
 //!   statistics (the `‖δ‖_F` terms consumed by SNIP's divergence analysis).
+//! * [`PackedQuantize`] / [`PackedTensor`] — the **canonical codes-based
+//!   path**: every quantizer packs into bit-packed storage through one
+//!   trait, and dense fake quantization is derived from the packed form
+//!   (decode). The extension point for new quantization methods.
 //! * Pluggable alternative quantization options (§5.2): [`mx`] (MXFP4-style
 //!   power-of-two block scales), [`int`] (symmetric INT8/INT4), [`rht`]
 //!   (randomized Hadamard pre-rotation), [`outlier`] (dense + sparse
-//!   high-precision outlier split).
+//!   high-precision outlier split) — all packed citizens via
+//!   [`PackedQuantize`], bit-identical to their fake-quant oracles.
 //! * [`Precision`] / [`LinearPrecision`] — the *policy-level* vocabulary: the
 //!   precision assigned to each quantized operand of a linear layer, and the
 //!   effective precision of each of its three GEMMs.
@@ -44,10 +49,12 @@ pub mod granularity;
 pub mod int;
 pub mod mx;
 pub mod outlier;
+pub mod packed;
 mod quantizer;
 pub mod rht;
 
 pub use codebook::Codebook;
+pub use packed::{PackedOutlier, PackedQuantize, PackedTensor};
 pub use quantizer::{Quantizer, Rounding};
 
 use format::FloatFormat;

@@ -1,18 +1,21 @@
 //! MX (microscaling) block format support.
 //!
 //! The paper adopts the FP4 E2M1 *element* format from the MX specification
-//! (§2.3, [60]) but scales with max-abs f32 factors like DeepSeek-V3. The
+//! (§2.3, \[60\]) but scales with max-abs f32 factors like DeepSeek-V3. The
 //! full MX format constrains scales further: one **power-of-two E8M0 scale
 //! per 32-element block**, which is what `MXFP4` hardware implements and
-//! what the "Training LLMs with MXFP4" line of work (§7, [68]) studies.
+//! what the "Training LLMs with MXFP4" line of work (§7, \[68\]) studies.
 //! SNIP treats quantization methods as pluggable options (§5.2: "new
 //! methods can be incorporated as additional quantization options"), so this
 //! module provides the MX variant as an alternative quantizer.
 
+use crate::codebook::Codebook;
 use crate::format::FloatFormat;
+use crate::granularity::Granularity;
+use crate::quantizer::Rounding;
 use serde::{Deserialize, Serialize};
 use snip_tensor::rng::Rng;
-use snip_tensor::Tensor;
+use snip_tensor::{QTensor, Tensor};
 
 /// MX block size fixed by the specification.
 pub const MX_BLOCK: usize = 32;
@@ -22,6 +25,8 @@ pub const MX_BLOCK: usize = 32;
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MxQuantizer {
     fmt: FloatFormat,
+    #[serde(default)]
+    rounding: Rounding,
 }
 
 impl MxQuantizer {
@@ -29,6 +34,7 @@ impl MxQuantizer {
     pub fn mxfp4() -> Self {
         MxQuantizer {
             fmt: FloatFormat::e2m1(),
+            rounding: Rounding::Nearest,
         }
     }
 
@@ -36,12 +42,25 @@ impl MxQuantizer {
     pub fn mxfp8() -> Self {
         MxQuantizer {
             fmt: FloatFormat::e4m3(),
+            rounding: Rounding::Nearest,
         }
+    }
+
+    /// The same quantizer with a different element rounding mode (the MX
+    /// training recipes use stochastic rounding on gradients, like plain
+    /// FP4).
+    pub fn with_rounding(self, rounding: Rounding) -> Self {
+        MxQuantizer { rounding, ..self }
     }
 
     /// The element format.
     pub fn format(&self) -> FloatFormat {
         self.fmt
+    }
+
+    /// The element rounding mode.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
     }
 
     /// The E8M0 scale for a block: the largest power of two `2^e` such that
@@ -57,9 +76,11 @@ impl MxQuantizer {
         e.exp2()
     }
 
-    /// Fake-quantizes `t` with per-row 32-element MX blocks.
-    pub fn fake_quantize(&self, t: &Tensor, _rng: &mut Rng) -> Tensor {
+    /// Fake-quantizes `t` with per-row 32-element MX blocks. `rng` drives
+    /// stochastic rounding and is untouched under [`Rounding::Nearest`].
+    pub fn fake_quantize(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
         let (rows, cols) = t.shape();
+        let stochastic = self.rounding == Rounding::Stochastic;
         let mut out = t.clone();
         for r in 0..rows {
             let row = out.row_mut(r);
@@ -71,7 +92,12 @@ impl MxQuantizer {
                 let scale = self.block_scale(max_abs);
                 let inv = 1.0 / scale;
                 for v in block.iter_mut() {
-                    *v = self.fmt.quantize_nearest(*v * inv) * scale;
+                    let q = if stochastic {
+                        self.fmt.quantize_stochastic(*v * inv, rng.next_f32())
+                    } else {
+                        self.fmt.quantize_nearest(*v * inv)
+                    };
+                    *v = q * scale;
                 }
                 c = end;
             }
@@ -79,10 +105,38 @@ impl MxQuantizer {
         out
     }
 
-    /// `‖q(t) − t‖_F` under this quantizer.
+    /// Quantizes `t` into bit-packed storage: codes under a `1×32` tile
+    /// layout whose stored decode multipliers are the exact power-of-two
+    /// E8M0 block scales. Bit- and RNG-stream-identical to
+    /// [`MxQuantizer::fake_quantize`]; `None` only if the element format is
+    /// wider than 8 bits (never for the MX element formats).
+    pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
+        let cb = Codebook::for_float(self.fmt)?;
+        let fmt = self.fmt;
+        let stochastic = self.rounding == Rounding::Stochastic;
+        Some(cb.pack_with(
+            t,
+            Granularity::Tile { nb: MX_BLOCK },
+            rng,
+            |max_abs| {
+                let scale = self.block_scale(max_abs);
+                (1.0 / scale, scale)
+            },
+            |scaled, rng| {
+                if stochastic {
+                    fmt.quantize_stochastic(scaled, rng.next_f32())
+                } else {
+                    fmt.quantize_nearest(scaled)
+                }
+            },
+        ))
+    }
+
+    /// `‖q(t) − t‖_F` under this quantizer (deterministic nearest rounding).
     pub fn error_norm(&self, t: &Tensor) -> f64 {
-        let mut rng = Rng::seed_from(0);
-        self.fake_quantize(t, &mut rng).distance(t)
+        let det = self.with_rounding(Rounding::Nearest);
+        let mut rng = Rng::seed_from(0); // unused under Nearest
+        det.fake_quantize(t, &mut rng).distance(t)
     }
 
     /// Relative error `‖q(t) − t‖_F / ‖t‖_F` (0 for a zero tensor).
@@ -101,7 +155,7 @@ impl MxQuantizer {
 ///
 /// Rotating tensors by a random orthogonal matrix before quantization
 /// spreads outliers across elements, shrinking block max-abs and thus
-/// quantization error — the enhancement [68] applies to MXFP4 training.
+/// quantization error — the enhancement \[68\] applies to MXFP4 training.
 /// The rotation itself lives in [`crate::rht::RhtRotation`] (which also
 /// powers the standalone [`crate::rht::RhtQuantizer`]); this type applies
 /// it to every `n`-aligned block of each tensor row. Rows whose length is

@@ -1,6 +1,6 @@
 //! Outlier-split quantization: dense low-precision + sparse high-precision.
 //!
-//! The FP4 training work the paper builds on (§2.2, [73]) "relies on
+//! The FP4 training work the paper builds on (§2.2, \[73\]) "relies on
 //! irregular sparse GEMM to handle outliers": the few largest-magnitude
 //! elements are carved out of the low-precision tensor and processed at high
 //! precision, so they stop inflating the quantization scale for everything

@@ -14,9 +14,10 @@ use snip_tensor::rng::Rng;
 use snip_tensor::{QTensor, Tensor};
 
 /// Rounding mode used when mapping to the low-precision grid.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Rounding {
-    /// Round to nearest, ties to even.
+    /// Round to nearest, ties to even (the default).
+    #[default]
     Nearest,
     /// Stochastic rounding — unbiased in expectation; the paper applies it to
     /// FP4 output gradients to avoid training stagnation (§6.1).

@@ -1,6 +1,6 @@
 //! Randomized Hadamard transform (RHT) pre-rotation.
 //!
-//! The MXFP4 training line of work the paper cites (§7, [68]) improves FP4
+//! The MXFP4 training line of work the paper cites (§7, \[68\]) improves FP4
 //! accuracy by rotating tensors with a *random Hadamard transform* before
 //! quantization: `x → H·D·x / √n`, where `H` is a Walsh–Hadamard matrix and
 //! `D` a random ±1 diagonal. The rotation is orthogonal, so the GEMM result
@@ -119,6 +119,61 @@ impl RhtRotation {
     }
 }
 
+/// Visits each rotated chunk of a row of `cols` elements as `(start, len)`
+/// with `len` a power of two at most `block`; lone trailing elements
+/// (len 1) are skipped — a 1-point rotation is the identity.
+pub(crate) fn for_each_chunk(cols: usize, block: usize, mut f: impl FnMut(usize, usize)) {
+    let mut c = 0;
+    while c < cols {
+        let rem = cols - c;
+        let len = if rem >= block {
+            block
+        } else {
+            let mut l = 1;
+            while l * 2 <= rem {
+                l *= 2;
+            }
+            l
+        };
+        if len > 1 {
+            f(c, len);
+        }
+        c += len;
+    }
+}
+
+/// Rotates every row chunk of `t` forward or backward under the chunking
+/// rule of [`for_each_chunk`], with per-length rotations seeded
+/// `seed ^ len`. This is the one rotation routine shared by
+/// [`RhtQuantizer`]'s fake path and the packed representation's decode —
+/// sharing it is what keeps the two bit-identical.
+pub(crate) fn rotate_rows(t: &mut Tensor, block: usize, seed: u64, forward: bool) {
+    let (rows, cols) = t.shape();
+    // Rotations per distinct chunk length, built lazily.
+    let mut rotations: Vec<(usize, RhtRotation)> = Vec::new();
+    for_each_chunk(cols, block, |_, len| {
+        if !rotations.iter().any(|(l, _)| *l == len) {
+            rotations.push((len, RhtRotation::new(len, seed ^ len as u64)));
+        }
+    });
+    for r in 0..rows {
+        let row = t.row_mut(r);
+        for_each_chunk(cols, block, |c, len| {
+            let rot = &rotations
+                .iter()
+                .find(|(l, _)| *l == len)
+                .expect("rotation precomputed")
+                .1;
+            let chunk = &mut row[c..c + len];
+            if forward {
+                rot.forward(chunk);
+            } else {
+                rot.inverse(chunk);
+            }
+        });
+    }
+}
+
 /// A quantizer that rotates row segments with a randomized Hadamard
 /// transform, applies an inner fake quantizer in the rotated domain, and
 /// rotates back.
@@ -127,7 +182,7 @@ impl RhtRotation {
 /// two, typically matching the inner quantizer's tile length). A trailing
 /// remainder shorter than `block` is rotated with the largest power-of-two
 /// rotation that fits; at most one final element stays unrotated.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RhtQuantizer {
     inner: Quantizer,
     block: usize,
@@ -163,69 +218,9 @@ impl RhtQuantizer {
         self.seed
     }
 
-    /// Visits each rotated chunk of a row of `cols` elements as
-    /// `(start, len)` with `len` a power of two; lone trailing elements
-    /// (len 1) are skipped — a 1-point rotation is the identity.
-    fn for_each_chunk(&self, cols: usize, mut f: impl FnMut(usize, usize)) {
-        let mut c = 0;
-        while c < cols {
-            let rem = cols - c;
-            let len = if rem >= self.block {
-                self.block
-            } else {
-                let mut l = 1;
-                while l * 2 <= rem {
-                    l *= 2;
-                }
-                l
-            };
-            if len > 1 {
-                f(c, len);
-            }
-            c += len;
-        }
-    }
-
     /// Rotates every row chunk of `t` forward (`dir = true`) or backward.
     fn rotate(&self, t: &mut Tensor, forward: bool) {
-        let (rows, cols) = t.shape();
-        // Rotations per distinct chunk length, built lazily.
-        let mut rotations: Vec<(usize, RhtRotation)> = Vec::new();
-        self.for_each_chunk(cols, |_, len| {
-            if !rotations.iter().any(|(l, _)| *l == len) {
-                rotations.push((len, RhtRotation::new(len, self.seed ^ len as u64)));
-            }
-        });
-        for r in 0..rows {
-            let row = t.row_mut(r);
-            let mut c = 0;
-            while c < cols {
-                let rem = cols - c;
-                let len = if rem >= self.block {
-                    self.block
-                } else {
-                    let mut l = 1;
-                    while l * 2 <= rem {
-                        l *= 2;
-                    }
-                    l
-                };
-                if len > 1 {
-                    let rot = &rotations
-                        .iter()
-                        .find(|(l, _)| *l == len)
-                        .expect("rotation precomputed")
-                        .1;
-                    let chunk = &mut row[c..c + len];
-                    if forward {
-                        rot.forward(chunk);
-                    } else {
-                        rot.inverse(chunk);
-                    }
-                }
-                c += len;
-            }
-        }
+        rotate_rows(t, self.block, self.seed, forward);
     }
 
     /// Rotate → fake-quantize (inner) → rotate back.
@@ -248,7 +243,7 @@ impl RhtQuantizer {
     pub fn error_norm(&self, t: &Tensor) -> f64 {
         let det = RhtQuantizer {
             inner: self.inner.with_rounding(Rounding::Nearest),
-            ..self.clone()
+            ..*self
         };
         let mut rng = Rng::seed_from(0); // unused under Nearest
         let q = det.fake_quantize(t, &mut rng);

@@ -1,0 +1,151 @@
+//! Packed ↔ fake-quantization bit-equivalence for the §5.2 alternative
+//! quantizers (MX, RHT, outlier split), mirroring the FP4/FP8/INT suites in
+//! the crate's unit tests, plus the direct-map encode table against its
+//! binary-search reference.
+//!
+//! The contract under test is [`PackedQuantize`]'s: for every quantizer,
+//! `pack(t, rng).dequantize()` must equal `fake_reference(t, rng')` bit for
+//! bit when both start from the same RNG state, and both paths must consume
+//! the same number of stochastic draws.
+
+use proptest::prelude::*;
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::int::{IntFormat, IntQuantizer};
+use snip_quant::mx::MxQuantizer;
+use snip_quant::outlier::OutlierQuantizer;
+use snip_quant::rht::RhtQuantizer;
+use snip_quant::{Codebook, PackedQuantize, Quantizer, Rounding};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+const GRANULARITIES: [Granularity; 5] = [
+    Granularity::Tensorwise,
+    Granularity::Rowwise,
+    Granularity::Columnwise,
+    Granularity::Block { nb: 5 },
+    Granularity::Tile { nb: 5 },
+];
+
+const ROUNDINGS: [Rounding; 2] = [Rounding::Nearest, Rounding::Stochastic];
+
+/// Packs and fake-quantizes from identical RNG states; asserts bit-identical
+/// results and identical draw consumption.
+fn assert_packed_equivalence(q: &dyn PackedQuantize, t: &Tensor, seed: u64, ctx: &str) {
+    let mut rng_fake = Rng::seed_from(seed);
+    let mut rng_packed = Rng::seed_from(seed);
+    let fake = q.fake_reference(t, &mut rng_fake);
+    let packed = q.pack(t, &mut rng_packed).expect("packable");
+    let decoded = packed.dequantize();
+    assert_eq!(decoded.shape(), fake.shape(), "{ctx}");
+    for (i, (x, y)) in fake.as_slice().iter().zip(decoded.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+    }
+    assert_eq!(
+        rng_fake.next_u64(),
+        rng_packed.next_u64(),
+        "{ctx}: rng stream diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MX packed codes decode bit-identically to the MX fake path, for both
+    /// element formats and both rounding modes (granularity is fixed at the
+    /// spec's 1×32 blocks, including the ragged 38-column tail here).
+    #[test]
+    fn mx_packed_matches_oracle(t in tensor_strategy(6, 38), seed in 0u64..1_000) {
+        for base in [MxQuantizer::mxfp4(), MxQuantizer::mxfp8()] {
+            for rounding in ROUNDINGS {
+                let q = base.with_rounding(rounding);
+                assert_packed_equivalence(&q, &t, seed, &format!("mx {:?} {rounding:?}", q.format()));
+            }
+        }
+    }
+
+    /// RHT packed codes (rotated domain + seed) decode bit-identically to
+    /// rotate → fake-quantize → rotate-back, across every inner granularity
+    /// × rounding mode and a block that does not divide the width.
+    #[test]
+    fn rht_packed_matches_oracle(t in tensor_strategy(5, 37), seed in 0u64..1_000) {
+        for g in GRANULARITIES {
+            for rounding in ROUNDINGS {
+                let inner = Quantizer::new(FloatFormat::e2m1(), g, rounding);
+                let q = RhtQuantizer::new(inner, 16, 7);
+                assert_packed_equivalence(&q, &t, seed, &format!("rht {g} {rounding:?}"));
+            }
+        }
+    }
+
+    /// Outlier-split packed form (dense body + sparse BF16 list) decodes
+    /// bit-identically to the fake split, across granularity × rounding ×
+    /// outlier fraction.
+    #[test]
+    fn outlier_packed_matches_oracle(t in tensor_strategy(5, 26), seed in 0u64..1_000) {
+        for g in GRANULARITIES {
+            for rounding in ROUNDINGS {
+                for fraction in [0.0, 0.02, 0.25] {
+                    let dense = Quantizer::new(FloatFormat::e2m1(), g, rounding);
+                    let q = OutlierQuantizer::new(dense, fraction);
+                    assert_packed_equivalence(
+                        &q, &t, seed, &format!("outlier {g} {rounding:?} f={fraction}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Composed options still match: an RHT wrapper around FP8, and an
+    /// outlier split over an INT4 body, under stochastic rounding.
+    #[test]
+    fn composed_options_match_oracle(t in tensor_strategy(4, 32), seed in 0u64..1_000) {
+        let rht8 = RhtQuantizer::new(
+            Quantizer::new(FloatFormat::e4m3(), Granularity::Tile { nb: 8 }, Rounding::Stochastic),
+            8,
+            3,
+        );
+        assert_packed_equivalence(&rht8, &t, seed, "rht fp8 stochastic");
+        let int_q = IntQuantizer::new(IntFormat::int4(), Granularity::Rowwise, Rounding::Stochastic);
+        assert_packed_equivalence(&int_q, &t, seed, "int4 stochastic");
+    }
+
+    /// The direct-map encode table agrees with the binary-search reference
+    /// on every value the quantization kernels can emit: each grid point of
+    /// each format, both signs.
+    #[test]
+    fn direct_map_encode_matches_binary_search(seed in 0u64..10_000) {
+        let mut rng = Rng::seed_from(seed);
+        let float_books = [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ]
+        .into_iter()
+        .map(|f| Codebook::for_float(f).unwrap());
+        let int_books = [IntFormat::int4(), IntFormat::int8(), IntFormat::new(5)]
+            .into_iter()
+            .map(|f| Codebook::for_int(f).unwrap());
+        for cb in float_books.chain(int_books) {
+            let lut = cb.lut();
+            // Every grid value, both signs.
+            for code in 0..cb.values() {
+                let v = lut[code];
+                prop_assert_eq!(cb.encode(v), cb.encode_binary_search(v), "{}", v);
+                prop_assert_eq!(cb.encode(-v), cb.encode_binary_search(-v), "-{}", v);
+            }
+            // And a handful of random grid points drawn by code.
+            for _ in 0..32 {
+                let code = (rng.next_u64() % cb.values() as u64) as usize;
+                let v = lut[code];
+                prop_assert_eq!(cb.encode(v), cb.encode_binary_search(v), "{}", v);
+            }
+        }
+    }
+}

@@ -35,10 +35,11 @@
 
 use crate::matmul::{for_each_row_chunk, thread_count};
 use crate::Tensor;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Storage width of one code.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CodeWidth {
     /// 4-bit codes, two per byte (FP4 E2M1, INT4, narrower integer grids).
     U4,
@@ -75,7 +76,7 @@ impl CodeWidth {
 
 /// How decode scales map onto tensor regions — the storage-level mirror of
 /// `snip-quant`'s scaling granularities.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GroupLayout {
     /// One scale for the whole tensor.
     Tensorwise,
@@ -150,7 +151,12 @@ impl GroupLayout {
 /// layout.group_count(rows, cols)`, and every stored code indexes a valid
 /// table entry. Construction goes through [`QTensor::new_zeroed`] +
 /// [`QTensor::set_code`] (all-zero codes are valid: code 0 decodes to 0).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Serialization stores the codes, scales and decode table verbatim, so a
+/// deserialized tensor decodes bit-for-bit identically (packed optimizer
+/// state survives checkpoint round trips exactly); the decode table loses
+/// its cross-tensor interning until the owning format re-quantizes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QTensor {
     rows: usize,
     cols: usize,
@@ -536,7 +542,7 @@ pub fn qgemm(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
 /// `C = A · Bᵀ` over packed/dense operands (`A`: `M×K`, `B`: `N×K`) — the
 /// forward GEMM of a linear layer with `out × in` weights.
 ///
-/// Decodes `B` in panels of [`NT_PANEL`] rows per thread; each output
+/// Decodes `B` in panels of `NT_PANEL` rows per thread; each output
 /// element is a single sequential dot product over `k`, so results are
 /// bit-for-bit identical to `matmul_nt` on the dequantized operands.
 ///

@@ -204,7 +204,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,

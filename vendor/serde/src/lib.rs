@@ -313,6 +313,27 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(std::sync::Arc::new)
+    }
+}
+
+// Shared slices (e.g. interned decode tables) serialize as plain arrays,
+// matching real serde's `rc`-feature behaviour; deserialization rebuilds a
+// fresh allocation.
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(c).map(Into::into)
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($t:ident . $idx:tt),+ ; $n:literal)),*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {

@@ -2,7 +2,7 @@
 //!
 //! The real crates.io `serde`/`serde_derive` pair is unavailable in this
 //! build environment, so the workspace vendors a minimal facade (see
-//! `vendor/serde`) whose data model is a JSON-shaped [`Content`] tree. This
+//! `vendor/serde`) whose data model is a JSON-shaped `Content` tree. This
 //! proc-macro derives the facade's `Serialize`/`Deserialize` traits for the
 //! two shapes the workspace actually uses:
 //!
