@@ -166,11 +166,42 @@ fn bench_encode_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The wire codec behind the threaded transport: serialize a packed FP4
+/// gradient tensor into its byte frame and decode it back. Throughput is in
+/// frame bytes — what a rank's send/recv path actually moves per payload.
+fn bench_wire_transport(c: &mut Criterion) {
+    use snip_quant::{PackedQuantize, PackedTensor};
+    let mut rng = Rng::seed_from(7);
+    let t = Tensor::randn(64, 512, 1.0, &mut rng);
+    for p in [Precision::Fp4, Precision::Fp8] {
+        let q = p.quantizer_with_group(TensorRole::OutputGrad, 128);
+        let packed = q.pack(&t, &mut rng).expect("packable");
+        let frame = packed.to_wire_bytes().expect("built-in format");
+        let mut group = c.benchmark_group("transport");
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_function(format!("serialize_{p}"), |b| {
+            b.iter(|| packed.to_wire_bytes().expect("built-in format"))
+        });
+        group.bench_function(format!("deserialize_{p}"), |b| {
+            b.iter(|| PackedTensor::from_wire_bytes(&frame).expect("well-formed"))
+        });
+        group.bench_function(format!("round_trip_decode_{p}"), |b| {
+            b.iter(|| {
+                PackedTensor::from_wire_bytes(&frame)
+                    .expect("well-formed")
+                    .dequantize()
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_gemm_decode_on_the_fly,
     bench_operand_path_end_to_end,
     bench_encode_paths,
+    bench_wire_transport,
     report_linear_cache_bytes
 );
 criterion_main!(benches);

@@ -126,6 +126,19 @@ impl Trainer {
 
     /// Runs one training step; returns the batch loss.
     pub fn train_step(&mut self) -> f64 {
+        self.train_step_with_grad_hook(&mut |_| {})
+    }
+
+    /// [`Trainer::train_step`] with a gradient hook: after backward fills
+    /// the parameter gradients and **before** clipping and the optimizer
+    /// update, `hook` gets the model to transform its gradients in place.
+    ///
+    /// This is the data-parallel integration point — a hook that all-reduces
+    /// every `Param::grad_mut` across ranks (e.g. over
+    /// `snip_pipeline::transport`) turns `R` trainers on `R` threads into
+    /// one synchronous data-parallel run, with clipping and the update
+    /// applied to the *reduced* gradient exactly as a real DP trainer does.
+    pub fn train_step_with_grad_hook(&mut self, hook: &mut dyn FnMut(&mut Model)) -> f64 {
         let lr = self.cfg.schedule.lr_at(self.step);
         self.optimizer.set_lr(lr);
         let batch = self.stream.next_batch();
@@ -133,6 +146,7 @@ impl Trainer {
         let out = self
             .model
             .step(&batch, &mut self.rng, &StepOptions::train());
+        hook(&mut self.model);
         if let Some(max) = self.cfg.grad_clip {
             clip_global_norm(&mut self.model, max);
         }
@@ -223,6 +237,24 @@ mod tests {
         let last = t.train(5).iter().sum::<f64>() / 5.0;
         assert!(last < first, "loss {first} -> {last}");
         assert_eq!(t.step_count(), 70);
+    }
+
+    #[test]
+    fn grad_hook_sees_fresh_gradients_and_identity_hook_matches_train_step() {
+        let mut plain = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let mut hooked = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let a = plain.train(3);
+        let mut calls = 0usize;
+        let b: Vec<f64> = (0..3)
+            .map(|_| {
+                hooked.train_step_with_grad_hook(&mut |model| {
+                    calls += 1;
+                    assert!(model.grad_norm() > 0.0, "hook must run after backward");
+                })
+            })
+            .collect();
+        assert_eq!(a, b, "an observing hook must not change the trajectory");
+        assert_eq!(calls, 3);
     }
 
     #[test]

@@ -10,13 +10,35 @@
 use snip_experiments::*;
 use snip_nn::ModelConfig;
 use snip_pipeline::collective::{
-    exact_sum, relative_error, ring_reduce_scatter, QuantizePolicy, Wire,
+    exact_sum, relative_error, ring_reduce_scatter, CollectiveResult, QuantizePolicy, Wire,
 };
+use snip_pipeline::transport::threaded_reduce_scatter;
 use snip_tensor::rng::Rng;
+
+/// `--transport threads` (or `--transport=threads`) switches the sweep from
+/// the in-proc simulator to the real threaded transport: ranks on OS
+/// threads exchanging serialized byte frames, with bytes *measured* by the
+/// per-link counters instead of simulated.
+fn threads_transport_requested() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().any(|a| a == "--transport=threads")
+        || args
+            .windows(2)
+            .any(|w| w[0] == "--transport" && w[1] == "threads")
+}
 
 fn main() {
     let p = ExpParams::from_args();
-    println!("# Low-precision ring reduce-scatter: error vs bytes (paper §2.2 future work)\n");
+    let threads = threads_transport_requested();
+    println!("# Low-precision ring reduce-scatter: error vs bytes (paper §2.2 future work)");
+    println!(
+        "# transport: {}\n",
+        if threads {
+            "threads (OS-thread ranks, serialized frames, measured bytes)"
+        } else {
+            "simulated (in-proc oracle, analytic bytes)"
+        }
+    );
     let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), p.ckpt_unit, &p);
     let cfg = ckpt.config().model.clone();
     let record = checkpoint_record(&ckpt);
@@ -45,6 +67,21 @@ fn main() {
             .collect()
     };
 
+    // One reduce-scatter, either simulated in-proc or run for real on
+    // OS-thread ranks. Both report a CollectiveResult; the threaded path's
+    // bytes come from the transport's measured per-link payload counters.
+    let reduce = |grads: &[Vec<f32>], wire: &Wire, policy: QuantizePolicy| -> CollectiveResult {
+        if threads {
+            let rngs: Vec<Rng> = (0..grads.len())
+                .map(|r| Rng::seed_from(0x2000 + r as u64))
+                .collect();
+            threaded_reduce_scatter(grads, wire, policy, &rngs).0
+        } else {
+            let mut rng = Rng::seed_from(2);
+            ring_reduce_scatter(grads, wire, policy, &mut rng)
+        }
+    };
+
     let nb = cfg.quant_group;
     println!(
         "{:<8} {:<8} {:<12} {:>12} {:>12} {:>10}",
@@ -53,11 +90,7 @@ fn main() {
     for ranks in [2usize, 4, 8, 16] {
         let grads = grads_for(ranks);
         let exact = exact_sum(&grads);
-        let bf16_bytes = {
-            let mut rng = Rng::seed_from(1);
-            ring_reduce_scatter(&grads, &Wire::bf16(), QuantizePolicy::EveryHop, &mut rng)
-                .bytes_on_wire
-        };
+        let bf16_bytes = reduce(&grads, &Wire::bf16(), QuantizePolicy::EveryHop).bytes_on_wire;
         for (wire, policy, plabel) in [
             (Wire::bf16(), QuantizePolicy::EveryHop, "every-hop"),
             (Wire::fp8(nb), QuantizePolicy::EveryHop, "every-hop"),
@@ -75,8 +108,7 @@ fn main() {
             ),
             (Wire::fp4(nb), QuantizePolicy::FinalOnly, "final-only"),
         ] {
-            let mut rng = Rng::seed_from(2);
-            let rs = ring_reduce_scatter(&grads, &wire, policy, &mut rng);
+            let rs = reduce(&grads, &wire, policy);
             let err = relative_error(&rs, &exact);
             let saving = bf16_bytes as f64 / rs.bytes_on_wire.max(1) as f64;
             println!(
@@ -100,4 +132,9 @@ fn main() {
     println!("# tile scales); rht-fp4 and ol-fp4 spend the same (or near-same)");
     println!("# bytes as plain fp4 to buy error robustness on outlier-heavy");
     println!("# gradients.");
+    if !threads {
+        println!("# Re-run with `--transport threads` to exercise the real multi-rank");
+        println!("# transport (OS threads + serialized frames); byte columns are then");
+        println!("# measured per-link counters and must agree with these numbers.");
+    }
 }

@@ -240,10 +240,12 @@ impl Wire {
     /// Quantizes a payload in place (no-op for exact wires), through the
     /// canonical codes path ([`PackedQuantize::quantize`] — decode of the
     /// packed form, falling back to the dense oracle for BF16). Numerically
-    /// identical to what a receiver decodes after [`Wire::transmit`].
+    /// identical to what a receiver decodes after [`Wire::transmit`], and
+    /// like `transmit` it leaves the caller's buffer untouched if the codec
+    /// panics (the tensor is built from a copy).
     pub fn quantize(&self, payload: &mut Vec<f32>, rng: &mut Rng) {
         if let Some(codec) = &self.codec {
-            let t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
+            let t = Tensor::from_vec(1, payload.len(), payload.clone());
             *payload = codec.quantize(&t, rng).into_vec();
         }
     }
@@ -254,21 +256,32 @@ impl Wire {
     /// for MX, 6-byte sparse entries for outliers), two bytes per element
     /// for unpackable BF16, four for exact wires. This is what makes the
     /// simulator's communication volumes byte-accurate instead of
-    /// `len × bits / 8` estimates.
+    /// `len × bits / 8` estimates; the threaded transport in
+    /// [`crate::transport`] serializes the same packed form and must measure
+    /// the same number.
+    ///
+    /// The caller's buffer is only replaced once the codec has finished: a
+    /// panicking codec leaves `payload` exactly as it was (the tensor is
+    /// built from a copy, never by stealing the allocation).
     pub fn transmit(&self, payload: &mut Vec<f32>, rng: &mut Rng) -> u64 {
         let Some(codec) = &self.codec else {
             return payload.len() as u64 * 4;
         };
-        let t = Tensor::from_vec(1, payload.len(), std::mem::take(payload));
-        if let Some(packed) = codec.pack(&t, rng) {
-            let bytes = packed.wire_bytes();
-            *payload = packed.dequantize().into_vec();
-            bytes
-        } else {
+        let t = Tensor::from_vec(1, payload.len(), payload.clone());
+        let (decoded, bytes) = match codec.pack(&t, rng) {
+            Some(packed) => {
+                let bytes = packed.wire_bytes();
+                (packed.dequantize(), bytes)
+            }
             // BF16: not packable, 2 bytes per element on the wire.
-            *payload = codec.fake_reference(&t, rng).into_vec();
-            payload.len() as u64 * 2
-        }
+            None => {
+                let fq = codec.fake_reference(&t, rng);
+                let bytes = fq.len() as u64 * 2;
+                (fq, bytes)
+            }
+        };
+        *payload = decoded.into_vec();
+        bytes
     }
 }
 
@@ -322,22 +335,78 @@ pub fn exact_sum(grads: &[Vec<f32>]) -> Vec<f32> {
     exact_reference(grads)
 }
 
+/// The randomness a simulated collective draws from: one stream shared by
+/// every rank (the historical single-`Rng` API), or one independent stream
+/// per rank — the shape a real multi-rank runtime has, where each rank owns
+/// its RNG and the `_ranked` variants serve as the bit-exact oracle for
+/// [`crate::transport`].
+enum RngBank<'a> {
+    Shared(&'a mut Rng),
+    PerRank(&'a mut [Rng]),
+}
+
+impl RngBank<'_> {
+    fn for_rank(&mut self, r: usize) -> &mut Rng {
+        match self {
+            RngBank::Shared(rng) => rng,
+            RngBank::PerRank(rngs) => &mut rngs[r],
+        }
+    }
+
+    fn check_world(&self, r_count: usize) {
+        if let RngBank::PerRank(rngs) = self {
+            assert_eq!(rngs.len(), r_count, "need exactly one RNG stream per rank");
+        }
+    }
+}
+
 /// Simulates a ring reduce-scatter: after `R − 1` hops rank `r` owns the
 /// fully reduced chunk `(r + 1) mod R`.
+///
+/// All ranks draw stochastic-rounding randomness from the one shared `rng`
+/// in rank order; see [`ring_reduce_scatter_ranked`] for independent
+/// per-rank streams.
 ///
 /// # Panics
 ///
 /// Panics if `grads` is empty or ranks disagree on the gradient length.
-// Ranks act in lockstep on parallel per-rank state; indexing by rank id
-// across several arrays at once is the natural expression here.
-#[allow(clippy::needless_range_loop)]
 pub fn ring_reduce_scatter(
     grads: &[Vec<f32>],
     wire: &Wire,
     policy: QuantizePolicy,
     rng: &mut Rng,
 ) -> CollectiveResult {
+    ring_reduce_scatter_impl(grads, wire, policy, RngBank::Shared(rng))
+}
+
+/// [`ring_reduce_scatter`] with one independent RNG stream per rank — the
+/// oracle configuration for the threaded transport, whose ranks each own
+/// their stream. Rank `r` consumes exactly the draws its own sends (and,
+/// under [`QuantizePolicy::FinalOnly`], its own stored chunk) require.
+///
+/// # Panics
+///
+/// Additionally panics if `rngs.len() != grads.len()`.
+pub fn ring_reduce_scatter_ranked(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rngs: &mut [Rng],
+) -> CollectiveResult {
+    ring_reduce_scatter_impl(grads, wire, policy, RngBank::PerRank(rngs))
+}
+
+// Ranks act in lockstep on parallel per-rank state; indexing by rank id
+// across several arrays at once is the natural expression here.
+#[allow(clippy::needless_range_loop)]
+fn ring_reduce_scatter_impl(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    mut rng: RngBank<'_>,
+) -> CollectiveResult {
     let r_count = grads.len();
+    rng.check_world(r_count);
     assert!(r_count > 0, "no ranks");
     let n = grads[0].len();
     assert!(
@@ -357,7 +426,7 @@ pub fn ring_reduce_scatter(
             let (lo, hi) = bounds[c];
             let mut payload = local[r][lo..hi].to_vec();
             if policy == QuantizePolicy::EveryHop {
-                bytes += wire.transmit(&mut payload, rng);
+                bytes += wire.transmit(&mut payload, rng.for_rank(r));
             } else {
                 bytes += payload.len() as u64 * 4;
             }
@@ -380,7 +449,7 @@ pub fn ring_reduce_scatter(
         let (lo, hi) = bounds[c];
         let mut chunk = local[r][lo..hi].to_vec();
         if policy == QuantizePolicy::FinalOnly {
-            wire.quantize(&mut chunk, rng);
+            wire.quantize(&mut chunk, rng.for_rank(r));
         }
         per_rank.push(chunk);
         owned.push((lo, hi));
@@ -396,9 +465,6 @@ pub fn ring_reduce_scatter(
 /// rank the full reduced vector. Payloads are quantized per hop under
 /// [`QuantizePolicy::EveryHop`] (idempotent for already-quantized chunks
 /// under nearest rounding) and passed through otherwise.
-// Ranks act in lockstep on parallel per-rank state; indexing by rank id
-// across several arrays at once is the natural expression here.
-#[allow(clippy::needless_range_loop)]
 pub fn ring_all_gather(
     scattered: &CollectiveResult,
     n: usize,
@@ -406,8 +472,38 @@ pub fn ring_all_gather(
     policy: QuantizePolicy,
     rng: &mut Rng,
 ) -> CollectiveResult {
+    ring_all_gather_impl(scattered, n, wire, policy, RngBank::Shared(rng))
+}
+
+/// [`ring_all_gather`] with one independent RNG stream per rank (the
+/// threaded-transport oracle; see [`ring_reduce_scatter_ranked`]).
+///
+/// # Panics
+///
+/// Panics if `rngs.len()` differs from the number of ranks.
+pub fn ring_all_gather_ranked(
+    scattered: &CollectiveResult,
+    n: usize,
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rngs: &mut [Rng],
+) -> CollectiveResult {
+    ring_all_gather_impl(scattered, n, wire, policy, RngBank::PerRank(rngs))
+}
+
+// Ranks act in lockstep on parallel per-rank state; indexing by rank id
+// across several arrays at once is the natural expression here.
+#[allow(clippy::needless_range_loop)]
+fn ring_all_gather_impl(
+    scattered: &CollectiveResult,
+    n: usize,
+    wire: &Wire,
+    policy: QuantizePolicy,
+    mut rng: RngBank<'_>,
+) -> CollectiveResult {
     let r_count = scattered.per_rank.len();
     assert!(r_count > 0, "no ranks");
+    rng.check_world(r_count);
     let bounds = chunk_bounds(n, r_count);
     // have[r][c] = Some(chunk c's data) once rank r holds it.
     let mut have: Vec<Vec<Option<Vec<f32>>>> = vec![vec![None; r_count]; r_count];
@@ -425,7 +521,7 @@ pub fn ring_all_gather(
                 .expect("ring schedule guarantees possession")
                 .clone();
             if policy == QuantizePolicy::EveryHop {
-                bytes += wire.transmit(&mut payload, rng);
+                bytes += wire.transmit(&mut payload, rng.for_rank(r));
             } else {
                 bytes += payload.len() as u64 * 4;
             }
@@ -466,6 +562,25 @@ pub fn ring_all_reduce(
     let n = grads[0].len();
     let rs = ring_reduce_scatter(grads, wire, policy, rng);
     let mut ag = ring_all_gather(&rs, n, wire, policy, rng);
+    ag.bytes_on_wire += rs.bytes_on_wire;
+    ag
+}
+
+/// [`ring_all_reduce`] with one independent RNG stream per rank (the
+/// threaded-transport oracle; see [`ring_reduce_scatter_ranked`]).
+///
+/// # Panics
+///
+/// Panics if `rngs.len() != grads.len()`.
+pub fn ring_all_reduce_ranked(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rngs: &mut [Rng],
+) -> CollectiveResult {
+    let n = grads[0].len();
+    let rs = ring_reduce_scatter_ranked(grads, wire, policy, rngs);
+    let mut ag = ring_all_gather_ranked(&rs, n, wire, policy, rngs);
     ag.bytes_on_wire += rs.bytes_on_wire;
     ag
 }
@@ -734,6 +849,68 @@ mod tests {
             .bytes_on_wire
         };
         assert_eq!(b_plain, b_rht, "rotation must not change wire volume");
+    }
+
+    #[test]
+    fn ranked_rng_oracle_matches_shared_stream_under_nearest_rounding() {
+        // FP8 wires round to nearest, so no stream is ever consumed and the
+        // per-rank-RNG oracle must agree with the shared-stream simulator
+        // bit for bit — results, ownership and byte counters.
+        let grads = make_grads(4, 50, 19);
+        let mut shared = Rng::seed_from(1);
+        let a = ring_all_reduce(
+            &grads,
+            &Wire::fp8(16),
+            QuantizePolicy::EveryHop,
+            &mut shared,
+        );
+        let mut rngs: Vec<Rng> = (0..4).map(|r| Rng::seed_from(100 + r as u64)).collect();
+        let b = ring_all_reduce_ranked(&grads, &Wire::fp8(16), QuantizePolicy::EveryHop, &mut rngs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranked_stochastic_wires_draw_only_each_ranks_own_sends() {
+        // Under stochastic FP4 each rank's stream advances only for its own
+        // transmissions: re-running with the same per-rank seeds reproduces
+        // the result exactly, and byte accounting matches the shared path.
+        let grads = make_grads(3, 48, 23);
+        let run = || {
+            let mut rngs: Vec<Rng> = (0..3).map(|r| Rng::seed_from(7 + r as u64)).collect();
+            ring_reduce_scatter_ranked(&grads, &Wire::fp4(16), QuantizePolicy::EveryHop, &mut rngs)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "ranked runs must be deterministic");
+        let mut shared = Rng::seed_from(5);
+        let s = ring_reduce_scatter(
+            &grads,
+            &Wire::fp4(16),
+            QuantizePolicy::EveryHop,
+            &mut shared,
+        );
+        assert_eq!(a.bytes_on_wire, s.bytes_on_wire);
+        assert_eq!(a.owned, s.owned);
+    }
+
+    #[test]
+    #[should_panic(expected = "one RNG stream per rank")]
+    fn ranked_requires_one_rng_per_rank() {
+        let grads = make_grads(3, 16, 27);
+        let mut rngs = vec![Rng::seed_from(0); 2];
+        let _ =
+            ring_reduce_scatter_ranked(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &mut rngs);
+    }
+
+    #[test]
+    fn transmit_leaves_payload_length_and_allocation_semantics_intact() {
+        // transmit never steals the caller's buffer: the length is
+        // preserved on every codec path, including the unpackable BF16 one.
+        for wire in [Wire::exact(), Wire::bf16(), Wire::fp4(16), Wire::mxfp4()] {
+            let mut payload: Vec<f32> = (0..40).map(|i| i as f32 * 0.11 - 2.0).collect();
+            let mut rng = Rng::seed_from(3);
+            let _ = wire.transmit(&mut payload, &mut rng);
+            assert_eq!(payload.len(), 40, "{}", wire.label());
+        }
     }
 
     #[test]

@@ -64,8 +64,11 @@ pub fn operand_wire_bytes(
 
 /// [`operand_wire_bytes`] for any quantization option: the analytic packed
 /// volume of an arbitrary [`PackedQuantize`] codec (mx/rht/outlier wires in
-/// the comm-precision experiments), or the BF16 fallback at
-/// `fallback_bits` per element when the codec is not packable.
+/// the comm-precision experiments), or the fallback at `fallback_bits` per
+/// element when the codec is not packable. The fallback rounds **up per
+/// row** — subbyte rows pad to whole bytes exactly as
+/// [`snip_tensor::QTensor`] stores (and a wire ships) them, so element
+/// counts not divisible by `8 / bits` are never under-counted.
 pub fn codec_wire_bytes(
     codec: &impl PackedQuantize,
     rows: usize,
@@ -74,7 +77,7 @@ pub fn codec_wire_bytes(
 ) -> u64 {
     codec
         .packed_wire_bytes(rows, cols)
-        .unwrap_or((rows * cols) as u64 * u64::from(fallback_bits) / 8)
+        .unwrap_or_else(|| rows as u64 * (cols as u64 * u64::from(fallback_bits)).div_ceil(8))
 }
 
 /// Per-stage communication volume of one optimizer step under a scheme.
@@ -215,6 +218,20 @@ mod tests {
         // Unpackable codecs fall back to the given wire width.
         let bf16 = Precision::Bf16.quantizer_with_group(TensorRole::Weight, 8);
         assert_eq!(codec_wire_bytes(&bf16, 4, 4, 16), 32);
+    }
+
+    #[test]
+    fn subbyte_fallback_rounds_up_per_row() {
+        // Regression: the fallback used to floor (rows·cols·bits)/8, which
+        // under-counted ragged subbyte rows. 3×5 at 4 bits is 3 bytes per
+        // row (QTensor pads rows to whole bytes), not floor(60/8) = 7.
+        let bf16 = Precision::Bf16.quantizer_with_group(TensorRole::Weight, 8);
+        assert_eq!(codec_wire_bytes(&bf16, 3, 5, 4), 9);
+        // 1×1 at 4 bits is one whole byte, not zero.
+        assert_eq!(codec_wire_bytes(&bf16, 1, 1, 4), 1);
+        // Byte-aligned shapes are unchanged.
+        assert_eq!(codec_wire_bytes(&bf16, 2, 8, 4), 8);
+        assert_eq!(codec_wire_bytes(&bf16, 2, 8, 16), 32);
     }
 
     #[test]

@@ -34,9 +34,11 @@ pub mod gpipe;
 pub mod schedule;
 pub mod stage;
 pub mod timeline;
+pub mod transport;
 
 pub use collective::{
-    ring_all_gather, ring_all_reduce, ring_reduce_scatter, CollectiveResult, QuantizePolicy, Wire,
+    ring_all_gather, ring_all_gather_ranked, ring_all_reduce, ring_all_reduce_ranked,
+    ring_reduce_scatter, ring_reduce_scatter_ranked, CollectiveResult, QuantizePolicy, Wire,
 };
 pub use comm::{comm_saving_factor, step_comm_volume, CommVolume, WirePolicy};
 pub use cost::{stage_costs, StageCost};
@@ -44,3 +46,7 @@ pub use gpipe::simulate_gpipe;
 pub use schedule::{simulate_1f1b, Phase, PipelineSim, ScheduleEvent};
 pub use stage::StagePartition;
 pub use timeline::render_timeline;
+pub use transport::{
+    data_parallel_train, run_ranks, threaded_all_reduce, threaded_reduce_scatter, Endpoint,
+    RankChunk, TransportStats,
+};

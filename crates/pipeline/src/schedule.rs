@@ -49,12 +49,30 @@ pub struct PipelineSim {
 /// prefers backward work once available (draining activations), and limits
 /// in-flight forwards to `n_stages − stage` (the 1F1B memory bound).
 ///
+/// Event order is **total**: ties are broken by `(start, phase, stage,
+/// microbatch)` both when picking the next op and in the returned `events`,
+/// so equal-cost stages yield one deterministic schedule independent of
+/// candidate scan order.
+///
 /// # Panics
 ///
-/// Panics if `costs` is empty or `n_microbatches` is zero.
+/// Panics if `costs` is empty, `n_microbatches` is zero, or any stage cost
+/// is not finite and non-negative.
 pub fn simulate_1f1b(costs: &[StageCost], n_microbatches: usize) -> PipelineSim {
     assert!(!costs.is_empty(), "need at least one stage");
     assert!(n_microbatches > 0, "need at least one microbatch");
+    for (i, c) in costs.iter().enumerate() {
+        assert!(
+            c.forward.is_finite() && c.forward >= 0.0,
+            "stage {i} forward cost {} must be finite and non-negative",
+            c.forward
+        );
+        assert!(
+            c.backward.is_finite() && c.backward >= 0.0,
+            "stage {i} backward cost {} must be finite and non-negative",
+            c.backward
+        );
+    }
     let s = costs.len();
     let m = n_microbatches;
     let inf = f64::INFINITY;
@@ -150,8 +168,13 @@ pub fn simulate_1f1b(costs: &[StageCost], n_microbatches: usize) -> PipelineSim 
         stage_busy[e.stage] += e.end - e.start;
     }
     let busy: f64 = stage_busy.iter().sum();
-    let bubble_fraction = 1.0 - busy / (makespan * s as f64);
-    events.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    // All-zero costs give a zero makespan; an empty schedule has no bubble.
+    let bubble_fraction = if makespan == 0.0 {
+        0.0
+    } else {
+        1.0 - busy / (makespan * s as f64)
+    };
+    events.sort_by(event_order);
     PipelineSim {
         events,
         makespan,
@@ -160,22 +183,37 @@ pub fn simulate_1f1b(costs: &[StageCost], n_microbatches: usize) -> PipelineSim 
     }
 }
 
-/// Preference order: earlier start, then backward before forward, then lower
-/// microbatch.
+/// Backward drains activations, so it sorts before forward on ties.
+fn phase_rank(p: Phase) -> u8 {
+    if p == Phase::Backward {
+        0
+    } else {
+        1
+    }
+}
+
+/// Total preference order: earlier start, then backward before forward,
+/// then lower stage, then lower microbatch. Total so that equal-cost
+/// stages cannot make the pick depend on candidate scan order.
 fn better(current: &Option<(f64, usize, Phase, usize)>, cand: &(f64, usize, Phase, usize)) -> bool {
     match current {
         None => true,
         Some(cur) => {
-            if cand.0 != cur.0 {
-                return cand.0 < cur.0;
-            }
-            let rank = |p: Phase| if p == Phase::Backward { 0 } else { 1 };
-            if rank(cand.2) != rank(cur.2) {
-                return rank(cand.2) < rank(cur.2);
-            }
-            cand.3 < cur.3
+            let key = |c: &(f64, usize, Phase, usize)| (c.0, phase_rank(c.2), c.1, c.3);
+            key(cand) < key(cur)
         }
     }
+}
+
+/// The same total order over emitted events (costs are validated finite, so
+/// `total_cmp` and `partial_cmp` agree; `total_cmp` keeps the comparator
+/// honest by construction).
+fn event_order(a: &ScheduleEvent, b: &ScheduleEvent) -> std::cmp::Ordering {
+    a.start
+        .total_cmp(&b.start)
+        .then_with(|| phase_rank(a.phase).cmp(&phase_rank(b.phase)))
+        .then_with(|| a.stage.cmp(&b.stage))
+        .then_with(|| a.microbatch.cmp(&b.microbatch))
 }
 
 #[cfg(test)]
@@ -268,6 +306,53 @@ mod tests {
         let large = simulate_1f1b(&costs, 32);
         assert!(large.bubble_fraction < small.bubble_fraction);
         assert!(large.bubble_fraction < 0.1);
+    }
+
+    #[test]
+    fn zero_cost_schedule_is_finite_and_ordered() {
+        // Regression: a zero makespan used to make bubble_fraction NaN, and
+        // the all-equal start times exercised the f64-equality tie-break.
+        let sim = simulate_1f1b(&uniform_costs(3, 0.0, 0.0), 4);
+        assert_eq!(sim.makespan, 0.0);
+        assert_eq!(sim.bubble_fraction, 0.0);
+        assert_eq!(sim.events.len(), 2 * 3 * 4);
+        assert!(sim.events.iter().all(|e| e.start == 0.0 && e.end == 0.0));
+        // Events come out in the documented total order.
+        let mut sorted = sim.events.clone();
+        sorted.sort_by(event_order);
+        assert_eq!(sim.events, sorted);
+    }
+
+    #[test]
+    fn equal_cost_event_order_is_deterministic_and_total() {
+        let sim = simulate_1f1b(&uniform_costs(4, 1.0, 1.0), 6);
+        let again = simulate_1f1b(&uniform_costs(4, 1.0, 1.0), 6);
+        assert_eq!(sim, again);
+        for w in sim.events.windows(2) {
+            assert_ne!(
+                event_order(&w[0], &w[1]),
+                std::cmp::Ordering::Greater,
+                "events out of total order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_cost_is_rejected_up_front() {
+        let mut costs = uniform_costs(2, 1.0, 2.0);
+        costs[1].backward = f64::NAN;
+        let _ = simulate_1f1b(&costs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_cost_is_rejected_up_front() {
+        let mut costs = uniform_costs(2, 1.0, 2.0);
+        costs[0].forward = -0.5;
+        let _ = simulate_1f1b(&costs, 2);
     }
 
     #[test]

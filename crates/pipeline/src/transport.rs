@@ -1,0 +1,769 @@
+//! Real multi-rank transport: ranks on OS threads exchanging **serialized
+//! byte buffers**.
+//!
+//! [`crate::collective`] simulates low-precision collectives in-process —
+//! every rank's state lives in one address space and payloads are handed
+//! around as `Vec<f32>`. This module is the step the ROADMAP called for:
+//! `R` ranks run on `R` OS threads, and everything that crosses a rank
+//! boundary is a byte frame — packed codes, scales and codec metadata
+//! serialized through [`snip_quant::wire`], BF16 payloads as raw `u16`s,
+//! exact payloads as raw `f32`s. No `f32` slice is ever shared.
+//!
+//! The in-proc simulator is kept as the **oracle**: the threaded ring
+//! reduce-scatter / all-gather are bit-identical to
+//! [`crate::collective::ring_reduce_scatter_ranked`] (same reduced
+//! gradients, same per-rank RNG streams), and the measured per-link payload
+//! counters equal [`crate::comm::codec_wire_bytes`] exactly for every codec
+//! — including ragged tails. That equivalence is what makes the analytic
+//! accounting trustworthy, and it is pinned by the loopback tests in
+//! `tests/transport_threads.rs` (run under `--release` in CI, where thread
+//! timing bugs actually surface).
+//!
+//! # Frames and accounting
+//!
+//! A frame is one tag byte plus a body:
+//!
+//! ```text
+//! tag 0  exact : u32 element count + count × f32 (little-endian)
+//! tag 1  bf16  : u32 element count + count × u16 (upper BF16 bits)
+//! tag 2  packed: a snip_quant::wire frame (header + codes + scales + …)
+//! ```
+//!
+//! Counters distinguish **payload** bytes — the accounted wire volume
+//! (`4n` / `2n` / [`snip_quant::PackedTensor::wire_bytes`]) — from
+//! **envelope** bytes (the tag, length fields and the packed frame header):
+//! per-message metadata a real NIC would also move but that the analytic
+//! model deliberately excludes, exactly like decode tables and rotation
+//! seeds. Both are measured; only payload must match the analytic numbers.
+
+use crate::collective::{chunk_bounds, CollectiveResult, QuantizePolicy, Wire};
+use snip_core::Trainer;
+use snip_quant::{PackedQuantize, PackedTensor, WIRE_HEADER_BYTES};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+const TAG_EXACT: u8 = 0;
+const TAG_BF16: u8 = 1;
+const TAG_PACKED: u8 = 2;
+/// Broadcast by a panicking rank so peers blocked in `recv` fail fast
+/// instead of deadlocking the mesh (never a payload tag).
+const TAG_ABORT: u8 = 0xFF;
+
+/// Shared per-link counters, written by sender threads.
+struct LinkCounters {
+    world: usize,
+    payload: Vec<AtomicU64>,
+    envelope: Vec<AtomicU64>,
+    frames: Vec<AtomicU64>,
+}
+
+impl LinkCounters {
+    fn new(world: usize) -> Self {
+        let cell = |_| AtomicU64::new(0);
+        LinkCounters {
+            world,
+            payload: (0..world * world).map(cell).collect(),
+            envelope: (0..world * world).map(cell).collect(),
+            frames: (0..world * world).map(cell).collect(),
+        }
+    }
+
+    fn record(&self, src: usize, dst: usize, payload: u64, envelope: u64) {
+        let i = src * self.world + dst;
+        self.payload[i].fetch_add(payload, Ordering::Relaxed);
+        self.envelope[i].fetch_add(envelope, Ordering::Relaxed);
+        self.frames[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Measured traffic of one transport run: per-link payload bytes (the
+/// quantity that must equal the analytic [`crate::comm::codec_wire_bytes`]),
+/// plus envelope bytes and frame counts for honesty about what the channel
+/// actually carried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportStats {
+    world: usize,
+    payload: Vec<u64>,
+    envelope: Vec<u64>,
+    frames: Vec<u64>,
+}
+
+impl TransportStats {
+    fn snapshot(c: &LinkCounters) -> Self {
+        let read = |v: &[AtomicU64]| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        TransportStats {
+            world: c.world,
+            payload: read(&c.payload),
+            envelope: read(&c.envelope),
+            frames: read(&c.frames),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Payload bytes moved from `src` to `dst`.
+    pub fn link_payload_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.payload[src * self.world + dst]
+    }
+
+    /// Frames moved from `src` to `dst`.
+    pub fn link_frames(&self, src: usize, dst: usize) -> u64 {
+        self.frames[src * self.world + dst]
+    }
+
+    /// Total payload bytes across all links — comparable 1:1 with the
+    /// in-proc simulator's `bytes_on_wire`.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.payload.iter().sum()
+    }
+
+    /// Total envelope bytes (tags, length fields, packed frame headers).
+    pub fn total_envelope_bytes(&self) -> u64 {
+        self.envelope.iter().sum()
+    }
+
+    /// Total frames across all links.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.iter().sum()
+    }
+}
+
+/// Serializes a payload for one hop of `wire`, consuming `rng` exactly like
+/// [`Wire::transmit`]. Returns the frame and its accounted payload bytes.
+fn encode_frame(wire: &Wire, payload: &[f32], rng: &mut Rng) -> (Vec<u8>, u64) {
+    let n = payload.len();
+    let Some(codec) = wire.codec() else {
+        let mut buf = Vec::with_capacity(5 + 4 * n);
+        buf.push(TAG_EXACT);
+        buf.extend_from_slice(&(n as u32).to_le_bytes());
+        for v in payload {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        return (buf, 4 * n as u64);
+    };
+    let t = Tensor::from_vec(1, n, payload.to_vec());
+    match codec.pack(&t, rng) {
+        Some(packed) => {
+            let bytes = packed.wire_bytes();
+            let mut buf = Vec::with_capacity(1 + WIRE_HEADER_BYTES + bytes as usize);
+            buf.push(TAG_PACKED);
+            buf.extend_from_slice(
+                &packed
+                    .to_wire_bytes()
+                    .expect("wire codecs use built-in formats"),
+            );
+            (buf, bytes)
+        }
+        None => {
+            // BF16: 2 bytes per element, the upper half of the f32 pattern.
+            let fq = codec.fake_reference(&t, rng);
+            let mut buf = Vec::with_capacity(5 + 2 * n);
+            buf.push(TAG_BF16);
+            buf.extend_from_slice(&(n as u32).to_le_bytes());
+            for v in fq.as_slice() {
+                buf.extend_from_slice(&((v.to_bits() >> 16) as u16).to_le_bytes());
+            }
+            (buf, 2 * n as u64)
+        }
+    }
+}
+
+/// Decodes a frame back to the dense payload the receiver consumes —
+/// bit-for-bit what the in-proc simulator's `Wire::transmit` leaves in the
+/// sender's buffer.
+fn decode_frame(bytes: &[u8]) -> Vec<f32> {
+    let tag = *bytes.first().expect("empty frame");
+    match tag {
+        TAG_EXACT => {
+            let n = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+            (0..n)
+                .map(|i| f32::from_le_bytes(bytes[5 + 4 * i..9 + 4 * i].try_into().unwrap()))
+                .collect()
+        }
+        TAG_BF16 => {
+            let n = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+            (0..n)
+                .map(|i| {
+                    let half = u16::from_le_bytes(bytes[5 + 2 * i..7 + 2 * i].try_into().unwrap());
+                    f32::from_bits(u32::from(half) << 16)
+                })
+                .collect()
+        }
+        TAG_PACKED => PackedTensor::from_wire_bytes(&bytes[1..])
+            .expect("peer sent a well-formed packed frame")
+            .dequantize()
+            .into_vec(),
+        other => panic!("unknown frame tag {other}"),
+    }
+}
+
+/// One rank's connection into the mesh: senders to every rank, one inbox,
+/// and per-source reorder queues (each source→destination pair is FIFO, so
+/// buffering by source is enough to demultiplex).
+pub struct Endpoint {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<(usize, Vec<u8>)>>,
+    rx: Receiver<(usize, Vec<u8>)>,
+    pending: Vec<VecDeque<Vec<u8>>>,
+    counters: Arc<LinkCounters>,
+}
+
+/// The chunk a rank owns after a threaded reduce-scatter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankChunk {
+    /// First owned element (inclusive).
+    pub lo: usize,
+    /// Last owned element (exclusive).
+    pub hi: usize,
+    /// The fully reduced values of `[lo, hi)`.
+    pub data: Vec<f32>,
+}
+
+impl Endpoint {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    fn send_bytes(&self, dst: usize, frame: Vec<u8>, payload_bytes: u64) {
+        let envelope = frame.len() as u64 - payload_bytes;
+        self.counters
+            .record(self.rank, dst, payload_bytes, envelope);
+        self.senders[dst]
+            .send((self.rank, frame))
+            .expect("receiving endpoint alive");
+    }
+
+    fn recv_bytes(&mut self, src: usize) -> Vec<u8> {
+        if let Some(frame) = self.pending[src].pop_front() {
+            return frame;
+        }
+        loop {
+            let (from, frame) = self.rx.recv().expect("sending endpoint alive");
+            assert!(
+                frame.first() != Some(&TAG_ABORT),
+                "rank {from} panicked mid-collective"
+            );
+            if from == src {
+                return frame;
+            }
+            self.pending[from].push_back(frame);
+        }
+    }
+
+    /// Tells every rank this one is going down; best-effort (peers may
+    /// already be gone) and uncounted — it is failure signalling, not
+    /// traffic.
+    fn broadcast_abort(&self) {
+        for dst in 0..self.world {
+            if dst != self.rank {
+                let _ = self.senders[dst].send((self.rank, vec![TAG_ABORT]));
+            }
+        }
+    }
+
+    /// Point-to-point send (pipeline p2p): quantizes `payload` through the
+    /// wire's codec, serializes, and ships the frame to `dst`. Returns the
+    /// payload bytes moved (counted on the `self → dst` link).
+    pub fn send(&self, dst: usize, payload: &[f32], wire: &Wire, rng: &mut Rng) -> u64 {
+        let (frame, bytes) = encode_frame(wire, payload, rng);
+        self.send_bytes(dst, frame, bytes);
+        bytes
+    }
+
+    /// Point-to-point receive: blocks for the next frame from `src` and
+    /// decodes it.
+    pub fn recv(&mut self, src: usize) -> Vec<f32> {
+        decode_frame(&self.recv_bytes(src))
+    }
+
+    /// Threaded ring reduce-scatter over serialized frames. Bit-identical to
+    /// [`crate::collective::ring_reduce_scatter_ranked`] run with each
+    /// rank's RNG stream: after `world − 1` hops this rank owns the fully
+    /// reduced chunk `(rank + 1) % world`.
+    pub fn ring_reduce_scatter(
+        &mut self,
+        grad: &[f32],
+        wire: &Wire,
+        policy: QuantizePolicy,
+        rng: &mut Rng,
+    ) -> RankChunk {
+        let (r, w) = (self.rank, self.world);
+        let bounds = chunk_bounds(grad.len(), w);
+        let mut local = grad.to_vec();
+        let next = (r + 1) % w;
+        let prev = (r + w - 1) % w;
+        let exact = Wire::exact();
+        for s in 0..w.saturating_sub(1) {
+            let hop_wire = if policy == QuantizePolicy::EveryHop {
+                wire
+            } else {
+                &exact
+            };
+            let c = (r + w - s % w) % w;
+            let (lo, hi) = bounds[c];
+            self.send(next, &local[lo..hi], hop_wire, rng);
+            let cp = (prev + w - s % w) % w;
+            let (plo, _) = bounds[cp];
+            for (i, v) in self.recv(prev).iter().enumerate() {
+                local[plo + i] += v;
+            }
+        }
+        let (lo, hi) = bounds[(r + 1) % w];
+        let mut data = local[lo..hi].to_vec();
+        if policy == QuantizePolicy::FinalOnly {
+            wire.quantize(&mut data, rng);
+        }
+        RankChunk { lo, hi, data }
+    }
+
+    /// Threaded ring all-gather of the reduce-scatter result: every rank
+    /// ends with the full `n`-element reduced vector. Bit-identical to
+    /// [`crate::collective::ring_all_gather_ranked`].
+    pub fn ring_all_gather(
+        &mut self,
+        chunk: &RankChunk,
+        n: usize,
+        wire: &Wire,
+        policy: QuantizePolicy,
+        rng: &mut Rng,
+    ) -> Vec<f32> {
+        let (r, w) = (self.rank, self.world);
+        let bounds = chunk_bounds(n, w);
+        let mut have: Vec<Option<Vec<f32>>> = vec![None; w];
+        have[(r + 1) % w] = Some(chunk.data.clone());
+        let next = (r + 1) % w;
+        let prev = (r + w - 1) % w;
+        let exact = Wire::exact();
+        for s in 0..w.saturating_sub(1) {
+            let hop_wire = if policy == QuantizePolicy::EveryHop {
+                wire
+            } else {
+                &exact
+            };
+            let c = (r + 1 + w - s % w) % w;
+            let payload = have[c]
+                .as_ref()
+                .expect("ring schedule guarantees possession");
+            self.send(next, payload, hop_wire, rng);
+            let cp = (prev + 1 + w - s % w) % w;
+            have[cp] = Some(self.recv(prev));
+        }
+        let mut full = vec![0.0f32; n];
+        for (c, (lo, hi)) in bounds.iter().enumerate() {
+            full[*lo..*hi].copy_from_slice(have[c].as_ref().expect("all chunks gathered"));
+        }
+        full
+    }
+
+    /// Threaded all-reduce: reduce-scatter followed by all-gather. Returns
+    /// this rank's copy of the reduced vector.
+    pub fn ring_all_reduce(
+        &mut self,
+        grad: &[f32],
+        wire: &Wire,
+        policy: QuantizePolicy,
+        rng: &mut Rng,
+    ) -> Vec<f32> {
+        let chunk = self.ring_reduce_scatter(grad, wire, policy, rng);
+        self.ring_all_gather(&chunk, grad.len(), wire, policy, rng)
+    }
+}
+
+/// Builds a `world`-rank mesh and runs `f` once per rank, each on its own
+/// OS thread with its own [`Endpoint`]. Returns the per-rank results in
+/// rank order plus the measured traffic.
+///
+/// # Panics
+///
+/// Panics if `world` is zero or any rank thread panics. A panicking rank
+/// broadcasts an abort frame first, so peers blocked mid-collective fail
+/// fast instead of deadlocking on a hop that will never arrive.
+pub fn run_ranks<T, F>(world: usize, f: F) -> (Vec<T>, TransportStats)
+where
+    T: Send,
+    F: Fn(&mut Endpoint) -> T + Send + Sync,
+{
+    assert!(world > 0, "need at least one rank");
+    let counters = Arc::new(LinkCounters::new(world));
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..world).map(|_| channel()).unzip();
+    let endpoints: Vec<Endpoint> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Endpoint {
+            rank,
+            world,
+            senders: senders.clone(),
+            rx,
+            pending: vec![VecDeque::new(); world],
+            counters: Arc::clone(&counters),
+        })
+        .collect();
+    drop(senders);
+    let results = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|mut ep| {
+                scope.spawn(move || {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ep)));
+                    match result {
+                        Ok(v) => v,
+                        Err(payload) => {
+                            ep.broadcast_abort();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut outputs = Vec::with_capacity(world);
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(v) => outputs.push(v),
+                Err(payload) => panics.push(payload),
+            }
+        }
+        if !panics.is_empty() {
+            // Resume the root cause, not a bystander's abort-induced panic:
+            // one rank's real failure makes every peer panic with the
+            // secondary "rank N panicked mid-collective" message.
+            let is_abort_echo = |p: &Box<dyn std::any::Any + Send>| {
+                let text = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied());
+                text.is_some_and(|s| s.contains("panicked mid-collective"))
+            };
+            let root = panics.iter().position(|p| !is_abort_echo(p)).unwrap_or(0);
+            std::panic::resume_unwind(panics.swap_remove(root));
+        }
+        outputs
+    });
+    (results, TransportStats::snapshot(&counters))
+}
+
+/// Runs a full threaded reduce-scatter with one gradient vector and one RNG
+/// stream per rank, assembling the per-rank results into the same
+/// [`CollectiveResult`] shape the in-proc simulator returns (with
+/// `bytes_on_wire` taken from the *measured* payload counters).
+///
+/// # Panics
+///
+/// Panics if `grads` is empty, lengths disagree, or `rngs.len()` differs.
+pub fn threaded_reduce_scatter(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rngs: &[Rng],
+) -> (CollectiveResult, TransportStats) {
+    check_world(grads, rngs);
+    let (chunks, stats) = run_ranks(grads.len(), |ep| {
+        let mut rng = rngs[ep.rank()].clone();
+        ep.ring_reduce_scatter(&grads[ep.rank()], wire, policy, &mut rng)
+    });
+    let result = CollectiveResult {
+        owned: chunks.iter().map(|c| (c.lo, c.hi)).collect(),
+        per_rank: chunks.into_iter().map(|c| c.data).collect(),
+        bytes_on_wire: stats.total_payload_bytes(),
+    };
+    (result, stats)
+}
+
+/// [`threaded_reduce_scatter`] followed by the all-gather: every rank ends
+/// with the full reduced vector.
+///
+/// # Panics
+///
+/// Panics if `grads` is empty, lengths disagree, or `rngs.len()` differs.
+pub fn threaded_all_reduce(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    rngs: &[Rng],
+) -> (CollectiveResult, TransportStats) {
+    check_world(grads, rngs);
+    let n = grads[0].len();
+    let (full, stats) = run_ranks(grads.len(), |ep| {
+        let mut rng = rngs[ep.rank()].clone();
+        ep.ring_all_reduce(&grads[ep.rank()], wire, policy, &mut rng)
+    });
+    let result = CollectiveResult {
+        per_rank: full,
+        owned: vec![(0, n); grads.len()],
+        bytes_on_wire: stats.total_payload_bytes(),
+    };
+    (result, stats)
+}
+
+fn check_world(grads: &[Vec<f32>], rngs: &[Rng]) {
+    assert!(!grads.is_empty(), "no ranks");
+    let n = grads[0].len();
+    assert!(
+        grads.iter().all(|g| g.len() == n),
+        "ranks disagree on gradient length"
+    );
+    assert_eq!(rngs.len(), grads.len(), "need one RNG stream per rank");
+}
+
+/// Synchronous data-parallel training over the threaded transport: each
+/// trainer runs on its own rank thread, and every step all-reduces every
+/// parameter gradient through `wire` (then averages), so the optimizer on
+/// each rank updates from the same reduced gradient a ZeRO-style DP run
+/// would see. Returns the trainers (advanced `steps` steps), each rank's
+/// per-step losses, and the measured traffic.
+///
+/// Wire randomness is per rank, seeded from `comm_seed ^ rank`.
+///
+/// # Panics
+///
+/// Panics if `trainers` is empty or a rank thread panics.
+pub fn data_parallel_train(
+    trainers: Vec<Trainer>,
+    steps: u64,
+    wire: &Wire,
+    policy: QuantizePolicy,
+    comm_seed: u64,
+) -> (Vec<Trainer>, Vec<Vec<f64>>, TransportStats) {
+    assert!(!trainers.is_empty(), "no ranks");
+    let world = trainers.len();
+    let slots: Vec<std::sync::Mutex<Option<Trainer>>> = trainers
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let (losses, stats) = run_ranks(world, |ep| {
+        let mut trainer = slots[ep.rank()]
+            .lock()
+            .expect("trainer slot")
+            .take()
+            .expect("each rank takes its trainer once");
+        let mut rng = Rng::seed_from(comm_seed ^ ep.rank() as u64);
+        let inv_world = 1.0 / world as f32;
+        let mut losses = Vec::with_capacity(steps as usize);
+        for _ in 0..steps {
+            let loss = trainer.train_step_with_grad_hook(&mut |model| {
+                model.visit_params_mut(&mut |p| {
+                    let reduced = ep.ring_all_reduce(p.grad().as_slice(), wire, policy, &mut rng);
+                    for (g, v) in p.grad_mut().as_mut_slice().iter_mut().zip(&reduced) {
+                        *g = v * inv_world;
+                    }
+                });
+            });
+            losses.push(loss);
+        }
+        *slots[ep.rank()].lock().expect("trainer slot") = Some(trainer);
+        losses
+    });
+    let trainers = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot").expect("trainer returned"))
+        .collect();
+    (trainers, losses, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{exact_sum, ring_reduce_scatter_ranked};
+
+    fn make_grads(ranks: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng::seed_from(seed);
+        (0..ranks)
+            .map(|_| (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn frames_round_trip_every_wire_kind() {
+        let payload: Vec<f32> = (0..37).map(|i| (i as f32 - 15.0) * 0.23).collect();
+        for wire in [Wire::exact(), Wire::bf16(), Wire::fp4(16), Wire::mxfp4()] {
+            let mut enc_rng = Rng::seed_from(11);
+            let mut ref_rng = Rng::seed_from(11);
+            let (frame, bytes) = encode_frame(&wire, &payload, &mut enc_rng);
+            let mut reference = payload.clone();
+            let measured = wire.transmit(&mut reference, &mut ref_rng);
+            assert_eq!(bytes, measured, "{}", wire.label());
+            let decoded = decode_frame(&frame);
+            assert_eq!(decoded.len(), payload.len(), "{}", wire.label());
+            for (a, b) in decoded.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}: {a} vs {b}", wire.label());
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_reduce_scatter_matches_ranked_oracle_bit_for_bit() {
+        for wire in [Wire::exact(), Wire::bf16(), Wire::fp4(16), Wire::fp8(16)] {
+            for policy in [QuantizePolicy::EveryHop, QuantizePolicy::FinalOnly] {
+                let grads = make_grads(4, 53, 3);
+                let rngs: Vec<Rng> = (0..4).map(|r| Rng::seed_from(40 + r)).collect();
+                let (threaded, _) = threaded_reduce_scatter(&grads, &wire, policy, &rngs);
+                let mut oracle_rngs = rngs.clone();
+                let oracle = ring_reduce_scatter_ranked(&grads, &wire, policy, &mut oracle_rngs);
+                assert_eq!(threaded.owned, oracle.owned, "{}", wire.label());
+                assert_eq!(
+                    threaded.bytes_on_wire,
+                    oracle.bytes_on_wire,
+                    "{}",
+                    wire.label()
+                );
+                for (t, o) in threaded.per_rank.iter().zip(&oracle.per_rank) {
+                    for (a, b) in t.iter().zip(o) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{} {policy:?}", wire.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_counters_cover_only_ring_neighbours() {
+        let grads = make_grads(4, 64, 7);
+        let rngs: Vec<Rng> = (0..4).map(Rng::seed_from).collect();
+        let (_, stats) =
+            threaded_reduce_scatter(&grads, &Wire::fp8(16), QuantizePolicy::EveryHop, &rngs);
+        for src in 0..4 {
+            for dst in 0..4 {
+                let bytes = stats.link_payload_bytes(src, dst);
+                if dst == (src + 1) % 4 {
+                    // 3 hops × 16 elements × (1 B code + f32 scale per tile).
+                    assert_eq!(bytes, 3 * (16 + 4), "{src}->{dst}");
+                    assert_eq!(stats.link_frames(src, dst), 3);
+                } else {
+                    assert_eq!(bytes, 0, "{src}->{dst} should be silent");
+                }
+            }
+        }
+        assert!(
+            stats.total_envelope_bytes() > 0,
+            "envelopes are measured too"
+        );
+    }
+
+    #[test]
+    fn p2p_send_recv_round_trips_packed_payloads() {
+        let payload: Vec<f32> = (0..29).map(|i| i as f32 * 0.4 - 5.0).collect();
+        let expect = {
+            let mut reference = payload.clone();
+            Wire::fp4(8).quantize(&mut reference, &mut Rng::seed_from(1));
+            reference
+        };
+        let (outputs, stats) = run_ranks(2, |ep| {
+            if ep.rank() == 0 {
+                let mut rng = Rng::seed_from(1);
+                ep.send(1, &payload, &Wire::fp4(8), &mut rng);
+                Vec::new()
+            } else {
+                ep.recv(0)
+            }
+        });
+        for (a, b) in outputs[1].iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            stats.link_payload_bytes(0, 1),
+            Wire::fp4(8)
+                .codec()
+                .unwrap()
+                .packed_wire_bytes(1, 29)
+                .unwrap()
+        );
+        assert_eq!(stats.link_payload_bytes(1, 0), 0);
+    }
+
+    #[test]
+    fn interleaved_sources_demultiplex_correctly() {
+        // Rank 2 receives from 0 and 1 in the *opposite* order they arrive;
+        // the per-source queues must keep the streams apart.
+        let (outputs, _) = run_ranks(3, |ep| {
+            let mut rng = Rng::seed_from(9);
+            match ep.rank() {
+                0 => {
+                    ep.send(2, &[1.0, 2.0], &Wire::exact(), &mut rng);
+                    ep.send(2, &[3.0], &Wire::exact(), &mut rng);
+                    Vec::new()
+                }
+                1 => {
+                    ep.send(2, &[9.0], &Wire::exact(), &mut rng);
+                    Vec::new()
+                }
+                _ => {
+                    let b = ep.recv(1);
+                    let a1 = ep.recv(0);
+                    let a2 = ep.recv(0);
+                    vec![b, a1, a2]
+                }
+            }
+        });
+        assert_eq!(outputs[2], vec![vec![9.0], vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn all_reduce_reaches_the_exact_sum_on_exact_wires() {
+        let grads = make_grads(5, 41, 13);
+        let exact = exact_sum(&grads);
+        let rngs: Vec<Rng> = (0..5).map(Rng::seed_from).collect();
+        let (result, _) =
+            threaded_all_reduce(&grads, &Wire::exact(), QuantizePolicy::EveryHop, &rngs);
+        for rank in &result.per_rank {
+            for (got, want) in rank.iter().zip(&exact) {
+                assert!((got - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_rank_aborts_the_mesh_instead_of_deadlocking() {
+        // Rank 1 dies before sending; ranks 0 and 2 are blocked waiting on
+        // it. The abort broadcast must fail them fast — the whole call
+        // panics (propagated by run_ranks) rather than hanging forever.
+        let result = std::panic::catch_unwind(|| {
+            run_ranks(3, |ep| {
+                let mut rng = Rng::seed_from(1);
+                if ep.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                ep.send((ep.rank() + 1) % 3, &[1.0], &Wire::exact(), &mut rng);
+                ep.recv(1)
+            })
+        });
+        // The propagated panic is the root cause, not a peer's abort echo.
+        let payload = result.expect_err("panic must propagate, not deadlock");
+        let text = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            text.contains("rank 1 exploded"),
+            "got panic payload {text:?}"
+        );
+    }
+
+    #[test]
+    fn single_rank_transport_is_a_no_op() {
+        let grads = make_grads(1, 16, 17);
+        let rngs = vec![Rng::seed_from(0)];
+        let (rs, stats) =
+            threaded_reduce_scatter(&grads, &Wire::fp4(8), QuantizePolicy::EveryHop, &rngs);
+        assert_eq!(rs.bytes_on_wire, 0);
+        assert_eq!(stats.total_frames(), 0);
+        assert_eq!(rs.per_rank[0], grads[0]);
+    }
+}

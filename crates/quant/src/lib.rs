@@ -52,10 +52,12 @@ pub mod outlier;
 pub mod packed;
 mod quantizer;
 pub mod rht;
+pub mod wire;
 
 pub use codebook::Codebook;
 pub use packed::{PackedOutlier, PackedQuantize, PackedTensor};
 pub use quantizer::{Quantizer, Rounding};
+pub use wire::{WireError, WIRE_HEADER_BYTES};
 
 use format::FloatFormat;
 use granularity::Granularity;

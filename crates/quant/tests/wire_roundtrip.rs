@@ -1,0 +1,72 @@
+//! Property tests for the wire byte codec: serializing any packed tensor
+//! and deserializing it must reproduce the decode bit-for-bit, for every
+//! quantizer kind, at random shapes — including ragged tails — and random
+//! data with planted outliers.
+
+use proptest::prelude::*;
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::int::IntQuantizer;
+use snip_quant::mx::MxQuantizer;
+use snip_quant::outlier::OutlierQuantizer;
+use snip_quant::rht::RhtQuantizer;
+use snip_quant::{PackedQuantize, PackedTensor, Quantizer, Rounding, WIRE_HEADER_BYTES};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+fn quantizer_for(kind: usize, nb: usize, rounding: Rounding) -> Box<dyn PackedQuantize> {
+    let plain = Quantizer::new(FloatFormat::e2m1(), Granularity::Tile { nb }, rounding);
+    match kind {
+        0 => Box::new(plain),
+        1 => Box::new(Quantizer::new(
+            FloatFormat::e4m3(),
+            Granularity::Block { nb },
+            rounding,
+        )),
+        2 => Box::new(IntQuantizer::int8_tile(nb)),
+        3 => Box::new(MxQuantizer::mxfp4().with_rounding(rounding)),
+        4 => Box::new(RhtQuantizer::new(plain, nb.next_power_of_two(), 19)),
+        _ => Box::new(OutlierQuantizer::new(plain, 0.03)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wire_frames_round_trip_bit_for_bit(
+        kind in 0usize..6,
+        rows in 1usize..7,
+        cols in 1usize..70,
+        nb in 4usize..20,
+        stochastic in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let rounding = if stochastic == 1 { Rounding::Stochastic } else { Rounding::Nearest };
+        let q = quantizer_for(kind, nb, rounding);
+        let mut data_rng = Rng::seed_from(seed);
+        let mut t = Tensor::randn(rows, cols, 1.0, &mut data_rng);
+        // Plant a spike so the outlier split has work to do.
+        t[(rows / 2, cols / 2)] = 37.0;
+
+        let packed = q.pack(&t, &mut Rng::seed_from(seed ^ 0xF00D)).expect("packable");
+        let frame = packed.to_wire_bytes().expect("built-in format");
+        prop_assert_eq!(
+            frame.len() as u64,
+            WIRE_HEADER_BYTES as u64 + packed.wire_bytes(),
+            "payload section must equal the accounted wire volume"
+        );
+        prop_assert_eq!(
+            Some(packed.wire_bytes()),
+            q.packed_wire_bytes(rows, cols),
+            "analytic accounting must match the actual pack"
+        );
+
+        let back = PackedTensor::from_wire_bytes(&frame).expect("well-formed frame");
+        let (a, b) = (packed.dequantize(), back.dequantize());
+        prop_assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "element {}: {} vs {}", i, x, y);
+        }
+    }
+}
