@@ -113,11 +113,14 @@ fn report_linear_cache_bytes(c: &mut Criterion) {
     });
 }
 
-/// The encode-speed gap closer: `Codebook::encode` now resolves a grid
-/// value with one shift + one table load instead of a per-element binary
-/// search. `encode_direct` vs `encode_binary_search` isolates that win;
-/// `quantize_packed_fp4` shows it end-to-end against `fake_quantize` (the
-/// packed path used to trail it 1.5–2.5×).
+/// The encode-speed gap closers. `Codebook::encode` resolves a grid value
+/// with one shift + one table load instead of a per-element binary search
+/// (`encode/direct_map` vs `encode/binary_search` isolates that win), and
+/// the nearest-rounding pack path now fuses quantize+encode into a pure
+/// integer threshold count per element (`Codebook::pack_nearest_with`).
+/// `quantize_kernel` shows the end-to-end result against `fake_quantize`:
+/// the packed path used to trail it 1.5–2.5×, then ~1.4×; with the fused
+/// path it runs at parity (~1.0×).
 fn bench_encode_paths(c: &mut Criterion) {
     use snip_quant::format::FloatFormat;
     use snip_quant::granularity::Granularity;

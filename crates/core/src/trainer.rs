@@ -155,6 +155,17 @@ impl Trainer {
         out.loss
     }
 
+    /// Runs `n` steps of [`Trainer::train_step_with_grad_hook`], returning
+    /// each step's loss. This is the loop body both data-parallel backends
+    /// (threaded and multi-process, `snip_pipeline::transport`) drive: one
+    /// shared definition, so a rank's step sequence cannot drift between
+    /// transports.
+    pub fn train_with_grad_hook(&mut self, n: u64, hook: &mut dyn FnMut(&mut Model)) -> Vec<f64> {
+        (0..n)
+            .map(|_| self.train_step_with_grad_hook(hook))
+            .collect()
+    }
+
     /// Runs `n` steps, returning each step's loss.
     pub fn train(&mut self, n: u64) -> Vec<f64> {
         (0..n).map(|_| self.train_step()).collect()

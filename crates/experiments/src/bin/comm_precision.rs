@@ -15,28 +15,59 @@ use snip_pipeline::collective::{
 use snip_pipeline::transport::threaded_reduce_scatter;
 use snip_tensor::rng::Rng;
 
-/// `--transport threads` (or `--transport=threads`) switches the sweep from
-/// the in-proc simulator to the real threaded transport: ranks on OS
-/// threads exchanging serialized byte frames, with bytes *measured* by the
-/// per-link counters instead of simulated.
-fn threads_transport_requested() -> bool {
+/// Which rank fabric the sweep runs over.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// The in-proc simulator (analytic bytes).
+    Simulated,
+    /// OS-thread ranks exchanging serialized frames (measured bytes).
+    Threads,
+    /// Worker *processes* connected by Unix sockets (measured bytes; must
+    /// match the threads numbers byte-for-byte).
+    Process,
+}
+
+/// `--transport threads|process` (or `--transport=...`) switches the sweep
+/// from the in-proc simulator to a real transport: ranks on OS threads or
+/// in worker processes exchanging serialized byte frames, with bytes
+/// *measured* by the per-link counters instead of simulated.
+fn transport_requested() -> Transport {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().any(|a| a == "--transport=threads")
-        || args
-            .windows(2)
-            .any(|w| w[0] == "--transport" && w[1] == "threads")
+    let named = |name: &str| {
+        args.iter().any(|a| a == &format!("--transport={name}"))
+            || args
+                .windows(2)
+                .any(|w| w[0] == "--transport" && w[1] == name)
+    };
+    if named("process") {
+        Transport::Process
+    } else if named("threads") {
+        Transport::Threads
+    } else {
+        Transport::Simulated
+    }
 }
 
 fn main() {
+    // If this process is a spawned rank worker (`--transport process`
+    // re-executes this binary), divert it before any experiment work.
+    #[cfg(unix)]
+    snip_pipeline::transport::proc::worker_boot();
     let p = ExpParams::from_args();
-    let threads = threads_transport_requested();
+    let transport = transport_requested();
+    #[cfg(not(unix))]
+    assert!(
+        transport != Transport::Process,
+        "--transport process needs Unix sockets"
+    );
     println!("# Low-precision ring reduce-scatter: error vs bytes (paper §2.2 future work)");
     println!(
         "# transport: {}\n",
-        if threads {
-            "threads (OS-thread ranks, serialized frames, measured bytes)"
-        } else {
-            "simulated (in-proc oracle, analytic bytes)"
+        match transport {
+            Transport::Threads => "threads (OS-thread ranks, serialized frames, measured bytes)",
+            Transport::Process =>
+                "process (socket-connected rank workers, serialized frames, measured bytes)",
+            Transport::Simulated => "simulated (in-proc oracle, analytic bytes)",
         }
     );
     let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), p.ckpt_unit, &p);
@@ -67,18 +98,32 @@ fn main() {
             .collect()
     };
 
-    // One reduce-scatter, either simulated in-proc or run for real on
-    // OS-thread ranks. Both report a CollectiveResult; the threaded path's
-    // bytes come from the transport's measured per-link payload counters.
+    // One reduce-scatter: simulated in-proc, or run for real on OS-thread
+    // ranks or socket-connected worker processes. All report a
+    // CollectiveResult; the real transports' bytes come from measured
+    // per-link payload counters, and the two real backends must agree
+    // byte-for-byte (same seeds, same codecs, same frames).
     let reduce = |grads: &[Vec<f32>], wire: &Wire, policy: QuantizePolicy| -> CollectiveResult {
-        if threads {
-            let rngs: Vec<Rng> = (0..grads.len())
-                .map(|r| Rng::seed_from(0x2000 + r as u64))
-                .collect();
-            threaded_reduce_scatter(grads, wire, policy, &rngs).0
-        } else {
-            let mut rng = Rng::seed_from(2);
-            ring_reduce_scatter(grads, wire, policy, &mut rng)
+        match transport {
+            #[cfg(unix)]
+            Transport::Process => {
+                let seeds: Vec<u64> = (0..grads.len()).map(|r| 0x2000 + r as u64).collect();
+                snip_pipeline::transport::proc::proc_reduce_scatter(grads, wire, policy, &seeds)
+                    .expect("process-transport reduce-scatter")
+                    .result
+            }
+            #[cfg(not(unix))]
+            Transport::Process => unreachable!("rejected above"),
+            Transport::Threads => {
+                let rngs: Vec<Rng> = (0..grads.len())
+                    .map(|r| Rng::seed_from(0x2000 + r as u64))
+                    .collect();
+                threaded_reduce_scatter(grads, wire, policy, &rngs).0
+            }
+            Transport::Simulated => {
+                let mut rng = Rng::seed_from(2);
+                ring_reduce_scatter(grads, wire, policy, &mut rng)
+            }
         }
     };
 
@@ -132,9 +177,11 @@ fn main() {
     println!("# tile scales); rht-fp4 and ol-fp4 spend the same (or near-same)");
     println!("# bytes as plain fp4 to buy error robustness on outlier-heavy");
     println!("# gradients.");
-    if !threads {
-        println!("# Re-run with `--transport threads` to exercise the real multi-rank");
-        println!("# transport (OS threads + serialized frames); byte columns are then");
-        println!("# measured per-link counters and must agree with these numbers.");
+    if transport == Transport::Simulated {
+        println!("# Re-run with `--transport threads` (OS threads + serialized frames)");
+        println!("# or `--transport process` (socket-connected worker processes) to");
+        println!("# exercise a real multi-rank transport; byte columns are then");
+        println!("# measured per-link counters and must agree with these numbers —");
+        println!("# and with each other, byte for byte.");
     }
 }

@@ -11,6 +11,13 @@
 //! simulator ([`schedule::simulate_1f1b`]) and Fig. 12-style timelines
 //! ([`timeline::render_timeline`]).
 //!
+//! It also houses the *transport* side: [`transport`] runs real multi-rank
+//! collectives over serialized byte frames, with ranks on OS threads
+//! ([`transport::run_ranks`]) or in separate worker processes connected by
+//! Unix sockets ([`transport::proc`]), both behind the same
+//! [`transport::Endpoint`] surface and both bit-identical to the in-proc
+//! [`collective`] oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +54,7 @@ pub use schedule::{simulate_1f1b, Phase, PipelineSim, ScheduleEvent};
 pub use stage::StagePartition;
 pub use timeline::render_timeline;
 pub use transport::{
-    data_parallel_train, run_ranks, threaded_all_reduce, threaded_reduce_scatter, Endpoint,
-    RankChunk, TransportStats,
+    channel_mesh, data_parallel_train, pipeline_relay, run_ranks, threaded_all_reduce,
+    threaded_pipeline_relay, threaded_reduce_scatter, ChannelFabric, Endpoint, Fabric, FrameError,
+    RankChunk, TransportError, TransportStats,
 };

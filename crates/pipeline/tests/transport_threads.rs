@@ -165,6 +165,7 @@ fn many_concurrent_collectives_stay_ordered() {
                     QuantizePolicy::EveryHop,
                     &mut rng,
                 )
+                .expect("all-reduce round")
             })
             .collect::<Vec<_>>()
     });

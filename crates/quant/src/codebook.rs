@@ -40,6 +40,23 @@ static LUT_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[f32]>>>> = OnceLock::ne
 /// decode tables.
 static ENC_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[u8]>>>> = OnceLock::new();
 
+/// Fused nearest-rounding threshold tables, one per format, shared like the
+/// decode tables.
+static NEAREST_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<NearestTable>>>> = OnceLock::new();
+
+/// Precomputed rounding boundaries for the fused nearest-quantize+encode
+/// path: `thresholds[i]` is the f32 bit pattern above (or at) which a
+/// scaled magnitude rounds to non-negative value `i + 1` rather than `i`.
+/// Positive-float bit patterns order like the floats themselves, so the hot
+/// loop is pure integer compares.
+#[derive(Debug)]
+struct NearestTable {
+    thresholds: Vec<u32>,
+    /// Whether the format's rounding preserves the sign of an exact ±0
+    /// input (integer grids do; the float formats collapse −0.0 to +0.0).
+    signed_zero: bool,
+}
+
 /// Sentinel in the encode table for keys no grid value occupies. Valid
 /// magnitude indices are `< 128`, so `0xFF` can never collide with one.
 const ENC_EMPTY: u8 = u8::MAX;
@@ -140,9 +157,9 @@ impl Codebook {
         let max_key = (nonneg.last().expect("non-empty table").to_bits() >> shift) as usize;
         let mut table = vec![ENC_EMPTY; max_key + 1];
         for (i, &v) in nonneg.iter().enumerate() {
-            if v == 0.0 {
-                continue; // zero is handled before the table lookup
-            }
+            // Zero occupies key 0 like any other grid value (no nonzero
+            // value can collide: a normal float's bits shifted by ≤ 23 are
+            // nonzero), so the hot encode path needs no zero special-case.
             let k = (v.to_bits() >> shift) as usize;
             debug_assert_eq!(table[k], ENC_EMPTY, "encode keys must be distinct");
             table[k] = i as u8;
@@ -185,9 +202,9 @@ impl Codebook {
         lut
     }
 
-    /// Quantizes `t` into packed storage in a single pass: per scale group,
-    /// compute `scale = grid_max / max|group|`, then write each element's
-    /// code straight into the packed byte buffer. Elements are visited in
+    /// Quantizes `t` into packed storage: per scale group, compute
+    /// `scale = grid_max / max|group|`, then write each element's code
+    /// straight into the packed byte buffer. Elements are visited in
     /// [`Granularity::for_each_group`] order — the same element order (and
     /// the same stochastic-draw order) as the fake-quantization path, which
     /// is what keeps the two bit-identical.
@@ -202,16 +219,31 @@ impl Codebook {
         rng: &mut Rng,
         quantize: impl Fn(f32, &mut Rng) -> f32,
     ) -> QTensor {
-        self.pack_with(
-            t,
-            granularity,
-            rng,
-            |max_abs| {
-                let scale = Granularity::group_scale(grid_max, max_abs);
-                (scale, 1.0 / scale)
-            },
-            quantize,
-        )
+        self.pack_with(t, granularity, rng, Self::max_abs_scale(grid_max), quantize)
+    }
+
+    /// [`Codebook::pack`] for **nearest rounding** under the standard
+    /// max-abs scale recipe: the fused quantize+encode fast path of
+    /// [`Codebook::pack_nearest_with`], no RNG needed.
+    pub fn pack_nearest(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        grid_max: f32,
+        quantize: impl Fn(f32) -> f32,
+    ) -> QTensor {
+        self.pack_nearest_with(t, granularity, Self::max_abs_scale(grid_max), quantize)
+    }
+
+    /// The one definition of the standard max-abs scale recipe:
+    /// `scale = grid_max / max|group|` to encode, its reciprocal to decode
+    /// — shared by every packing entry point so the expression cannot
+    /// drift between quantizers.
+    fn max_abs_scale(grid_max: f32) -> impl Fn(f32) -> (f32, f32) {
+        move |max_abs| {
+            let scale = Granularity::group_scale(grid_max, max_abs);
+            (scale, 1.0 / scale)
+        }
     }
 
     /// [`Codebook::pack`] with caller-supplied scaling: `scale_of` maps a
@@ -220,6 +252,15 @@ impl Codebook {
     /// use `(1/s, s)` with a power-of-two `s` so the *decode* side is the
     /// exact E8M0 scale. Both multipliers must reproduce the corresponding
     /// fake-quantization expressions bit-for-bit.
+    ///
+    /// The group-max scan and the code encode are fused per tile: both
+    /// work on the tile's contiguous row segments as slices, so the scan
+    /// reads each segment once from memory (bounds-check-free iteration)
+    /// and the encode immediately re-reads it cache-hot, writing 4-bit
+    /// codes **pairwise** — one whole-byte store per two elements instead
+    /// of a read-modify-write per nibble. Element order (and therefore
+    /// stochastic-draw order) is unchanged — row-major within each group —
+    /// so the fake-quant bit-identity contract is untouched.
     pub fn pack_with(
         &self,
         t: &Tensor,
@@ -227,6 +268,55 @@ impl Codebook {
         rng: &mut Rng,
         scale_of: impl Fn(f32) -> (f32, f32),
         quantize: impl Fn(f32, &mut Rng) -> f32,
+    ) -> QTensor {
+        self.pack_impl(t, granularity, scale_of, |v, enc_scale| {
+            self.encode(quantize(v * enc_scale, rng))
+        })
+    }
+
+    /// The deterministic fast path: [`Codebook::pack_with`] for **nearest
+    /// rounding**, with the quantize→encode pair fused into one integer
+    /// threshold count per element. `quantize` is the format's
+    /// round-to-nearest function (scaled value → grid value); it is probed
+    /// once per format to build an interned table of rounding-boundary bit
+    /// patterns (each adjacent-value midpoint, nudged by one ULP when the
+    /// format rounds that tie downward), and the hot loop never calls it —
+    /// an element's code is `sign + #(thresholds ≤ |bits|)`, no division,
+    /// no float compare, no grid-value table lookup. Bit-identical to the
+    /// `quantize`+`encode` composition by construction (nearest rounding to
+    /// a finite grid is monotone with midpoint boundaries), which the
+    /// format × granularity equivalence property tests pin.
+    ///
+    /// The probe must depend only on this codebook's format (thresholds are
+    /// interned per format, like the decode tables).
+    pub fn pack_nearest_with(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        scale_of: impl Fn(f32) -> (f32, f32),
+        quantize: impl Fn(f32) -> f32,
+    ) -> QTensor {
+        let table = self.nearest_table(&quantize);
+        let half = (self.width.lut_len() / 2) as u8;
+        self.pack_impl(t, granularity, scale_of, |v, enc_scale| {
+            Self::nearest_code((v * enc_scale).to_bits(), half, &table)
+        })
+    }
+
+    /// Shared group walk of the packing paths: per scale group, scan the
+    /// group's contiguous row segments for the max-abs (bounds-check-free
+    /// slice iteration), derive the scales, then encode each segment
+    /// straight into the packed byte buffer — the scan and encode are fused
+    /// per tile, so a tile is read from memory once and re-read cache-hot.
+    /// `code_of(v, enc_scale)` maps one source element to its code;
+    /// elements are visited row-major within each group, the same order
+    /// (and the same stochastic-draw order) as fake quantization.
+    fn pack_impl(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        scale_of: impl Fn(f32) -> (f32, f32),
+        mut code_of: impl FnMut(f32, f32) -> u8,
     ) -> QTensor {
         let (rows, cols) = t.shape();
         let layout = granularity.layout();
@@ -237,25 +327,22 @@ impl Codebook {
         granularity.for_each_group(rows, cols, |rr, cr| {
             let mut max_abs = 0.0f32;
             for r in rr.clone() {
-                let row = t.row(r);
-                for c in cr.clone() {
-                    max_abs = max_abs.max(row[c].abs());
+                for &v in &t.row(r)[cr.clone()] {
+                    max_abs = max_abs.max(v.abs());
                 }
             }
             let (enc_scale, dec_scale) = scale_of(max_abs);
             scales.push(dec_scale);
             for r in rr {
-                let row = t.row(r);
-                for c in cr.clone() {
-                    let code = self.encode(quantize(row[c] * enc_scale, rng));
-                    match width {
-                        CodeWidth::U4 => {
-                            let byte = &mut data[r * row_bytes + c / 2];
-                            // Buffer starts zeroed and each element is
-                            // visited once, so OR-ing nibbles suffices.
-                            *byte |= if c % 2 == 0 { code } else { code << 4 };
+                let seg = &t.row(r)[cr.clone()];
+                let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
+                let mut enc = |v: f32| code_of(v, enc_scale);
+                match width {
+                    CodeWidth::U4 => encode_seg_u4(seg, cr.start, out, &mut enc),
+                    CodeWidth::U8 => {
+                        for (&v, o) in seg.iter().zip(&mut out[cr.clone()]) {
+                            *o = enc(v);
                         }
-                        CodeWidth::U8 => data[r * row_bytes + c] = code,
                     }
                 }
             }
@@ -263,9 +350,81 @@ impl Codebook {
         QTensor::from_parts(rows, cols, width, self.lut(), layout, scales, data)
     }
 
+    /// The interned threshold table for this format's nearest rounding,
+    /// built (once) by probing `quantize` at each adjacent-value midpoint.
+    fn nearest_table(&self, quantize: &impl Fn(f32) -> f32) -> Arc<NearestTable> {
+        let registry = NEAREST_REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().expect("nearest registry poisoned");
+        map.entry(self.key)
+            .or_insert_with(|| {
+                let mut thresholds = Vec::with_capacity(self.nonneg.len().saturating_sub(1));
+                for w in self.nonneg.windows(2) {
+                    // Adjacent grid values are multiples of one shared
+                    // quantum, so their midpoint is exact in f32.
+                    let m = (w[0] + w[1]) / 2.0;
+                    // Ask the format which side an exact tie rounds to; a
+                    // downward tie makes the boundary strict, i.e. one ULP
+                    // above the midpoint in bit-pattern space.
+                    let tie_up = quantize(m).to_bits() == w[1].to_bits();
+                    thresholds.push(m.to_bits() + u32::from(!tie_up));
+                }
+                let signed_zero = quantize(-0.0).is_sign_negative();
+                Arc::new(NearestTable {
+                    thresholds,
+                    signed_zero,
+                })
+            })
+            .clone()
+    }
+
+    /// The fused nearest-rounding encode: maps a scaled value's raw bits to
+    /// its sign-magnitude code by counting rounding boundaries at or below
+    /// its magnitude. Branch-free on the hot path for subbyte tables (the
+    /// count vectorizes); byte-wide tables use a short branchless binary
+    /// search. NaN quantizes to +0 in every format; saturation falls out of
+    /// the count (a magnitude above every boundary gets the top code).
+    #[inline]
+    fn nearest_code(bits: u32, half: u8, table: &NearestTable) -> u8 {
+        let neg = (bits >> 31) as u8;
+        let a = bits & 0x7FFF_FFFF;
+        if a > 0x7F80_0000 {
+            return 0; // NaN
+        }
+        if a == 0 {
+            return if table.signed_zero { neg * half } else { 0 };
+        }
+        let th = &table.thresholds[..];
+        let mag = if th.len() <= 8 {
+            let mut mag = 0u8;
+            for &t in th {
+                mag += u8::from(a >= t);
+            }
+            mag
+        } else {
+            let mut lo = 0usize;
+            let mut len = th.len();
+            while len > 0 {
+                let step = len / 2;
+                let mid = lo + step;
+                if a >= th[mid] {
+                    lo = mid + 1;
+                    len -= step + 1;
+                } else {
+                    len = step;
+                }
+            }
+            lo as u8
+        };
+        neg * half + mag
+    }
+
     /// Encodes a value that lies on the format grid, via the direct-map
-    /// table: one shift and one load per element (the per-element binary
-    /// search this replaces was the packed path's encode bottleneck).
+    /// table: one shift and one load per element, with a **branchless**
+    /// sign-bit fold (the per-element binary search this replaces was the
+    /// packed path's encode bottleneck, and the data-dependent sign branch
+    /// was the next one — gradient signs are coin flips the predictor
+    /// cannot learn). Signed zeros round-trip bitwise: zero occupies key 0
+    /// of the table, so `-0.0` folds to code `half` like any negative.
     ///
     /// # Panics
     ///
@@ -274,19 +433,15 @@ impl Codebook {
     #[inline]
     pub fn encode(&self, q: f32) -> u8 {
         let half = (self.width.lut_len() / 2) as u8;
-        let sign = if q.is_sign_negative() { half } else { 0 };
-        if q == 0.0 {
-            // Signed zeros round-trip bitwise: lut[half] is -0.0.
-            return sign;
-        }
-        let a = q.abs();
-        let key = (a.to_bits() >> self.enc_shift) as usize;
+        let bits = q.to_bits();
+        let sign = ((bits >> 31) as u8) * half;
+        let key = ((bits & 0x7FFF_FFFF) >> self.enc_shift) as usize;
         if let Some(&idx) = self.enc_table.get(key) {
             if idx != ENC_EMPTY {
                 debug_assert_eq!(
                     self.nonneg[idx as usize].to_bits(),
-                    a.to_bits(),
-                    "{a} is not on the format grid"
+                    bits & 0x7FFF_FFFF,
+                    "{q} is not on the format grid"
                 );
                 return sign + idx;
             }
@@ -326,6 +481,33 @@ impl Codebook {
             }
         };
         sign + idx as u8
+    }
+}
+
+/// Encodes one row segment of a scale group into 4-bit packed storage: an
+/// optional unaligned head nibble, then two elements per whole-byte store,
+/// then an optional tail nibble. Nibble ORs are only used at the (rare)
+/// unaligned edges; the zeroed buffer and single visit per element keep
+/// them correct across adjacent groups.
+fn encode_seg_u4(seg: &[f32], cstart: usize, out: &mut [u8], enc: &mut impl FnMut(f32) -> u8) {
+    let mut it = seg.iter();
+    let mut byte_i = cstart / 2;
+    if cstart % 2 == 1 {
+        if let Some(&v) = it.next() {
+            out[byte_i] |= enc(v) << 4;
+            byte_i += 1;
+        }
+    }
+    let pairs = it.as_slice().chunks_exact(2);
+    let tail = pairs.remainder();
+    for pair in pairs {
+        let lo = enc(pair[0]);
+        let hi = enc(pair[1]);
+        out[byte_i] = lo | (hi << 4);
+        byte_i += 1;
+    }
+    if let Some(&v) = tail.first() {
+        out[byte_i] |= enc(v);
     }
 }
 
@@ -397,6 +579,78 @@ mod tests {
                         "{fmt}: {n}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The fused nearest-rounding path must agree with the two-step
+    /// quantize→encode oracle on the hardest inputs: exact rounding-tie
+    /// midpoints (both signs), every grid value, signed zeros, NaN and
+    /// infinities. Continuous random data (the property tests) essentially
+    /// never lands on a tie, so this pins the boundary semantics directly.
+    #[test]
+    fn fused_nearest_path_matches_oracle_on_exact_ties() {
+        use crate::int::IntQuantizer;
+        use crate::quantizer::{Quantizer, Rounding};
+
+        fn tie_inputs(nonneg: &[f32], grid_max: f32) -> Vec<f32> {
+            let mut vals = vec![grid_max]; // pins the group scale at exactly 1
+            for w in nonneg.windows(2) {
+                let m = (w[0] + w[1]) / 2.0;
+                vals.push(m);
+                vals.push(-m);
+            }
+            vals.extend_from_slice(nonneg);
+            vals.extend(nonneg.iter().map(|v| -v));
+            vals.extend([0.0, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+            vals
+        }
+
+        for fmt in [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ] {
+            let nonneg = fmt.enumerate_non_negative();
+            let vals = tie_inputs(&nonneg, fmt.max_value());
+            let t = Tensor::from_vec(1, vals.len(), vals);
+            let q = Quantizer::new(fmt, Granularity::Tensorwise, Rounding::Nearest);
+            let mut r1 = Rng::seed_from(0);
+            let mut r2 = Rng::seed_from(0);
+            let fake = q.fake_quantize(&t, &mut r1);
+            let packed = q.quantize_packed(&t, &mut r2).expect("packable");
+            for (i, (a, b)) in fake
+                .as_slice()
+                .iter()
+                .zip(packed.dequantize().as_slice())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{fmt}: element {i}: {a} vs {b}");
+            }
+        }
+
+        for bits in [3u32, 4, 8] {
+            let ifmt = IntFormat::new(bits);
+            let nonneg: Vec<f32> = (0..=ifmt.qmax() as i64).map(|i| i as f32).collect();
+            let vals = tie_inputs(&nonneg, ifmt.qmax());
+            let t = Tensor::from_vec(1, vals.len(), vals);
+            let q = IntQuantizer::new(ifmt, Granularity::Tensorwise, Rounding::Nearest);
+            let mut r1 = Rng::seed_from(0);
+            let mut r2 = Rng::seed_from(0);
+            let fake = q.fake_quantize(&t, &mut r1);
+            let packed = q.quantize_packed(&t, &mut r2).expect("packable");
+            for (i, (a, b)) in fake
+                .as_slice()
+                .iter()
+                .zip(packed.dequantize().as_slice())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "int{bits}: element {i}: {a} vs {b}"
+                );
             }
         }
     }

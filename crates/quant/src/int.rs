@@ -205,16 +205,17 @@ impl IntQuantizer {
     pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
         let cb = Codebook::for_int(self.format)?;
         let fmt = self.format;
-        let stochastic = self.rounding == Rounding::Stochastic;
-        Some(
-            cb.pack(t, self.granularity, fmt.qmax(), rng, |scaled, rng| {
-                if stochastic {
-                    fmt.quantize_stochastic(scaled, rng.next_f32())
-                } else {
-                    fmt.quantize_nearest(scaled)
-                }
+        let grid_max = fmt.qmax();
+        Some(match self.rounding {
+            // Deterministic rounding takes the fused quantize+encode path
+            // (pure integer threshold counting, no RNG).
+            Rounding::Nearest => cb.pack_nearest(t, self.granularity, grid_max, |scaled| {
+                fmt.quantize_nearest(scaled)
             }),
-        )
+            Rounding::Stochastic => cb.pack(t, self.granularity, grid_max, rng, |scaled, rng| {
+                fmt.quantize_stochastic(scaled, rng.next_f32())
+            }),
+        })
     }
 
     /// Frobenius norm of the quantization error under deterministic nearest

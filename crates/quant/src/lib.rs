@@ -57,7 +57,10 @@ pub mod wire;
 pub use codebook::Codebook;
 pub use packed::{PackedOutlier, PackedQuantize, PackedTensor};
 pub use quantizer::{Quantizer, Rounding};
-pub use wire::{WireError, WIRE_HEADER_BYTES};
+pub use wire::{
+    stream_frame, StreamDecoder, StreamError, WireError, STREAM_MAX_FRAME_BYTES,
+    STREAM_PREFIX_BYTES, WIRE_HEADER_BYTES,
+};
 
 use format::FloatFormat;
 use granularity::Granularity;

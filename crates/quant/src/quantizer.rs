@@ -173,16 +173,17 @@ impl Quantizer {
         }
         let cb = Codebook::for_float(self.format)?;
         let fmt = self.format;
-        let stochastic = self.rounding == Rounding::Stochastic;
-        Some(
-            cb.pack(t, self.granularity, fmt.max_value(), rng, |scaled, rng| {
-                if stochastic {
-                    fmt.quantize_stochastic(scaled, rng.next_f32())
-                } else {
-                    fmt.quantize_nearest(scaled)
-                }
+        let grid_max = fmt.max_value();
+        Some(match self.rounding {
+            // Deterministic rounding takes the fused quantize+encode path
+            // (pure integer threshold counting, no RNG).
+            Rounding::Nearest => cb.pack_nearest(t, self.granularity, grid_max, |scaled| {
+                fmt.quantize_nearest(scaled)
             }),
-        )
+            Rounding::Stochastic => cb.pack(t, self.granularity, grid_max, rng, |scaled, rng| {
+                fmt.quantize_stochastic(scaled, rng.next_f32())
+            }),
+        })
     }
 
     /// Decodes a packed tensor produced by [`Quantizer::quantize_packed`].

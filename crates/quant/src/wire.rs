@@ -62,6 +62,16 @@ use snip_tensor::{GroupLayout, QTensor};
 /// Size of the fixed frame header preceding the payload.
 pub const WIRE_HEADER_BYTES: usize = 36;
 
+/// Bytes the stream layer prepends to each frame: a little-endian `u32`
+/// length prefix.
+pub const STREAM_PREFIX_BYTES: usize = 4;
+
+/// Upper bound on a single stream frame's body. A length prefix above this
+/// is treated as corruption ([`StreamError::Oversize`]) rather than an
+/// allocation request — the cheap sanity check that makes garbage prefixes
+/// fail fast instead of OOM-ing the receiver.
+pub const STREAM_MAX_FRAME_BYTES: usize = 1 << 30;
+
 const MAGIC: [u8; 2] = *b"SP";
 const VERSION: u8 = 1;
 
@@ -455,6 +465,143 @@ impl PackedTensor {
                 value: v,
             }),
         }
+    }
+}
+
+/// Everything that can go wrong at the byte-stream framing layer (the
+/// length-prefixed encoding a socket transport uses to delimit frames on a
+/// continuous stream). Deliberately separate from [`WireError`]: a stream
+/// error means the *transport bytes* are damaged, before any frame content
+/// is interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// A length prefix exceeds [`STREAM_MAX_FRAME_BYTES`] — a corrupt or
+    /// adversarial prefix, never a legitimate frame.
+    Oversize {
+        /// The declared body length.
+        len: u32,
+    },
+    /// The stream ended mid-frame (peer closed or truncated the stream).
+    Truncated {
+        /// Bytes the pending frame still needs (prefix + body).
+        need: usize,
+        /// Bytes actually buffered for it.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Oversize { len } => {
+                write!(f, "stream frame length {len} exceeds the sanity bound")
+            }
+            StreamError::Truncated { need, got } => {
+                write!(f, "stream ended mid-frame: need {need} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Wraps a frame body for a byte stream: a [`STREAM_PREFIX_BYTES`]-byte
+/// little-endian length followed by the body. The inverse is
+/// [`StreamDecoder`], which reassembles frames from arbitrarily chunked
+/// reads.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`STREAM_MAX_FRAME_BYTES`] (no frame this crate
+/// produces comes near it).
+pub fn stream_frame(body: &[u8]) -> Vec<u8> {
+    assert!(
+        body.len() <= STREAM_MAX_FRAME_BYTES,
+        "frame body of {} bytes exceeds the stream bound",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(STREAM_PREFIX_BYTES + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental decoder for a stream of [`stream_frame`]-encoded frames.
+///
+/// Feed it whatever byte chunks arrive — a socket read may split a frame
+/// anywhere, including inside the length prefix — and pull complete frame
+/// bodies out with [`StreamDecoder::next_frame`]. Any split of a valid
+/// frame sequence reassembles to the same frames (property-tested);
+/// corruption surfaces as a typed [`StreamError`], never a panic.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily to keep feeds amortized
+    /// O(bytes)).
+    read: usize,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.read > 0 && self.read == self.buf.len() {
+            self.buf.clear();
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn pending_len(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if more bytes are
+    /// needed, or [`StreamError::Oversize`] if the pending length prefix is
+    /// not a plausible frame.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, StreamError> {
+        if self.pending_len() < STREAM_PREFIX_BYTES {
+            return Ok(None);
+        }
+        let at = self.read;
+        let len = u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if len > STREAM_MAX_FRAME_BYTES {
+            return Err(StreamError::Oversize { len: len as u32 });
+        }
+        if self.pending_len() < STREAM_PREFIX_BYTES + len {
+            return Ok(None);
+        }
+        let body = self.buf[at + STREAM_PREFIX_BYTES..at + STREAM_PREFIX_BYTES + len].to_vec();
+        self.read = at + STREAM_PREFIX_BYTES + len;
+        // Compact once the consumed prefix dominates, so the buffer does not
+        // grow without bound across a long-lived link.
+        if self.read > 4096 && self.read * 2 > self.buf.len() {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// Call at end of stream: `Ok(())` if the stream ended exactly on a
+    /// frame boundary, [`StreamError::Truncated`] if a frame was cut off.
+    pub fn finish(&self) -> Result<(), StreamError> {
+        let pending = self.pending_len();
+        if pending == 0 {
+            return Ok(());
+        }
+        let need = if pending >= STREAM_PREFIX_BYTES {
+            let at = self.read;
+            let len =
+                u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+            STREAM_PREFIX_BYTES + len
+        } else {
+            STREAM_PREFIX_BYTES
+        };
+        Err(StreamError::Truncated { need, got: pending })
     }
 }
 

@@ -1,0 +1,161 @@
+//! Property tests for the length-prefixed stream frame codec.
+//!
+//! A socket delivers bytes in arbitrary chunks: a frame may be split inside
+//! its length prefix, inside its body, or arrive glued to its neighbours.
+//! These tests pin the decoder's contract under that adversarial chunking:
+//! **any** split of a valid frame sequence reassembles to exactly the
+//! original frames, and truncated or garbage-prefixed streams surface a
+//! typed `StreamError` — never a panic, never a bogus frame.
+
+use proptest::prelude::*;
+use snip_quant::format::FloatFormat;
+use snip_quant::granularity::Granularity;
+use snip_quant::{
+    stream_frame, PackedQuantize, PackedTensor, Quantizer, Rounding, StreamDecoder, StreamError,
+    STREAM_MAX_FRAME_BYTES, STREAM_PREFIX_BYTES,
+};
+use snip_tensor::rng::Rng;
+use snip_tensor::Tensor;
+
+/// Feeds `bytes` to a fresh decoder in chunks whose sizes cycle through
+/// `chunk_sizes` (interpreted mod a small bound, so any u8 works), pulling
+/// every completed frame as it goes.
+fn decode_chunked(bytes: &[u8], chunk_sizes: &[u8]) -> Result<Vec<Vec<u8>>, StreamError> {
+    let mut dec = StreamDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0;
+    let mut k = 0;
+    while at < bytes.len() {
+        let step = if chunk_sizes.is_empty() {
+            1
+        } else {
+            1 + (chunk_sizes[k % chunk_sizes.len()] as usize) % 13
+        };
+        k += 1;
+        let end = (at + step).min(bytes.len());
+        dec.feed(&bytes[at..end]);
+        at = end;
+        while let Some(frame) = dec.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    dec.finish()?;
+    Ok(frames)
+}
+
+fn bodies_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..=255, 0..40), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any split of a valid frame sequence round-trips: the decoder yields
+    /// exactly the original bodies whatever the read chunking was — this
+    /// covers short writes too, since a writer's chunk boundaries are just
+    /// the reader's chunk boundaries.
+    #[test]
+    fn any_split_of_a_valid_sequence_round_trips(
+        bodies in bodies_strategy(),
+        chunks in proptest::collection::vec(0u8..=255, 0..24),
+    ) {
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(&stream_frame(body));
+        }
+        let decoded = decode_chunked(&stream, &chunks).expect("valid stream");
+        prop_assert_eq!(decoded, bodies);
+    }
+
+    /// A truncated stream (cut anywhere strictly inside a frame) yields
+    /// `Truncated` from `finish`, and every frame decoded before the cut is
+    /// one of the originals — never a fabricated frame, never a panic.
+    #[test]
+    fn truncated_streams_error_cleanly(
+        bodies in bodies_strategy(),
+        chunks in proptest::collection::vec(0u8..=255, 0..24),
+        cut_sel in 0usize..10_000,
+    ) {
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(&stream_frame(body));
+        }
+        if !stream.is_empty() {
+            let cut = cut_sel % stream.len();
+            match decode_chunked(&stream[..cut], &chunks) {
+                Ok(decoded) => {
+                    // The cut landed exactly on a frame boundary: a clean
+                    // prefix of the original sequence.
+                    prop_assert_eq!(decoded.as_slice(), &bodies[..decoded.len()]);
+                }
+                Err(StreamError::Truncated { need, got }) => prop_assert!(got < need),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+
+    /// A garbage prefix whose length field is implausible is rejected as
+    /// `Oversize` instead of triggering a giant allocation, whatever the
+    /// chunking.
+    #[test]
+    fn garbage_length_prefixes_are_rejected(
+        tail in proptest::collection::vec(0u8..=255, 0..40),
+        chunks in proptest::collection::vec(0u8..=255, 0..8),
+        huge in (STREAM_MAX_FRAME_BYTES as u64 + 1)..u32::MAX as u64,
+    ) {
+        let mut stream = (huge as u32).to_le_bytes().to_vec();
+        stream.extend_from_slice(&tail);
+        prop_assert_eq!(
+            decode_chunked(&stream, &chunks),
+            Err(StreamError::Oversize { len: huge as u32 })
+        );
+    }
+}
+
+#[test]
+fn packed_wire_frames_survive_stream_chunking() {
+    // The end-to-end composition a socket link runs: PackedTensor wire
+    // frames inside stream frames, reassembled from 1-byte reads.
+    let q = Quantizer::new(
+        FloatFormat::e2m1(),
+        Granularity::Tile { nb: 8 },
+        Rounding::Nearest,
+    );
+    let t = Tensor::randn(3, 21, 1.0, &mut Rng::seed_from(4));
+    let packed = q.pack(&t, &mut Rng::seed_from(5)).expect("packable");
+    let frame = packed.to_wire_bytes().expect("built-in format");
+    let mut stream = Vec::new();
+    for _ in 0..3 {
+        stream.extend_from_slice(&stream_frame(&frame));
+    }
+    let frames = decode_chunked(&stream, &[0]).expect("valid stream");
+    assert_eq!(frames.len(), 3);
+    for f in frames {
+        let back = PackedTensor::from_wire_bytes(&f).expect("round trip");
+        let (a, b) = (packed.dequantize(), back.dequantize());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn empty_and_boundary_streams() {
+    let mut dec = StreamDecoder::new();
+    assert_eq!(dec.next_frame(), Ok(None));
+    assert_eq!(dec.finish(), Ok(()));
+    // A lone empty frame is 4 zero bytes.
+    dec.feed(&stream_frame(&[]));
+    assert_eq!(dec.next_frame(), Ok(Some(Vec::new())));
+    assert_eq!(dec.next_frame(), Ok(None));
+    assert_eq!(dec.finish(), Ok(()));
+    // A bare partial prefix is truncation.
+    dec.feed(&[1, 0]);
+    assert_eq!(
+        dec.finish(),
+        Err(StreamError::Truncated {
+            need: STREAM_PREFIX_BYTES,
+            got: 2
+        })
+    );
+}
