@@ -1,0 +1,408 @@
+//! The perf-trajectory runner: times quantize, decode, all six GEMM
+//! orientations and an end-to-end training step at model-realistic shapes,
+//! each kernel against its frozen PR-4 predecessor (`snip_bench::legacy`),
+//! and writes machine-readable `BENCH_gemm.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p snip-bench --bin bench_gemm            # full run
+//! cargo run --release -p snip-bench --bin bench_gemm -- --smoke # CI smoke
+//! cargo run --release -p snip-bench --bin bench_gemm -- --check # validate
+//! ```
+//!
+//! `--check` re-reads the JSON (same `--out` resolution) and fails unless
+//! every section is present with finite, positive timings and speedups —
+//! the CI gate that keeps the trajectory from silently rotting. Before any
+//! kernel is timed, its legacy and current results are asserted
+//! bit-identical on the benched operands, so a recorded speedup can never
+//! compare different math.
+
+use serde::{Deserialize, Serialize};
+use snip_bench::legacy;
+use snip_quant::{Precision, Quantizer, TensorRole};
+use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use snip_tensor::packed::{qgemm, qgemm_nt, qgemm_tn};
+use snip_tensor::{pool, rng::Rng, QOperandRef, QTensor, Tensor};
+use std::time::Instant;
+
+/// One before/after kernel measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct KernelRow {
+    kernel: String,
+    /// `m x k x n` of the GEMM as called (or `rows x cols` for decode).
+    shape: String,
+    baseline_ms: f64,
+    current_ms: f64,
+    speedup: f64,
+}
+
+/// A current-only measurement (no frozen predecessor to compare against).
+#[derive(Debug, Serialize, Deserialize)]
+struct CurrentRow {
+    name: String,
+    shape: String,
+    current_ms: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TrainStep {
+    steps: u64,
+    ms_per_step: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: u64,
+    generated_by: String,
+    smoke: bool,
+    /// Worker-pool parallelism the run used (`SNIP_THREADS` or the machine).
+    threads: usize,
+    gemm: Vec<KernelRow>,
+    decode: Vec<KernelRow>,
+    quantize: Vec<CurrentRow>,
+    train_step: TrainStep,
+}
+
+/// The six GEMM kernels every report must carry.
+const KERNELS: [&str; 6] = [
+    "matmul",
+    "matmul_nt",
+    "matmul_tn",
+    "qgemm",
+    "qgemm_nt",
+    "qgemm_tn",
+];
+
+fn default_out_path() -> std::path::PathBuf {
+    // crates/bench → repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_gemm.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_out_path);
+
+    if check {
+        match check_report(&out) {
+            Ok(summary) => println!("BENCH_gemm.json OK: {summary}"),
+            Err(e) => {
+                eprintln!("BENCH_gemm.json check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run(smoke);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, pretty(&json)).expect("write BENCH_gemm.json");
+    println!("wrote {}", out.display());
+    print_summary(&report);
+}
+
+/// Timing loop: one warm-up call, then `reps` timed calls, best (minimum)
+/// wall-clock per call in milliseconds. Minimum-of-reps is the standard
+/// low-noise estimator for deterministic CPU kernels.
+fn time_best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: legacy and current kernels disagree — refusing to time different math"
+        );
+    }
+}
+
+fn pack(t: &Tensor, role: TensorRole, rng: &mut Rng) -> QTensor {
+    let q: Quantizer = Precision::Fp4.quantizer_with_group(role, 128);
+    q.quantize_packed(t, rng).expect("FP4 is packable")
+}
+
+fn run(smoke: bool) -> Report {
+    // Model-realistic linear-layer dimensions: `tokens × d_out × d_in` for
+    // an attention-ish and an MLP-ish layer (the three GEMM orientations
+    // of one layer are derived from the same triple, like `snip-nn` does).
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(64, 160, 128)]
+    } else {
+        &[(256, 768, 768), (256, 2048, 768)]
+    };
+    let reps = if smoke { 2 } else { 5 };
+    let threads = pool::size();
+    let mut rng = Rng::seed_from(0xBE7C);
+
+    let mut gemm = Vec::new();
+    let mut decode = Vec::new();
+    let mut quantize = Vec::new();
+    let mut seen_act_shapes = std::collections::HashSet::new();
+
+    for &(tokens, d_out, d_in) in shapes {
+        let x = Tensor::randn(tokens, d_in, 1.0, &mut rng); // activations
+        let w = Tensor::randn(d_out, d_in, 0.05, &mut rng); // weight (out×in)
+        let dy = Tensor::randn(tokens, d_out, 1.0, &mut rng); // output grad
+        let qx = pack(&x, TensorRole::Input, &mut rng);
+        let qw = pack(&w, TensorRole::Weight, &mut rng);
+        let qdy = pack(&dy, TensorRole::OutputGrad, &mut rng);
+        // Dense views of the packed operands, so dense and packed kernels
+        // compute the same product.
+        let (dx_, dw_, ddy_) = (qx.dequantize(), qw.dequantize(), qdy.dequantize());
+
+        // forward Y = X·Wᵀ (nt), input grad dX = dY·W (nn),
+        // weight grad dW = dYᵀ·X (tn).
+        type GemmCall<'a> = Box<dyn Fn() -> Tensor + 'a>;
+        let rows: [(&str, String, GemmCall<'_>, GemmCall<'_>); 6] = [
+            (
+                "matmul",
+                format!("{tokens}x{d_out}x{d_in}"),
+                Box::new(|| legacy::matmul(&ddy_, &dw_)),
+                Box::new(|| matmul(&ddy_, &dw_)),
+            ),
+            (
+                "matmul_nt",
+                format!("{tokens}x{d_in}x{d_out}"),
+                Box::new(|| legacy::matmul_nt(&dx_, &dw_)),
+                Box::new(|| matmul_nt(&dx_, &dw_)),
+            ),
+            (
+                "matmul_tn",
+                format!("{d_out}x{tokens}x{d_in}"),
+                Box::new(|| legacy::matmul_tn(&ddy_, &dx_)),
+                Box::new(|| matmul_tn(&ddy_, &dx_)),
+            ),
+            (
+                "qgemm",
+                format!("{tokens}x{d_out}x{d_in}"),
+                Box::new(|| legacy::qgemm(QOperandRef::from(&qdy), QOperandRef::from(&qw))),
+                Box::new(|| qgemm(QOperandRef::from(&qdy), QOperandRef::from(&qw))),
+            ),
+            (
+                "qgemm_nt",
+                format!("{tokens}x{d_in}x{d_out}"),
+                Box::new(|| legacy::qgemm_nt(QOperandRef::from(&qx), QOperandRef::from(&qw))),
+                Box::new(|| qgemm_nt(QOperandRef::from(&qx), QOperandRef::from(&qw))),
+            ),
+            (
+                "qgemm_tn",
+                format!("{d_out}x{tokens}x{d_in}"),
+                Box::new(|| legacy::qgemm_tn(QOperandRef::from(&qdy), QOperandRef::from(&qx))),
+                Box::new(|| qgemm_tn(QOperandRef::from(&qdy), QOperandRef::from(&qx))),
+            ),
+        ];
+
+        for (kernel, shape, baseline, current) in rows {
+            assert_bits_eq(&current(), &baseline(), kernel);
+            let baseline_ms = time_best_ms(reps, &*baseline);
+            let current_ms = time_best_ms(reps, &*current);
+            gemm.push(KernelRow {
+                kernel: kernel.to_string(),
+                shape,
+                baseline_ms,
+                current_ms,
+                speedup: baseline_ms / current_ms,
+            });
+        }
+
+        // Decode and quantize depend only on the activation shape, which
+        // several GEMM triples can share — measure each distinct shape once.
+        let act_shape = format!("{tokens}x{d_in}");
+        if !seen_act_shapes.insert(act_shape.clone()) {
+            continue;
+        }
+
+        // Decode: branchy per-element predecessor vs the pair-table path.
+        for (fmt, q) in [("fp4", &qx), ("fp8", &pack_fp8(&x, &mut rng))] {
+            let d_new = q.dequantize();
+            assert_bits_eq(&d_new, &legacy::dequantize(q), "decode");
+            let baseline_ms = time_best_ms(reps, || legacy::dequantize(q));
+            let current_ms = time_best_ms(reps, || q.dequantize());
+            decode.push(KernelRow {
+                kernel: format!("decode_{fmt}"),
+                shape: format!("{tokens}x{d_in}"),
+                baseline_ms,
+                current_ms,
+                speedup: baseline_ms / current_ms,
+            });
+        }
+
+        // Quantize: current-only (PR 4 already closed the encode gap; this
+        // extends the trajectory forward from here).
+        for p in [Precision::Fp4, Precision::Fp8] {
+            let quantizer = p.quantizer_with_group(TensorRole::Input, 128);
+            let mut qrng = Rng::seed_from(11);
+            let current_ms = time_best_ms(reps, || {
+                quantizer.quantize_packed(&x, &mut qrng).expect("packable")
+            });
+            quantize.push(CurrentRow {
+                name: format!("quantize_{p}"),
+                shape: format!("{tokens}x{d_in}"),
+                current_ms,
+            });
+        }
+    }
+
+    // End-to-end training step on the shared bench fixture.
+    let steps: u64 = if smoke { 2 } else { 8 };
+    let mut trainer = snip_bench::fixtures::bench_trainer();
+    let t0 = Instant::now();
+    let _ = trainer.train(steps);
+    let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
+
+    Report {
+        schema: 1,
+        generated_by: "bench_gemm".to_string(),
+        smoke,
+        threads,
+        gemm,
+        decode,
+        quantize,
+        train_step: TrainStep { steps, ms_per_step },
+    }
+}
+
+fn pack_fp8(t: &Tensor, rng: &mut Rng) -> QTensor {
+    Precision::Fp8
+        .quantizer_with_group(TensorRole::Input, 128)
+        .quantize_packed(t, rng)
+        .expect("FP8 is packable")
+}
+
+fn check_report(path: &std::path::Path) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let report: Report =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    if report.schema != 1 {
+        return Err(format!("unknown schema {}", report.schema));
+    }
+    for kernel in KERNELS {
+        if !report.gemm.iter().any(|r| r.kernel == kernel) {
+            return Err(format!("gemm section is missing kernel `{kernel}`"));
+        }
+    }
+    if report.decode.is_empty() {
+        return Err("decode section is empty".to_string());
+    }
+    if report.quantize.is_empty() {
+        return Err("quantize section is empty".to_string());
+    }
+    for r in report.gemm.iter().chain(&report.decode) {
+        for (what, v) in [
+            ("baseline_ms", r.baseline_ms),
+            ("current_ms", r.current_ms),
+            ("speedup", r.speedup),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{} {}: {what} = {v}", r.kernel, r.shape));
+            }
+        }
+    }
+    for r in &report.quantize {
+        if !r.current_ms.is_finite() || r.current_ms <= 0.0 {
+            return Err(format!("{}: current_ms = {}", r.name, r.current_ms));
+        }
+    }
+    let ts = &report.train_step;
+    if ts.steps == 0 || !ts.ms_per_step.is_finite() || ts.ms_per_step <= 0.0 {
+        return Err(format!(
+            "train_step: steps = {}, ms_per_step = {}",
+            ts.steps, ts.ms_per_step
+        ));
+    }
+    Ok(format!(
+        "{} gemm rows, {} decode rows, {} quantize rows, {:.2} ms/train-step, threads = {}",
+        report.gemm.len(),
+        report.decode.len(),
+        report.quantize.len(),
+        ts.ms_per_step,
+        report.threads
+    ))
+}
+
+fn print_summary(report: &Report) {
+    println!("threads = {}, smoke = {}", report.threads, report.smoke);
+    for r in report.gemm.iter().chain(&report.decode) {
+        println!(
+            "  {:>12} {:>14}  {:>9.3} ms → {:>9.3} ms   {:>5.2}x",
+            r.kernel, r.shape, r.baseline_ms, r.current_ms, r.speedup
+        );
+    }
+    for r in &report.quantize {
+        println!("  {:>12} {:>14}  {:>9.3} ms", r.name, r.shape, r.current_ms);
+    }
+    println!(
+        "  {:>12} {:>14}  {:>9.3} ms/step",
+        "train_step", "-", report.train_step.ms_per_step
+    );
+}
+
+/// Minimal pretty-printer: the vendored `serde_json` emits compact JSON;
+/// a trailing newline keeps the artifact diff-friendly.
+fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in json.chars() {
+        if in_str {
+            out.push(ch);
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                out.push(ch);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(ch);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(ch);
+            }
+            ',' => {
+                out.push(ch);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(ch);
+                out.push(' ');
+            }
+            _ => out.push(ch),
+        }
+    }
+    out.push('\n');
+    out
+}

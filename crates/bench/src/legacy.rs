@@ -1,0 +1,351 @@
+//! Frozen PR-4 GEMM and decode kernels — the *before* side of the perf
+//! trajectory in `BENCH_gemm.json`.
+//!
+//! These are faithful copies of the kernels `snip-tensor` shipped before
+//! the pool-backed, cache-blocked engine landed: per-call
+//! `std::thread::scope` spawns capped at 8 threads, `available_parallelism`
+//! queried on every GEMM, `aik == 0.0` zero-skips in the accumulation
+//! kernels, per-element `get` on the packed A operand of `qgemm`, 32-column
+//! panel decode in `qgemm_nt` (re-decoding each packed A row ⌈n/32⌉ times)
+//! and the parity-branch 4-bit row decode. They exist so the speedup of the
+//! current engine is *measured against the real predecessor on the same
+//! machine*, not asserted — do not "fix" them.
+//!
+//! Only `bench_gemm` (and its smoke test in CI) should call these.
+
+use snip_tensor::{GroupLayout, QOperandRef, QTensor, Tensor};
+
+/// The old parallelism gate: `available_parallelism` on every call, capped
+/// at 8 threads, with the old 2^22-MAC threshold.
+const PARALLEL_THRESHOLD: usize = 1 << 22;
+
+fn thread_count(work: usize) -> usize {
+    if work < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// The old dispatcher: fresh OS threads per call via `std::thread::scope`.
+fn for_each_row_chunk(
+    rows: usize,
+    parts: usize,
+    out: &mut [f32],
+    cols: usize,
+    f: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    if parts <= 1 || rows <= 1 {
+        f(0, rows, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(parts);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        let f = &f;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            let take = (end - start) * cols;
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            scope.spawn(move || f(start, end, head));
+            start = end;
+        }
+    });
+}
+
+/// The old per-row decode: run-based scales, parity branch per 4-bit
+/// element. Reimplemented over `QTensor`'s public surface (same group
+/// arithmetic as the old private helpers).
+pub fn decode_row_into(q: &QTensor, r: usize, out: &mut [f32]) {
+    let cols = q.cols();
+    assert_eq!(out.len(), cols);
+    let lut = q.lut();
+    let scales = q.scales();
+    let layout = q.layout();
+    let data = q.packed_data();
+    let col_groups = legacy_col_groups(layout, cols);
+    let mut c = 0;
+    while c < cols {
+        let run = legacy_run_len(layout, c, cols);
+        let scale = scales[legacy_group_index(layout, r, c, col_groups)];
+        match q.width() {
+            snip_tensor::CodeWidth::U8 => {
+                let base = r * cols;
+                for (o, &code) in out[c..c + run]
+                    .iter_mut()
+                    .zip(&data[base + c..base + c + run])
+                {
+                    *o = lut[code as usize] * scale;
+                }
+            }
+            snip_tensor::CodeWidth::U4 => {
+                let stride = cols.div_ceil(2);
+                for (i, o) in out[c..c + run].iter_mut().enumerate() {
+                    let cc = c + i;
+                    let byte = data[r * stride + cc / 2];
+                    let code = if cc % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                    *o = lut[code as usize] * scale;
+                }
+            }
+        }
+        c += run;
+    }
+}
+
+fn legacy_col_groups(layout: GroupLayout, cols: usize) -> usize {
+    match layout {
+        GroupLayout::Tensorwise | GroupLayout::Rowwise => 1,
+        GroupLayout::Columnwise => cols,
+        GroupLayout::Block { nb } | GroupLayout::Tile { nb } => cols.div_ceil(nb),
+    }
+}
+
+fn legacy_group_index(layout: GroupLayout, r: usize, c: usize, col_groups: usize) -> usize {
+    match layout {
+        GroupLayout::Tensorwise => 0,
+        GroupLayout::Rowwise => r,
+        GroupLayout::Columnwise => c,
+        GroupLayout::Block { nb } => (r / nb) * col_groups + c / nb,
+        GroupLayout::Tile { nb } => r * col_groups + c / nb,
+    }
+}
+
+fn legacy_run_len(layout: GroupLayout, c: usize, cols: usize) -> usize {
+    match layout {
+        GroupLayout::Tensorwise | GroupLayout::Rowwise => cols - c,
+        GroupLayout::Columnwise => 1,
+        GroupLayout::Block { nb } | GroupLayout::Tile { nb } => (nb - c % nb).min(cols - c),
+    }
+}
+
+/// The old serial whole-tensor decode.
+pub fn dequantize(q: &QTensor) -> Tensor {
+    let mut t = Tensor::zeros(q.rows(), q.cols());
+    for r in 0..q.rows() {
+        decode_row_into(q, r, t.row_mut(r));
+    }
+    t
+}
+
+fn op_row<'s>(op: &'s QOperandRef<'s>, r: usize, scratch: &'s mut [f32]) -> &'s [f32] {
+    match op {
+        QOperandRef::Dense(t) => t.row(r),
+        QOperandRef::Packed(t) => {
+            decode_row_into(t, r, scratch);
+            scratch
+        }
+    }
+}
+
+fn op_row_into(op: &QOperandRef<'_>, r: usize, out: &mut [f32]) {
+    match op {
+        QOperandRef::Dense(t) => out.copy_from_slice(t.row(r)),
+        QOperandRef::Packed(t) => decode_row_into(t, r, out),
+    }
+}
+
+/// Old dense `C = A · B` (k-outer, zero-skip).
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for i in start..end {
+            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+            let arow = a.row(i);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// Old dense `C = A · Bᵀ` (row-pair dot products).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for i in start..end {
+            let arow = a.row(i);
+            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = b.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *cv = acc;
+            }
+        }
+    });
+    c
+}
+
+/// Old dense `C = Aᵀ · B` (k-outer, zero-skip).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        for kk in 0..k {
+            let arow = a.row(kk);
+            let brow = b.row(kk);
+            for i in start..end {
+                let aik = arow[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// B-rows decoded per panel in the old `qgemm_nt`.
+const NT_PANEL: usize = 32;
+
+/// Old packed `C = A · B`: per-element `get` on A, per-`k` row decode of B.
+pub fn qgemm(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut b_buf = vec![0.0f32; n];
+        for kk in 0..k {
+            let brow = op_row(&b, kk, &mut b_buf);
+            for i in start..end {
+                let aik = a.get(i, kk);
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// Old packed `C = A · Bᵀ`: 32-column panels, each packed A row re-decoded
+/// once per panel (⌈n/32⌉ times per GEMM).
+pub fn qgemm_nt(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut a_buf = vec![0.0f32; k];
+        let mut panel = vec![0.0f32; NT_PANEL.min(n.max(1)) * k];
+        let mut j0 = 0;
+        while j0 < n {
+            let jend = (j0 + NT_PANEL).min(n);
+            for j in j0..jend {
+                op_row_into(&b, j, &mut panel[(j - j0) * k..(j - j0 + 1) * k]);
+            }
+            for i in start..end {
+                let arow = op_row(&a, i, &mut a_buf);
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for j in j0..jend {
+                    let brow = &panel[(j - j0) * k..(j - j0 + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    crow[j] = acc;
+                }
+            }
+            j0 = jend;
+        }
+    });
+    c
+}
+
+/// Old packed `C = Aᵀ · B`: one full A row and one full B row decoded per
+/// `k` step per thread chunk, zero-skip inner loop.
+pub fn qgemm_tn(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros(m, n);
+    let threads = thread_count(m * n * k);
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
+        let mut a_buf = vec![0.0f32; m];
+        let mut b_buf = vec![0.0f32; n];
+        for kk in 0..k {
+            let arow = op_row(&a, kk, &mut a_buf);
+            let brow = op_row(&b, kk, &mut b_buf);
+            for i in start..end {
+                let aik = arow[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_tensor::rng::Rng;
+
+    /// The legacy kernels must agree with the current engine on random data
+    /// (no zeros, so the old zero-skip cannot diverge) — otherwise the
+    /// "speedup" in `BENCH_gemm.json` would compare different math.
+    #[test]
+    fn legacy_kernels_match_current_on_nonzero_data() {
+        let mut rng = Rng::seed_from(7);
+        let a = Tensor::randn(9, 14, 1.0, &mut rng);
+        let b = Tensor::randn(14, 11, 1.0, &mut rng);
+        let bt = Tensor::randn(11, 14, 1.0, &mut rng);
+        let at = Tensor::randn(14, 9, 1.0, &mut rng);
+        for (got, want) in [
+            (matmul(&a, &b), snip_tensor::matmul::matmul(&a, &b)),
+            (matmul_nt(&a, &bt), snip_tensor::matmul::matmul_nt(&a, &bt)),
+            (matmul_tn(&at, &b), snip_tensor::matmul::matmul_tn(&at, &b)),
+        ] {
+            assert_eq!(got.shape(), want.shape());
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -12,6 +12,17 @@
 //! * `snip_overhead` — Steps 1–4 measurement/analysis cost relative to a
 //!   training step (§6.3: "2-3 times that of a normal training iteration").
 //! * `pipeline_sim` — 1F1B schedule simulation cost.
+//!
+//! Besides the criterion micro-benches, the crate ships the **perf
+//! trajectory runner** `bench_gemm` (`cargo run --release -p snip-bench
+//! --bin bench_gemm`): it times quantize, decode, all six GEMM
+//! orientations and an end-to-end training step at model-realistic shapes
+//! — each kernel against its frozen PR-4 predecessor in [`legacy`] — and
+//! writes machine-readable `BENCH_gemm.json` at the repo root. CI runs it
+//! in `--smoke` mode and validates the output with `--check`, so the
+//! trajectory cannot silently rot.
+
+pub mod legacy;
 
 /// Shared fixtures for benches.
 pub mod fixtures {

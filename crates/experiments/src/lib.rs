@@ -6,6 +6,13 @@
 //!
 //! All binaries accept `--quick` (fewer steps/items) and print the same
 //! row/series structure as the paper's tables and figures.
+//!
+//! Every experiment's numbers are **independent of machine parallelism**:
+//! the GEMM engine behind each training step splits work across
+//! `snip-tensor`'s worker pool with a fixed per-element accumulation order,
+//! so results are bit-identical whether a run uses one core, every core, or
+//! an explicit `SNIP_THREADS=<n>` override — only wall-clock time changes.
+//! (The pool-determinism property suite in `snip-tensor` pins this.)
 
 pub mod harness;
 

@@ -11,6 +11,14 @@
 //!  backward: dX = Q_g(dY) · Q_w(W)           (output BF16)
 //!            dW = Q_g(dY)ᵀ · Q_x(X)          (output BF16, accumulated FP32)
 //! ```
+//!
+//! These three calls — `qgemm_nt`, `qgemm`, `qgemm_tn` — are the hottest
+//! loops of every training step. They dispatch into `snip-tensor`'s
+//! pool-backed, cache-blocked GEMM engine: packed operands are decoded
+//! block-wise (once per block sweep, through the byte-pair table for FP4),
+//! large products are split across the persistent worker pool, and results
+//! are bit-identical at every pool size / `SNIP_THREADS` setting — so the
+//! training trajectory never depends on the machine's parallelism.
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};

@@ -44,6 +44,11 @@ static ENC_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[u8]>>>> = OnceLock::new
 /// decode tables.
 static NEAREST_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<NearestTable>>>> = OnceLock::new();
 
+/// Byte → value-pair decode tables for 4-bit formats (two decoded elements
+/// per packed byte; see [`QTensor::pair_table`]), one per format, shared
+/// like the decode tables.
+static PAIR_REGISTRY: OnceLock<Mutex<HashMap<LutKey, Arc<[f32]>>>> = OnceLock::new();
+
 /// Precomputed rounding boundaries for the fused nearest-quantize+encode
 /// path: `thresholds[i]` is the f32 bit pattern above (or at) which a
 /// scaled magnitude rounds to non-negative value `i + 1` rather than `i`.
@@ -188,6 +193,19 @@ impl Codebook {
         let mut map = registry.lock().expect("lut registry poisoned");
         map.entry(self.key)
             .or_insert_with(|| self.build_lut().into())
+            .clone()
+    }
+
+    /// The byte → value-pair expansion of this format's decode table (the
+    /// branch-free 4-bit decode path reads it; empty for byte-wide codes).
+    /// Interned per format like [`Codebook::lut`]: a pair table is format
+    /// metadata, so every packed tensor of one format shares a single
+    /// 2 KiB allocation.
+    pub fn pair_lut(&self) -> Arc<[f32]> {
+        let registry = PAIR_REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().expect("pair registry poisoned");
+        map.entry(self.key)
+            .or_insert_with(|| QTensor::pair_table(&self.lut()).into())
             .clone()
     }
 
@@ -347,7 +365,16 @@ impl Codebook {
                 }
             }
         });
-        QTensor::from_parts(rows, cols, width, self.lut(), layout, scales, data)
+        QTensor::from_parts_with_pair(
+            rows,
+            cols,
+            width,
+            self.lut(),
+            self.pair_lut(),
+            layout,
+            scales,
+            data,
+        )
     }
 
     /// The interned threshold table for this format's nearest rounding,

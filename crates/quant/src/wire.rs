@@ -422,7 +422,16 @@ impl PackedTensor {
                 .map(|g| f32::from_bits(get_u32(bytes, scales_at + g * 4)))
                 .collect()
         };
-        let q = QTensor::from_parts(rows, cols, width, cb.lut(), layout, scales, data);
+        let q = QTensor::from_parts_with_pair(
+            rows,
+            cols,
+            width,
+            cb.lut(),
+            cb.pair_lut(),
+            layout,
+            scales,
+            data,
+        );
 
         match variant {
             0 => Ok(PackedTensor::Codes(q)),

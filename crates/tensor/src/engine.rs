@@ -1,0 +1,391 @@
+//! The cache-blocked GEMM engine behind both the dense and the packed
+//! kernels.
+//!
+//! One implementation serves all three orientations and all four operand
+//! combinations (dense×dense through packed×packed): operands are
+//! [`QOperandRef`]s. The B-side tile cache is materialized **once per
+//! GEMM** and shared read-only by every row chunk; each chunk's A block is
+//! borrowed in place (dense, row-major) or decoded **once per block sweep**
+//! into reusable per-worker scratch (the old `qgemm_nt` panel loop
+//! re-decoded every packed A row ⌈n/32⌉ times). Because the dense and
+//! packed kernels literally share this code, the 0-ULP packed-vs-dense
+//! identity holds by construction.
+//!
+//! Every orientation reduces to the same tile kernel: an `mb×k` row-major
+//! A block times a `k×nb` k-major B tile, accumulated into an `mb×nb`
+//! output tile as rank-1 updates — the vectorizable form (the naive
+//! dot-product `nt` kernel was a serial FMA latency chain; rewriting it as
+//! rank-1 updates over a transposed B tile is the single largest win in
+//! this engine). The `k` loop is register-blocked 4-wide to amortize the
+//! output tile's load/store traffic.
+//!
+//! # The accumulation-order constraint
+//!
+//! Every output element is accumulated **serially over `k`, ascending, in a
+//! single f32 accumulator** — including inside the 4-way register block,
+//! which adds its four products one at a time (`acc += a0·b0; acc += a1·b1;
+//! …`), never as a fused `a0·b0 + a1·b1` tree. Blocking over output tiles
+//! only reorders *which elements* are computed when, never the order of
+//! additions within one element, so any M×N tiling is bit-exact with any
+//! other (and with the serial kernel) at every thread count. Splitting `k`
+//! across tasks or summing it through trees/SIMD horizontal adds would
+//! break both the packed-vs-dense identity and cross-split determinism;
+//! future SIMD work must vectorize across output elements (the `j` lanes
+//! below), not within one element's `k` reduction.
+
+use crate::matmul::{for_each_row_chunk, thread_count};
+use crate::packed::{prep, QOperandRef};
+use crate::pool;
+use crate::Tensor;
+use std::cell::RefCell;
+
+/// Output rows per block (bounds A-side scratch to `MC × k` floats).
+const MC: usize = 64;
+/// Output columns per tile: bounds B-side scratch to `NC × k` floats and
+/// keeps a 64×64 f32 output tile (16 KiB) L1-resident.
+const NC: usize = 64;
+
+thread_local! {
+    /// Per-worker scratch, reused across GEMM calls for the lifetime of the
+    /// pool worker (or calling thread): A block, B tile, and a row staging
+    /// buffer for transposes.
+    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        let (a, b, r) = &mut *s;
+        f(a, b, r)
+    })
+}
+
+/// The shared tile kernel: `C[i0.., j0..] += Ablock · Btile` where `ablock`
+/// is `mb×k` row-major, `btile` is `k×nb` k-major, and `chunk` holds the
+/// caller's output rows (`row0` = first tile row's index within the chunk,
+/// `n` = full output row stride). Terms are added one at a time, `k`
+/// ascending, per element — see the module docs.
+#[allow(clippy::too_many_arguments)]
+fn tile_kernel(
+    chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+    k: usize,
+    ablock: &[f32],
+    btile: &[f32],
+) {
+    // Two output rows per pass: the four B-tile rows of each k-quad are
+    // loaded once and feed both rows' updates, halving the dominant B-side
+    // read traffic. Each row's elements still accumulate independently.
+    let mut i = 0;
+    while i + 2 <= mb {
+        let arow0 = &ablock[i * k..(i + 1) * k];
+        let arow1 = &ablock[(i + 1) * k..(i + 2) * k];
+        let (head, tail) = chunk.split_at_mut((row0 + i + 1) * n);
+        let crow0 = &mut head[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
+        let crow1 = &mut tail[j0..j0 + nb];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a00, a01, a02, a03) = (arow0[kk], arow0[kk + 1], arow0[kk + 2], arow0[kk + 3]);
+            let (a10, a11, a12, a13) = (arow1[kk], arow1[kk + 1], arow1[kk + 2], arow1[kk + 3]);
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
+            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
+            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
+            for (((((cv0, cv1), &v0), &v1), &v2), &v3) in crow0
+                .iter_mut()
+                .zip(crow1.iter_mut())
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+            {
+                let mut acc0 = *cv0;
+                acc0 += a00 * v0;
+                acc0 += a01 * v1;
+                acc0 += a02 * v2;
+                acc0 += a03 * v3;
+                *cv0 = acc0;
+                let mut acc1 = *cv1;
+                acc1 += a10 * v0;
+                acc1 += a11 * v1;
+                acc1 += a12 * v2;
+                acc1 += a13 * v3;
+                *cv1 = acc1;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = arow0[kk];
+            let a1 = arow1[kk];
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            for ((cv0, cv1), &bv) in crow0.iter_mut().zip(crow1.iter_mut()).zip(b0) {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+            }
+            kk += 1;
+        }
+        i += 2;
+    }
+    if i < mb {
+        let arow = &ablock[i * k..(i + 1) * k];
+        let crow = &mut chunk[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
+            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
+            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
+            for ((((cv, &v0), &v1), &v2), &v3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                let mut acc = *cv;
+                acc += a0 * v0;
+                acc += a1 * v1;
+                acc += a2 * v2;
+                acc += a3 * v3;
+                *cv = acc;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = arow[kk];
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            for (cv, &bv) in crow.iter_mut().zip(b0) {
+                *cv += a0 * bv;
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// How the B operand's elements map onto the k-major `k×nb` tile.
+#[derive(Clone, Copy)]
+enum BSide {
+    /// B is `K×N`: tile row `kk` is the column segment `[j0, j1)` of B row
+    /// `kk` (`nn`/`tn` orientations).
+    RowMajor,
+    /// B is `N×K` (`nt` orientation): tile row `kk` gathers element `kk`
+    /// of B rows `[j0, j1)` — built by transposing whole B rows through the
+    /// staging buffer, each row touched once per tile.
+    Transposed,
+}
+
+/// Largest B operand (in elements) whose tile cache is pre-materialized
+/// once per GEMM and shared read-only by every row chunk. Beyond it (64 MiB
+/// of tiles) workers fall back to building tiles per block sweep from their
+/// own bounded scratch.
+const B_CACHE_LIMIT: usize = 1 << 24;
+
+/// Materializes the `k×nb` k-major B tile for columns `[j0, j1)` into
+/// `tile` (length `k * nb`).
+fn build_btile_into(
+    b: &QOperandRef<'_>,
+    side: BSide,
+    k: usize,
+    j0: usize,
+    j1: usize,
+    tile: &mut [f32],
+    staging: &mut Vec<f32>,
+) {
+    let nb = j1 - j0;
+    debug_assert_eq!(tile.len(), k * nb);
+    match side {
+        BSide::RowMajor => match b {
+            QOperandRef::Dense(t) => {
+                for (kk, dst) in tile.chunks_exact_mut(nb).enumerate() {
+                    dst.copy_from_slice(&t.row(kk)[j0..j1]);
+                }
+            }
+            QOperandRef::Packed(t) => {
+                for (kk, dst) in tile.chunks_exact_mut(nb).enumerate() {
+                    t.decode_row_range_into(kk, j0, j1, dst);
+                }
+            }
+        },
+        BSide::Transposed => {
+            for j in j0..j1 {
+                let row = match b {
+                    QOperandRef::Dense(t) => t.row(j),
+                    QOperandRef::Packed(t) => {
+                        let buf = prep(staging, k);
+                        t.decode_row_into(j, buf);
+                        &*buf
+                    }
+                };
+                for (kk, &v) in row.iter().enumerate() {
+                    tile[kk * nb + (j - j0)] = v;
+                }
+            }
+        }
+    }
+}
+
+/// How the A operand's elements map onto the row-major `mb×k` A block.
+#[derive(Clone, Copy)]
+enum ASide {
+    /// A is `M×K`: block rows are operand rows `[i0, i1)` (`nn`/`nt`).
+    RowMajor,
+    /// A is `K×M` (`tn` orientation): block row `i` gathers column `i0 + i`
+    /// across all `k` operand rows.
+    Transposed,
+}
+
+/// Materializes the `mb×k` row-major A block for output rows `[i0, i1)` —
+/// a direct borrow for dense row-major operands, one decode (or transpose)
+/// per block sweep otherwise.
+fn build_ablock<'s>(
+    a: &'s QOperandRef<'s>,
+    side: ASide,
+    k: usize,
+    i0: usize,
+    i1: usize,
+    scratch: &'s mut Vec<f32>,
+    staging: &mut Vec<f32>,
+) -> &'s [f32] {
+    let mb = i1 - i0;
+    match side {
+        ASide::RowMajor => a.rows_block(i0, i1, scratch),
+        ASide::Transposed => {
+            let block = prep(scratch, mb * k);
+            for kk in 0..k {
+                let seg = match a {
+                    QOperandRef::Dense(t) => &t.row(kk)[i0..i1],
+                    QOperandRef::Packed(t) => {
+                        let buf = prep(staging, mb);
+                        t.decode_row_range_into(kk, i0, i1, buf);
+                        &*buf
+                    }
+                };
+                for (i, &v) in seg.iter().enumerate() {
+                    block[i * k + kk] = v;
+                }
+            }
+            block
+        }
+    }
+}
+
+/// The blocked driver shared by all three orientations: pre-materialize
+/// the B-side tile cache (tiles are j-aligned, so one build serves every
+/// row chunk — B-side decode/transpose work is a single pass over B
+/// regardless of `m` or the chunk count), then row-chunk the output across
+/// the pool, sweeping `MC×NC` output tiles per chunk with the A block
+/// materialized once per sweep. Oversized B operands skip the shared cache
+/// and build tiles per sweep from bounded per-worker scratch.
+fn gemm_blocked(
+    a: &QOperandRef<'_>,
+    a_side: ASide,
+    b: &QOperandRef<'_>,
+    b_side: BSide,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Tensor {
+    let mut c = Tensor::zeros(m, n);
+    if m == 0 {
+        return c;
+    }
+    let parts = thread_count(m * n * k);
+    // The shared cache only pays when some sweep will re-read a tile: more
+    // than one i-block per chunk, or several chunks sharing B. A skinny
+    // single-sweep product (e.g. a matvec) streams B straight through
+    // per-worker scratch instead — same traffic as reading B once, no
+    // up-front allocation.
+    let reused = m > MC || (parts > 1 && m > 1);
+    let bcache: Option<Vec<f32>> = if reused && k * n > 0 && k * n <= B_CACHE_LIMIT {
+        // Tiles are stored back to back: the tile starting at column `j0`
+        // occupies `cache[j0 * k..j1 * k]` — disjoint slices, so when the
+        // GEMM itself will run parallel the build fans out across the pool
+        // too (one task per tile; tile contents depend only on position,
+        // so the cache is identical at every split).
+        let mut cache = vec![0.0f32; k * n];
+        let n_tiles = n.div_ceil(NC);
+        let build_tasks = if parts > 1 { n_tiles } else { 1 };
+        struct SendPtr(*mut f32);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        impl SendPtr {
+            fn get(&self) -> *mut f32 {
+                self.0
+            }
+        }
+        let base = SendPtr(cache.as_mut_ptr());
+        pool::run(build_tasks, &|ti| {
+            let mut staging = Vec::new();
+            let (t0, t1) = if build_tasks > 1 {
+                (ti, ti + 1)
+            } else {
+                (0, n_tiles)
+            };
+            for t in t0..t1 {
+                let j0 = t * NC;
+                let j1 = (j0 + NC).min(n);
+                // SAFETY: tile ranges [j0*k, j1*k) are disjoint across `t`,
+                // lie within `cache`, and `cache` outlives the dispatch
+                // (`pool::run` returns only after every task completed).
+                let tile = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(j0 * k), (j1 - j0) * k)
+                };
+                build_btile_into(b, b_side, k, j0, j1, tile, &mut staging);
+            }
+        });
+        Some(cache)
+    } else {
+        None
+    };
+    let cdata = c.as_mut_slice();
+    for_each_row_chunk(m, parts, cdata, n, |start, end, chunk| {
+        with_scratch(|sa, sb, sr| {
+            let mut i0 = start;
+            while i0 < end {
+                let i1 = (i0 + MC).min(end);
+                let ablock = build_ablock(a, a_side, k, i0, i1, sa, sr);
+                let mut j0 = 0;
+                while j0 < n {
+                    let j1 = (j0 + NC).min(n);
+                    let btile: &[f32] = match &bcache {
+                        Some(cache) => &cache[j0 * k..j1 * k],
+                        None => {
+                            let tile = prep(sb, k * (j1 - j0));
+                            build_btile_into(b, b_side, k, j0, j1, tile, sr);
+                            tile
+                        }
+                    };
+                    tile_kernel(chunk, n, i0 - start, j0, i1 - i0, j1 - j0, k, ablock, btile);
+                    j0 = j1;
+                }
+                i0 = i1;
+            }
+        });
+    });
+    c
+}
+
+/// `C = A · B` (`A`: `M×K`, `B`: `K×N`). Inner dims must already be
+/// validated by the public wrappers.
+pub(crate) fn gemm_nn(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    debug_assert_eq!(k, kb);
+    gemm_blocked(a, ASide::RowMajor, b, BSide::RowMajor, m, n, k)
+}
+
+/// `C = A · Bᵀ` (`A`: `M×K`, `B`: `N×K`).
+pub(crate) fn gemm_nt(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    debug_assert_eq!(k, kb);
+    gemm_blocked(a, ASide::RowMajor, b, BSide::Transposed, m, n, k)
+}
+
+/// `C = Aᵀ · B` (`A`: `K×M`, `B`: `K×N`).
+pub(crate) fn gemm_tn(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    debug_assert_eq!(k, kb);
+    gemm_blocked(a, ASide::Transposed, b, BSide::RowMajor, m, n, k)
+}

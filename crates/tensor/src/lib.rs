@@ -8,12 +8,16 @@
 //!   quantity SNIP manipulates (activations, weights, gradients, optimizer
 //!   moments) is two-dimensional once the batch and sequence dimensions are
 //!   flattened, so a 2-D tensor keeps the whole stack simple and auditable.
-//! * [`matmul`] — blocked, optionally multi-threaded GEMM kernels in the three
-//!   orientations used by a linear layer's forward and backward passes.
+//! * [`matmul`] — cache-blocked GEMM kernels in the three orientations used
+//!   by a linear layer's forward and backward passes, dispatched on the
+//!   persistent worker pool for large problems.
 //! * [`packed`] — bit-packed subbyte tensors ([`QTensor`]: 4/8-bit codes +
 //!   per-group scales) and quantized GEMM kernels that decode them on the
 //!   fly, bit-for-bit equivalent to the dense kernels over dequantized
-//!   operands.
+//!   operands (they share one blocked engine).
+//! * [`pool`] — the lazily-initialized persistent worker pool behind every
+//!   parallel kernel (`SNIP_THREADS` overrides its size; results are
+//!   bit-identical at every size).
 //! * [`ops`] — elementwise and reduction helpers (softmax, SiLU, norms).
 //! * [`rng`] — deterministic xoshiro256++ random streams with Gaussian
 //!   sampling; all randomness in the workspace flows from explicit seeds so
@@ -33,9 +37,11 @@
 //! assert!(n.is_finite());
 //! ```
 
+mod engine;
 pub mod matmul;
 pub mod ops;
 pub mod packed;
+pub mod pool;
 pub mod rng;
 mod tensor;
 

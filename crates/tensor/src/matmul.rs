@@ -6,31 +6,59 @@
 //! * input gradient: `dX = dY · W` — [`matmul`]
 //! * weight gradient: `dW = dYᵀ · X` — [`matmul_tn`]
 //!
-//! Kernels use cache-friendly loop orders and split work across a small
-//! number of threads for large problems. Each output row is written by
-//! exactly one thread and the per-row accumulation order is fixed, so results
-//! are deterministic regardless of thread count.
+//! All three are thin dense-operand wrappers over the cache-blocked engine
+//! in `crate::engine`, which also serves the packed kernels in
+//! [`crate::packed`] — the two families share one code path, which is what
+//! makes packed results bit-identical to dense results over dequantized
+//! operands. Large problems are split into row chunks dispatched on the
+//! persistent worker pool in [`crate::pool`]; each output row is written by
+//! exactly one task and the per-element accumulation order is fixed
+//! (`k` ascending), so results are deterministic — bit-identical — for
+//! every pool size and `SNIP_THREADS` setting.
 
+use crate::pool;
 use crate::Tensor;
 
 /// Problems smaller than this many multiply–accumulates run single-threaded.
-/// `std::thread::scope` spawns cost tens of microseconds (more under load),
-/// so parallelism only pays once the serial kernel takes a few milliseconds
-/// — around 2^22 MACs on commodity cores.
-const PARALLEL_THRESHOLD: usize = 1 << 22;
+/// Dispatch on the persistent pool costs a queue push plus a condvar wake
+/// (single-digit microseconds — the old per-call `std::thread::scope` spawn
+/// paid tens of microseconds per GEMM), so parallelism pays once the serial
+/// kernel takes a few hundred microseconds: around 2^20 MACs on commodity
+/// cores.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
 
-pub(crate) fn thread_count(work: usize) -> usize {
-    if work < PARALLEL_THRESHOLD {
-        return 1;
+/// Per-element work below which a decode-bound rowwise operation (e.g.
+/// [`crate::QTensor::dequantize`]) stays single-threaded. Decoding is a few
+/// ops per element, so the break-even point is far more elements than for a
+/// GEMM's `m·n·k` MAC count.
+pub(crate) const DECODE_PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// Number of row chunks a problem of `work` units should split into:
+/// 1 below `threshold`, the cached pool size above it, and the forced
+/// split width inside [`pool::with_threads`] regardless of size.
+pub(crate) fn parts_for(work: usize, threshold: usize) -> usize {
+    if let Some(n) = pool::forced_threads() {
+        return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    if work < threshold {
+        1
+    } else {
+        pool::size()
+    }
 }
 
-/// Splits `rows` into `parts` contiguous chunks and runs `f(start, end)` for
-/// each chunk, in parallel when `parts > 1`.
+pub(crate) fn thread_count(work: usize) -> usize {
+    parts_for(work, PARALLEL_THRESHOLD)
+}
+
+/// Splits `rows` into `parts` contiguous chunks and runs `f(start, end,
+/// chunk)` for each chunk — on the persistent worker pool when `parts > 1`.
+/// Each chunk owns the disjoint output slice for its rows, so which worker
+/// runs it cannot affect the result.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * cols`.
 pub(crate) fn for_each_row_chunk(
     rows: usize,
     parts: usize,
@@ -38,23 +66,33 @@ pub(crate) fn for_each_row_chunk(
     cols: usize,
     f: impl Fn(usize, usize, &mut [f32]) + Sync,
 ) {
+    assert_eq!(out.len(), rows * cols, "output buffer shape mismatch");
     if parts <= 1 || rows <= 1 {
         f(0, rows, out);
         return;
     }
     let chunk_rows = rows.div_ceil(parts);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0;
-        let f = &f;
-        while start < rows {
-            let end = (start + chunk_rows).min(rows);
-            let take = (end - start) * cols;
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            scope.spawn(move || f(start, end, head));
-            start = end;
+    let n_chunks = rows.div_ceil(chunk_rows);
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    impl SendPtr {
+        fn get(&self) -> *mut f32 {
+            self.0
         }
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    pool::run(n_chunks, &|ci| {
+        let start = ci * chunk_rows;
+        let end = ((ci + 1) * chunk_rows).min(rows);
+        // SAFETY: chunks are disjoint row ranges of `out` (chunk `ci` owns
+        // rows [ci*chunk_rows, (ci+1)*chunk_rows)), `out` outlives the
+        // dispatch (`pool::run` returns only after every task completed),
+        // and the bounds were validated against `out.len()` above.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(start * cols), (end - start) * cols)
+        };
+        f(start, end, chunk);
     });
 }
 
@@ -73,28 +111,10 @@ pub(crate) fn for_each_row_chunk(
 /// assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = a.shape();
-    let (kb, n) = b.shape();
+    let (_, k) = a.shape();
+    let (kb, _) = b.shape();
     assert_eq!(k, kb, "matmul: inner dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        for i in start..end {
-            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-            let arow = a.row(i);
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = b.row(kk);
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    });
-    c
+    crate::engine::gemm_nn(&a.into(), &b.into())
 }
 
 /// `C = A · Bᵀ` where `A` is `M×K` and `B` is `N×K` (the forward GEMM of a
@@ -104,27 +124,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if `A.cols() != B.cols()`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = a.shape();
-    let (n, kb) = b.shape();
+    let (_, k) = a.shape();
+    let (_, kb) = b.shape();
     assert_eq!(k, kb, "matmul_nt: inner dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        for i in start..end {
-            let arow = a.row(i);
-            let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = b.row(j);
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *cv = acc;
-            }
-        }
-    });
-    c
+    crate::engine::gemm_nt(&a.into(), &b.into())
 }
 
 /// `C = Aᵀ · B` where `A` is `K×M` and `B` is `K×N` (the weight-gradient GEMM
@@ -134,29 +137,10 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if `A.rows() != B.rows()`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = a.shape();
-    let (kb, n) = b.shape();
+    let (k, _) = a.shape();
+    let (kb, _) = b.shape();
     assert_eq!(k, kb, "matmul_tn: outer dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        for kk in 0..k {
-            let arow = a.row(kk);
-            let brow = b.row(kk);
-            for i in start..end {
-                let aik = arow[i];
-                if aik == 0.0 {
-                    continue;
-                }
-                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    });
-    c
+    crate::engine::gemm_tn(&a.into(), &b.into())
 }
 
 /// Reference (naive triple-loop) GEMM used by tests and benchmarks.
@@ -219,11 +203,15 @@ mod tests {
 
     #[test]
     fn large_parallel_matmul_matches_reference() {
-        // Big enough to cross PARALLEL_THRESHOLD.
+        // Big enough to exercise multiple blocks; forced splits exercise the
+        // pool even below the work threshold.
         let mut rng = Rng::seed_from(4);
         let a = Tensor::randn(128, 64, 1.0, &mut rng);
         let b = Tensor::randn(64, 96, 1.0, &mut rng);
-        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-3);
+        let expect = matmul_reference(&a, &b);
+        assert_close(&matmul(&a, &b), &expect, 1e-3);
+        let split = crate::pool::with_threads(4, || matmul(&a, &b));
+        assert_close(&split, &expect, 1e-3);
     }
 
     #[test]
@@ -253,5 +241,48 @@ mod tests {
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), (2, 3));
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    /// A zero on the A side must not mask a NaN/Inf on the B side: IEEE-754
+    /// says `0 × NaN = NaN` and `0 × Inf = NaN`, and an overflow or a
+    /// poisoned activation upstream has to surface in the loss, not vanish.
+    /// (The old kernels skipped `aik == 0.0` inner loops, silently dropping
+    /// exactly this propagation — and defeating vectorization.)
+    #[test]
+    fn zeros_do_not_mask_non_finite_operands() {
+        let m = 3;
+        let k = 4;
+        let n = 5;
+        // A is all zeros; B carries a NaN row and an Inf row.
+        let a = Tensor::zeros(m, k);
+        let mut b = Tensor::zeros(k, n);
+        b[(1, 2)] = f32::NAN;
+        b[(3, 0)] = f32::INFINITY;
+
+        let c = matmul(&a, &b);
+        assert!(
+            c[(0, 2)].is_nan(),
+            "0 · NaN must propagate, got {}",
+            c[(0, 2)]
+        );
+        assert!(
+            c[(0, 0)].is_nan(),
+            "0 · Inf must yield NaN, got {}",
+            c[(0, 0)]
+        );
+        assert_eq!(c[(0, 1)], 0.0);
+
+        // Same property through the tn orientation (A transposed, zeros in A).
+        let at = Tensor::zeros(k, m);
+        let c = matmul_tn(&at, &b);
+        assert!(c[(1, 2)].is_nan());
+        assert!(c[(2, 0)].is_nan());
+
+        // And nt: a NaN in B's K dimension hits every dot it participates in.
+        let mut bt = Tensor::zeros(n, k);
+        bt[(2, 1)] = f32::NAN;
+        let c = matmul_nt(&a, &bt);
+        assert!(c[(0, 2)].is_nan());
+        assert_eq!(c[(0, 0)], 0.0);
     }
 }

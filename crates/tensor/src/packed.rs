@@ -19,23 +19,27 @@
 //!   value(r, c) = lut[code(r, c)] * scales[group(r, c)]
 //! ```
 //!
-//! The GEMM kernels ([`qgemm`], [`qgemm_nt`], [`qgemm_tn`]) decode rows on
-//! the fly into small per-thread scratch buffers inside the same blocked,
-//! multi-threaded loop structure as the dense kernels in
-//! [`crate::matmul`] — the per-element accumulation order is *identical*,
-//! so a quantized GEMM over packed operands returns bit-for-bit the same
-//! result as the dense GEMM over the dequantized operands. Mixed
-//! packed×dense products are supported through [`QOperandRef`], which
-//! borrows dense rows directly (no copy) and decodes packed rows into the
-//! caller's scratch.
+//! The GEMM kernels ([`qgemm`], [`qgemm_nt`], [`qgemm_tn`]) are the *same
+//! code* as the dense kernels in [`crate::matmul`]: both families wrap the
+//! cache-blocked engine in `crate::engine`, which borrows dense rows in
+//! place and decodes packed rows block-wise into reusable per-worker
+//! scratch (each packed row is decoded once per block sweep). The
+//! per-element accumulation order is therefore *identical*, so a quantized
+//! GEMM over packed operands returns bit-for-bit the same result as the
+//! dense GEMM over the dequantized operands. Mixed packed×dense products
+//! are supported through [`QOperandRef`].
+//!
+//! 4-bit rows decode through a 256-entry byte → value-pair table
+//! ([`QTensor::pair_table`]): one byte load yields both decoded elements
+//! with no per-element parity branch.
 //!
 //! This crate stays format-agnostic: the lookup table and scales are built
 //! by `snip-quant`, which knows about FP4/FP8/INT codecs. [`GroupLayout`]
 //! mirrors the scaling granularities at the storage level.
 
-use crate::matmul::{for_each_row_chunk, thread_count};
+use crate::matmul::{for_each_row_chunk, parts_for, DECODE_PARALLEL_THRESHOLD};
 use crate::Tensor;
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Content, Deserialize, Error as SerdeError, Serialize};
 use std::sync::Arc;
 
 /// Storage width of one code.
@@ -154,9 +158,10 @@ impl GroupLayout {
 ///
 /// Serialization stores the codes, scales and decode table verbatim, so a
 /// deserialized tensor decodes bit-for-bit identically (packed optimizer
-/// state survives checkpoint round trips exactly); the decode table loses
-/// its cross-tensor interning until the owning format re-quantizes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// state survives checkpoint round trips exactly); the decode table (and
+/// the pair table derived from it) loses its cross-tensor interning until
+/// the owning format re-quantizes.
+#[derive(Clone, Debug, PartialEq)]
 pub struct QTensor {
     rows: usize,
     cols: usize,
@@ -167,11 +172,51 @@ pub struct QTensor {
     /// format metadata, not per-tensor data), so cloning a `QTensor` or
     /// quantizing many tensors of one format stores the table once.
     lut: Arc<[f32]>,
+    /// Byte → decoded `[low nibble, high nibble]` value pairs, flattened
+    /// (`pair[2b]`, `pair[2b + 1]`), for 4-bit codes; empty for byte-wide
+    /// codes. Derived from `lut` (see [`QTensor::pair_table`]), shared per
+    /// format like `lut` when built through a quantizer, and never
+    /// serialized — deserialization rebuilds it.
+    pair: Arc<[f32]>,
     layout: GroupLayout,
     /// Cached `layout.col_groups(cols)`.
     col_groups: usize,
     /// Group → decode multiplier.
     scales: Vec<f32>,
+}
+
+impl Serialize for QTensor {
+    fn to_content(&self) -> Content {
+        // Field-for-field what `#[derive(Serialize)]` emitted before the
+        // derived `pair` table existed — the serialized form is unchanged.
+        Content::Map(vec![
+            (String::from("rows"), self.rows.to_content()),
+            (String::from("cols"), self.cols.to_content()),
+            (String::from("width"), self.width.to_content()),
+            (String::from("data"), self.data.to_content()),
+            (String::from("lut"), self.lut.to_content()),
+            (String::from("layout"), self.layout.to_content()),
+            (String::from("col_groups"), self.col_groups.to_content()),
+            (String::from("scales"), self.scales.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for QTensor {
+    fn from_content(c: &Content) -> Result<Self, SerdeError> {
+        let lut: Arc<[f32]> = de_field(c, "lut")?;
+        Ok(QTensor {
+            rows: de_field(c, "rows")?,
+            cols: de_field(c, "cols")?,
+            width: de_field(c, "width")?,
+            data: de_field(c, "data")?,
+            pair: QTensor::pair_table(&lut).into(),
+            lut,
+            layout: de_field(c, "layout")?,
+            col_groups: de_field(c, "col_groups")?,
+            scales: de_field(c, "scales")?,
+        })
+    }
 }
 
 impl QTensor {
@@ -206,10 +251,42 @@ impl QTensor {
             cols,
             width,
             data: vec![0u8; rows * width.row_bytes(cols)],
+            pair: QTensor::pair_table(&lut).into(),
             lut,
             layout,
             col_groups: layout.col_groups(cols),
             scales,
+        }
+    }
+
+    /// The byte → value-pair expansion of a 4-bit decode table: entry `2b`
+    /// is the low-nibble value of byte `b`, entry `2b + 1` the high-nibble
+    /// value. This is the table the branch-free 4-bit decode loop reads —
+    /// one byte load yields both elements. Tables longer than 16 entries
+    /// (byte-wide codes) have no pair expansion and yield an empty vector.
+    ///
+    /// Quantizers intern the expansion per format (it is format metadata,
+    /// exactly like the decode table itself) and pass it through
+    /// [`QTensor::from_parts_with_pair`]; the plain constructors build a
+    /// private copy.
+    pub fn pair_table(lut: &[f32]) -> Vec<f32> {
+        if lut.len() != CodeWidth::U4.lut_len() {
+            return Vec::new();
+        }
+        let mut pair = vec![0.0f32; 512];
+        for (b, p) in pair.chunks_exact_mut(2).enumerate() {
+            p[0] = lut[b & 0x0F];
+            p[1] = lut[b >> 4];
+        }
+        pair
+    }
+
+    /// Expected pair-table length for a width: 512 for 4-bit codes (256
+    /// bytes × 2 elements), 0 for byte-wide codes.
+    fn pair_len(width: CodeWidth) -> usize {
+        match width {
+            CodeWidth::U4 => 512,
+            CodeWidth::U8 => 0,
         }
     }
 
@@ -230,6 +307,31 @@ impl QTensor {
         data: Vec<u8>,
     ) -> Self {
         let lut = lut.into();
+        let pair: Arc<[f32]> = QTensor::pair_table(&lut).into();
+        QTensor::from_parts_with_pair(rows, cols, width, lut, pair, layout, scales, data)
+    }
+
+    /// [`QTensor::from_parts`] with a caller-supplied (typically interned)
+    /// pair table, so quantizers can share one expansion per format instead
+    /// of rebuilding 2 KiB per tensor. The table must be exactly
+    /// [`QTensor::pair_table`] of `lut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer length does not match the shape/width/layout,
+    /// or (debug) if `pair` disagrees with `lut`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_with_pair(
+        rows: usize,
+        cols: usize,
+        width: CodeWidth,
+        lut: impl Into<Arc<[f32]>>,
+        pair: Arc<[f32]>,
+        layout: GroupLayout,
+        scales: Vec<f32>,
+        data: Vec<u8>,
+    ) -> Self {
+        let lut = lut.into();
         assert_eq!(
             data.len(),
             rows * width.row_bytes(cols),
@@ -242,6 +344,17 @@ impl QTensor {
             width.lut_len()
         );
         assert_eq!(
+            pair.len(),
+            Self::pair_len(width),
+            "pair table length must match {width:?}"
+        );
+        debug_assert!(
+            pair.iter()
+                .zip(QTensor::pair_table(&lut))
+                .all(|(&a, b)| a.to_bits() == b.to_bits()),
+            "pair table must be the expansion of the decode table"
+        );
+        assert_eq!(
             scales.len(),
             layout.group_count(rows, cols),
             "scale count must match {layout:?} on {rows}x{cols}"
@@ -252,6 +365,7 @@ impl QTensor {
             width,
             data,
             lut,
+            pair,
             layout,
             col_groups: layout.col_groups(cols),
             scales,
@@ -360,51 +474,101 @@ impl QTensor {
     }
 
     /// Decodes row `r` into `out` (length `cols`). This is the hot decode
-    /// path of the GEMM kernels; scales are applied per constant-scale run
-    /// rather than per element.
+    /// path of the GEMM engine; scales are applied per constant-scale run
+    /// rather than per element, and 4-bit runs decode two elements per byte
+    /// load through the pair table with no parity branch.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != cols` or `r` is out of bounds.
     pub fn decode_row_into(&self, r: usize, out: &mut [f32]) {
         assert_eq!(out.len(), self.cols, "decode buffer length mismatch");
+        self.decode_row_range_into(r, 0, self.cols, out);
+    }
+
+    /// Decodes the column range `[c0, c1)` of row `r` into `out` (length
+    /// `c1 - c0`) — the tile-segment decode of the blocked GEMM engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`, the range is out of bounds or reversed, or
+    /// `out.len() != c1 - c0`.
+    pub fn decode_row_range_into(&self, r: usize, c0: usize, c1: usize, out: &mut [f32]) {
         assert!(r < self.rows, "row {r} out of bounds");
-        let mut c = 0;
-        while c < self.cols {
-            let run = self.layout.run_len(c, self.cols);
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "range {c0}..{c1} out of bounds"
+        );
+        assert_eq!(out.len(), c1 - c0, "decode buffer length mismatch");
+        let mut c = c0;
+        while c < c1 {
+            let run_end = (c + self.layout.run_len(c, self.cols)).min(c1);
             let scale = self.scales[self.layout.group_index(r, c, self.col_groups)];
             match self.width {
                 CodeWidth::U8 => {
                     let base = r * self.cols;
-                    for (o, &code) in out[c..c + run]
+                    for (o, &code) in out[c - c0..run_end - c0]
                         .iter_mut()
-                        .zip(&self.data[base + c..base + c + run])
+                        .zip(&self.data[base + c..base + run_end])
                     {
                         *o = self.lut[code as usize] * scale;
                     }
                 }
                 CodeWidth::U4 => {
-                    let stride = self.cols.div_ceil(2);
-                    for (i, o) in out[c..c + run].iter_mut().enumerate() {
-                        let cc = c + i;
-                        let byte = self.data[r * stride + cc / 2];
-                        let code = if cc % 2 == 0 { byte & 0x0F } else { byte >> 4 };
-                        *o = self.lut[code as usize] * scale;
-                    }
+                    self.decode_u4_run(r, c, run_end, scale, &mut out[c - c0..run_end - c0])
                 }
             }
-            c += run;
+            c = run_end;
+        }
+    }
+
+    /// Decodes the 4-bit run `[c, end)` of row `r` (one constant scale)
+    /// via the pair table: an optional unaligned head nibble, then **two
+    /// elements per byte load with no parity branch**, then an optional
+    /// tail nibble.
+    fn decode_u4_run(&self, r: usize, c: usize, end: usize, scale: f32, out: &mut [f32]) {
+        let stride = self.cols.div_ceil(2);
+        let row = &self.data[r * stride..(r + 1) * stride];
+        let pair = &self.pair;
+        let mut c = c;
+        let mut o = 0;
+        if c % 2 == 1 && c < end {
+            out[o] = pair[(row[c / 2] as usize) * 2 + 1] * scale;
+            c += 1;
+            o += 1;
+        }
+        let pairs = (end - c) / 2;
+        let bytes = &row[c / 2..c / 2 + pairs];
+        for (ob, &byte) in out[o..o + 2 * pairs].chunks_exact_mut(2).zip(bytes) {
+            let p = &pair[(byte as usize) * 2..(byte as usize) * 2 + 2];
+            ob[0] = p[0] * scale;
+            ob[1] = p[1] * scale;
+        }
+        if (end - c) % 2 == 1 {
+            out[o + 2 * pairs] = pair[(row[(end - 1) / 2] as usize) * 2] * scale;
         }
     }
 
     /// Decodes the whole tensor into a dense `f32` tensor. Bit-for-bit
     /// identical to what the packing quantizer's fake-quantization path
-    /// would have produced.
+    /// would have produced. Multi-megabyte tensors decode their row ranges
+    /// in parallel on the worker pool (rows are independent, so the result
+    /// is identical at every pool size).
     pub fn dequantize(&self) -> Tensor {
         let mut t = Tensor::zeros(self.rows, self.cols);
-        for r in 0..self.rows {
-            self.decode_row_into(r, t.row_mut(r));
-        }
+        let parts = parts_for(self.len(), DECODE_PARALLEL_THRESHOLD);
+        let cols = self.cols;
+        for_each_row_chunk(
+            self.rows,
+            parts,
+            t.as_mut_slice(),
+            cols,
+            |start, end, chunk| {
+                for r in start..end {
+                    self.decode_row_into(r, &mut chunk[(r - start) * cols..(r - start + 1) * cols]);
+                }
+            },
+        );
         t
     }
 
@@ -473,157 +637,86 @@ impl QOperandRef<'_> {
         }
     }
 
-    /// Row `r` as a slice: a direct borrow for dense operands, a decode
-    /// into `scratch` for packed ones. `scratch.len()` must equal `cols`.
-    #[inline]
-    fn row<'s>(&'s self, r: usize, scratch: &'s mut [f32]) -> &'s [f32] {
+    /// Rows `[r0, r1)` as one contiguous row-major block: a direct borrow
+    /// for dense operands (their rows are already contiguous), a block
+    /// decode into `scratch` for packed ones. Called once per block sweep
+    /// by the GEMM engine — this is what bounds packed-row decoding to one
+    /// decode per sweep.
+    pub(crate) fn rows_block<'s>(
+        &'s self,
+        r0: usize,
+        r1: usize,
+        scratch: &'s mut Vec<f32>,
+    ) -> &'s [f32] {
         match self {
-            QOperandRef::Dense(t) => t.row(r),
+            QOperandRef::Dense(t) => &t.as_slice()[r0 * t.cols()..r1 * t.cols()],
             QOperandRef::Packed(t) => {
-                t.decode_row_into(r, scratch);
-                scratch
+                let cols = t.cols();
+                let buf = prep(scratch, (r1 - r0) * cols);
+                for r in r0..r1 {
+                    t.decode_row_into(r, &mut buf[(r - r0) * cols..(r - r0 + 1) * cols]);
+                }
+                buf
             }
-        }
-    }
-
-    /// Copies row `r` into `out` (decoding if packed).
-    fn row_into(&self, r: usize, out: &mut [f32]) {
-        match self {
-            QOperandRef::Dense(t) => out.copy_from_slice(t.row(r)),
-            QOperandRef::Packed(t) => t.decode_row_into(r, out),
         }
     }
 }
 
-/// B-rows decoded per panel in [`qgemm_nt`]; amortizes A-row decoding
-/// across the panel while bounding scratch to `PANEL × K` floats.
-const NT_PANEL: usize = 32;
+/// Grows `scratch` to at least `len` and returns the `len`-prefix. Contents
+/// are unspecified — callers overwrite every element. Never shrinks, so a
+/// pool worker's scratch reaches a steady state and stops allocating.
+pub(crate) fn prep(scratch: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if scratch.len() < len {
+        scratch.resize(len, 0.0);
+    }
+    &mut scratch[..len]
+}
 
 /// `C = A · B` over packed/dense operands (`A`: `M×K`, `B`: `K×N`).
 ///
-/// Bit-for-bit identical to `matmul(&a.dequantize(), &b.dequantize())`:
-/// the kernel visits `k` in the same ascending order per output element and
-/// accumulates in `f32` exactly like the dense kernel.
+/// Bit-for-bit identical to `matmul(&a.dequantize(), &b.dequantize())` —
+/// not by analogy but by construction: both run the cache-blocked engine in
+/// `crate::engine`, which visits `k` in ascending order per output element
+/// regardless of operand storage.
 ///
 /// # Panics
 ///
 /// Panics if inner dimensions differ.
 pub fn qgemm(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
-    // Two dense operands need no decode machinery; the dense kernel is
-    // bit-identical (same loops) and skips the row-copy scratch.
-    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
-        return crate::matmul::matmul(da, db);
-    }
-    let (m, k) = a.shape();
-    let (kb, n) = b.shape();
+    let (_, k) = a.shape();
+    let (kb, _) = b.shape();
     assert_eq!(k, kb, "qgemm: inner dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        let mut b_buf = vec![0.0f32; n];
-        for kk in 0..k {
-            let brow = b.row(kk, &mut b_buf);
-            for i in start..end {
-                let aik = a.get(i, kk);
-                if aik == 0.0 {
-                    continue;
-                }
-                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    });
-    c
+    crate::engine::gemm_nn(&a, &b)
 }
 
 /// `C = A · Bᵀ` over packed/dense operands (`A`: `M×K`, `B`: `N×K`) — the
-/// forward GEMM of a linear layer with `out × in` weights.
-///
-/// Decodes `B` in panels of `NT_PANEL` rows per thread; each output
-/// element is a single sequential dot product over `k`, so results are
-/// bit-for-bit identical to `matmul_nt` on the dequantized operands.
+/// forward GEMM of a linear layer with `out × in` weights. Each output
+/// element is a single sequential dot product over `k`; packed rows are
+/// decoded once per block sweep. Bit-identical to `matmul_nt` on the
+/// dequantized operands (shared engine).
 ///
 /// # Panics
 ///
 /// Panics if inner dimensions differ.
 pub fn qgemm_nt(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
-    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
-        return crate::matmul::matmul_nt(da, db);
-    }
-    let (m, k) = a.shape();
-    let (n, kb) = b.shape();
+    let (_, k) = a.shape();
+    let (_, kb) = b.shape();
     assert_eq!(k, kb, "qgemm_nt: inner dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        let mut a_buf = vec![0.0f32; k];
-        let mut panel = vec![0.0f32; NT_PANEL.min(n.max(1)) * k];
-        let mut j0 = 0;
-        while j0 < n {
-            let jend = (j0 + NT_PANEL).min(n);
-            for j in j0..jend {
-                b.row_into(j, &mut panel[(j - j0) * k..(j - j0 + 1) * k]);
-            }
-            for i in start..end {
-                let arow = a.row(i, &mut a_buf);
-                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-                for j in j0..jend {
-                    let brow = &panel[(j - j0) * k..(j - j0 + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (x, y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    crow[j] = acc;
-                }
-            }
-            j0 = jend;
-        }
-    });
-    c
+    crate::engine::gemm_nt(&a, &b)
 }
 
 /// `C = Aᵀ · B` over packed/dense operands (`A`: `K×M`, `B`: `K×N`) — the
-/// weight-gradient GEMM `dW = dYᵀ · X`.
-///
-/// Decodes one `A` row and one `B` row per `k` step; per-element
-/// accumulation order matches `matmul_tn` exactly.
+/// weight-gradient GEMM `dW = dYᵀ · X`. Bit-identical to `matmul_tn` on
+/// the dequantized operands (shared engine).
 ///
 /// # Panics
 ///
 /// Panics if outer dimensions differ.
 pub fn qgemm_tn(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
-    if let (QOperandRef::Dense(da), QOperandRef::Dense(db)) = (&a, &b) {
-        return crate::matmul::matmul_tn(da, db);
-    }
-    let (k, m) = a.shape();
-    let (kb, n) = b.shape();
+    let (k, _) = a.shape();
+    let (kb, _) = b.shape();
     assert_eq!(k, kb, "qgemm_tn: outer dims differ ({k} vs {kb})");
-    let mut c = Tensor::zeros(m, n);
-    let threads = thread_count(m * n * k);
-    let cdata = c.as_mut_slice();
-    for_each_row_chunk(m, threads, cdata, n, |start, end, chunk| {
-        let mut a_buf = vec![0.0f32; m];
-        let mut b_buf = vec![0.0f32; n];
-        for kk in 0..k {
-            let arow = a.row(kk, &mut a_buf);
-            let brow = b.row(kk, &mut b_buf);
-            for i in start..end {
-                let aik = arow[i];
-                if aik == 0.0 {
-                    continue;
-                }
-                let crow = &mut chunk[(i - start) * n..(i - start + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    });
-    c
+    crate::engine::gemm_tn(&a, &b)
 }
 
 #[cfg(test)]
@@ -863,6 +956,101 @@ mod tests {
         let a = random_qtensor(2, 3, GroupLayout::Rowwise, 61);
         let b = random_qtensor(4, 2, GroupLayout::Rowwise, 62);
         let _ = qgemm(QOperandRef::from(&a), QOperandRef::from(&b));
+    }
+
+    #[test]
+    fn decode_row_range_matches_get_for_every_layout_and_range() {
+        for layout in [
+            GroupLayout::Tensorwise,
+            GroupLayout::Rowwise,
+            GroupLayout::Columnwise,
+            GroupLayout::Block { nb: 3 },
+            GroupLayout::Tile { nb: 3 },
+        ] {
+            let q = random_qtensor(4, 11, layout, 83);
+            for c0 in 0..=11 {
+                for c1 in c0..=11 {
+                    let mut out = vec![0.0f32; c1 - c0];
+                    for r in 0..4 {
+                        q.decode_row_range_into(r, c0, c1, &mut out);
+                        for (i, &v) in out.iter().enumerate() {
+                            assert_eq!(
+                                v.to_bits(),
+                                q.get(r, c0 + i).to_bits(),
+                                "{layout:?} row {r} range {c0}..{c1} elem {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_table_decode_matches_per_code_lut() {
+        // Every byte value must decode to exactly lut[low], lut[high].
+        let lut = test_lut_u4();
+        let pair = QTensor::pair_table(&lut);
+        assert_eq!(pair.len(), 512);
+        for b in 0..256usize {
+            assert_eq!(pair[2 * b].to_bits(), lut[b & 0x0F].to_bits());
+            assert_eq!(pair[2 * b + 1].to_bits(), lut[b >> 4].to_bits());
+        }
+        // Byte-wide tables have no pair expansion.
+        assert!(QTensor::pair_table(&vec![0.0f32; 256]).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_decode_and_format() {
+        // The `pair` table is derived state: it is not serialized, and a
+        // deserialized tensor must rebuild it and decode bit-identically.
+        let q = random_qtensor(5, 9, GroupLayout::Tile { nb: 4 }, 91);
+        let json = serde_json::to_string(&q).expect("serialize");
+        assert!(!json.contains("pair"), "pair table must not be serialized");
+        let back: QTensor = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, q);
+        let (d0, d1) = (q.dequantize(), back.dequantize());
+        for (a, b) in d0.as_slice().iter().zip(d1.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Packed codes always decode to finite values, but the *dense* side of
+    /// a mixed product can carry NaN/Inf — and a packed zero code must not
+    /// mask it (`0 × NaN = NaN`). The old kernels skipped zero A elements
+    /// and dropped exactly this propagation; dense and packed kernels now
+    /// share one engine with no zero-skip.
+    #[test]
+    fn packed_zeros_do_not_mask_non_finite_dense_operands() {
+        // A: packed, all-zero codes (decodes to exact 0.0 everywhere).
+        let a = QTensor::new_zeroed(
+            3,
+            4,
+            CodeWidth::U4,
+            test_lut_u4(),
+            GroupLayout::Rowwise,
+            vec![1.0; 3],
+        );
+        let mut b = Tensor::zeros(4, 5);
+        b[(1, 2)] = f32::NAN;
+        b[(3, 0)] = f32::INFINITY;
+        let c = qgemm(QOperandRef::from(&a), QOperandRef::from(&b));
+        assert!(c[(0, 2)].is_nan(), "0-code · NaN must propagate");
+        assert!(c[(0, 0)].is_nan(), "0-code · Inf must yield NaN");
+        assert_eq!(c[(1, 1)], 0.0);
+
+        // Same through the tn orientation.
+        let at = QTensor::new_zeroed(
+            4,
+            3,
+            CodeWidth::U4,
+            test_lut_u4(),
+            GroupLayout::Rowwise,
+            vec![1.0; 4],
+        );
+        let c = qgemm_tn(QOperandRef::from(&at), QOperandRef::from(&b));
+        assert!(c[(2, 2)].is_nan());
+        assert!(c[(1, 0)].is_nan());
     }
 
     #[test]

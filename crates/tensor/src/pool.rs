@@ -1,0 +1,320 @@
+//! A lazily-initialized, persistent worker pool for the GEMM engine.
+//!
+//! The dense and packed GEMM kernels used to spawn fresh OS threads per call
+//! via `std::thread::scope`; at tens of microseconds per spawn — more under
+//! load — that overhead was paid three times per linear layer per training
+//! step. This pool spawns its workers **once**, on the first parallel
+//! dispatch, and afterwards a parallel GEMM costs one queue push and a
+//! condvar wake (single-digit microseconds, amortized across the job).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The pool never decides *what* a task computes — a job
+//!    is a fixed list of `tasks` indices and each index owns a fixed,
+//!    disjoint slice of the output. Which worker runs an index never changes
+//!    the result, so outputs are bit-identical for every pool size
+//!    (property-tested in `tests/pool_determinism.rs`).
+//! 2. **std only.** No rayon/crossbeam: a `Mutex<VecDeque>` job board, a
+//!    `Condvar` for idle workers, and atomics for in-job work distribution.
+//! 3. **Callers participate.** The dispatching thread executes task indices
+//!    alongside the workers, so a job can never deadlock even if every
+//!    worker is busy with other jobs (including jobs dispatched from inside
+//!    another job's task — the nested caller simply drains its own indices).
+//!
+//! Pool size is `SNIP_THREADS` (clamped to at least 1) when set, otherwise
+//! [`std::thread::available_parallelism`]; it is read **once** at pool init
+//! and cached — per-call `available_parallelism` syscalls were measurable on
+//! the old path. Tests and tuning code can force the *task split* of a
+//! region with [`with_threads`], which overrides the parallelism decision on
+//! the current thread only (the worker count itself never changes after
+//! init).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One parallel region: a fixed number of task indices, a lifetime-erased
+/// task function, and a completion latch.
+struct Job {
+    /// The task body. The pointee lives on the dispatching caller's stack;
+    /// the caller does not return before `done == total`, which keeps the
+    /// erased reference valid for every dereference (task indices `< total`
+    /// are claimed before the caller can observe completion).
+    task: *const (dyn Fn(usize) + Sync),
+    /// Number of task indices in the job.
+    total: usize,
+    /// Next unclaimed task index (may overshoot `total`; claims at or above
+    /// it are no-ops).
+    next: AtomicUsize,
+    /// Completed-task count plus the completion signal.
+    done: Mutex<usize>,
+    finished: Condvar,
+    /// First panic payload raised by a task, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `task` is only dereferenced while the dispatching caller is
+// blocked in `run`, and the pointee is `Sync` (shared `&` calls from many
+// threads are its contract).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs task indices until none are left, then reports the
+    /// count it completed.
+    fn drain(&self) {
+        let mut completed = 0usize;
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= self.total {
+                break;
+            }
+            // SAFETY: t < total, so the caller is still parked in `run` and
+            // the task reference is live.
+            let task = unsafe { &*self.task };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(t))) {
+                let mut slot = self.panic.lock().expect("job panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            completed += 1;
+        }
+        if completed > 0 {
+            let mut done = self.done.lock().expect("job latch poisoned");
+            *done += completed;
+            if *done == self.total {
+                self.finished.notify_all();
+            }
+        }
+    }
+}
+
+/// The shared job board workers block on.
+struct Board {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+}
+
+/// The process-wide pool: worker handles are detached, the board is shared.
+struct Pool {
+    board: Arc<Board>,
+    /// Cached parallelism (callers + workers): `SNIP_THREADS` or
+    /// `available_parallelism`, read once at init.
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread forced task-split width (see [`with_threads`]).
+    static FORCED: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("SNIP_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                // Fall back loudly: silently ignoring a typo'd override
+                // would leave the operator convinced parallelism is pinned.
+                eprintln!(
+                    "snip-tensor: ignoring unparsable SNIP_THREADS={v:?}; \
+                     using available parallelism"
+                );
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let board = Arc::new(Board {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        // The caller is worker 0; spawn the rest. Workers are detached:
+        // they live for the process and park on the board when idle.
+        for i in 1..threads {
+            let board = Arc::clone(&board);
+            std::thread::Builder::new()
+                .name(format!("snip-gemm-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut q = board.queue.lock().expect("job board poisoned");
+                        loop {
+                            if let Some(job) = q.pop_front() {
+                                break job;
+                            }
+                            q = board.available.wait(q).expect("job board poisoned");
+                        }
+                    };
+                    job.drain();
+                })
+                .expect("failed to spawn GEMM pool worker");
+        }
+        Pool { board, threads }
+    })
+}
+
+/// The pool's parallelism: `SNIP_THREADS` if set, else
+/// `available_parallelism`, cached at first use. Always at least 1.
+pub fn size() -> usize {
+    pool().threads
+}
+
+/// The forced task split installed by [`with_threads`] on this thread, if
+/// any.
+pub(crate) fn forced_threads() -> Option<usize> {
+    FORCED.with(|f| f.get())
+}
+
+/// Runs `f` with every parallel region on this thread forced to split into
+/// exactly `n` tasks (bypassing the work-size threshold), then restores the
+/// previous setting. `n` is a *split* width, not a worker count: values
+/// above the pool size still execute, with tasks queuing for free workers.
+///
+/// Kernel results are bit-identical for every `n` — this hook exists so
+/// tests can prove that cheaply (serial vs. split runs of small problems)
+/// and so callers can pin the split for benchmarking.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let n = n.max(1);
+    let prev = FORCED.with(|c| c.replace(Some(n)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Executes `task(0..tasks)` across the pool, returning when every index
+/// has completed. The calling thread participates, so progress never
+/// depends on a free worker. Panics in tasks propagate to the caller after
+/// the whole job has drained (the output buffer is fully released first).
+pub(crate) fn run(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if tasks <= 1 {
+        if tasks == 1 {
+            task(0);
+        }
+        return;
+    }
+    let p = pool();
+    let job = Arc::new(Job {
+        task: unsafe {
+            // SAFETY: erase the caller-stack lifetime; `run` blocks until
+            // `done == total`, after which no worker dereferences `task`
+            // (stale queue entries observe `next >= total` and drop).
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        },
+        total: tasks,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        finished: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    // One board entry per helper we could use; each popped entry drains the
+    // job, so more entries than `threads - 1` would only wake workers to
+    // find nothing left.
+    let helpers = (tasks - 1).min(p.threads.saturating_sub(1));
+    if helpers > 0 {
+        let mut q = p.board.queue.lock().expect("job board poisoned");
+        for _ in 0..helpers {
+            q.push_back(Arc::clone(&job));
+        }
+        drop(q);
+        for _ in 0..helpers {
+            p.board.available.notify_one();
+        }
+    }
+    job.drain();
+    let mut done = job.done.lock().expect("job latch poisoned");
+    while *done < tasks {
+        done = job.finished.wait(done).expect("job latch poisoned");
+    }
+    drop(done);
+    let payload = job.panic.lock().expect("job panic slot poisoned").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_executes_every_index_exactly_once() {
+        for tasks in [0usize, 1, 2, 3, 7, 64, 500] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            run(tasks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} of {tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn caller_observes_all_writes() {
+        let sum = AtomicU64::new(0);
+        run(257, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 257 * 256 / 2);
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        // A task that itself dispatches a parallel region must not deadlock
+        // even when every worker is busy: callers drain their own indices.
+        let total = AtomicU64::new(0);
+        run(4, &|_| {
+            run(8, &|j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        assert_eq!(forced_threads(), None);
+        with_threads(3, || {
+            assert_eq!(forced_threads(), Some(3));
+            with_threads(1, || assert_eq!(forced_threads(), Some(1)));
+            assert_eq!(forced_threads(), Some(3));
+        });
+        assert_eq!(forced_threads(), None);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let result = std::panic::catch_unwind(|| {
+            run(16, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let n = AtomicUsize::new(0);
+        run(16, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn size_is_at_least_one() {
+        assert!(size() >= 1);
+    }
+}
