@@ -19,9 +19,9 @@
 use serde::{Deserialize, Serialize};
 use snip_bench::legacy;
 use snip_quant::{Precision, Quantizer, TensorRole};
-use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn, SMALL_GEMM_MACS};
 use snip_tensor::packed::{qgemm, qgemm_nt, qgemm_tn};
-use snip_tensor::{pool, rng::Rng, QOperandRef, QTensor, Tensor};
+use snip_tensor::{pool, rng::Rng, simd, QOperandRef, QTensor, Tensor};
 use std::time::Instant;
 
 /// One before/after kernel measurement.
@@ -32,6 +32,39 @@ struct KernelRow {
     shape: String,
     baseline_ms: f64,
     current_ms: f64,
+    speedup: f64,
+    /// Current-kernel throughput (`2·m·k·n` flops / `current_ms`); absent
+    /// for decode rows, whose work is not flop-shaped.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    gflops: Option<f64>,
+}
+
+/// The machine context a run's numbers depend on — recorded so trajectories
+/// from different boxes (or the same box with SIMD toggled) stay comparable.
+#[derive(Debug, Serialize, Deserialize)]
+struct Machine {
+    arch: String,
+    cpu_features: Vec<String>,
+    /// Whether the `simd` cargo feature was compiled in.
+    simd_compiled: bool,
+    /// The backend runtime dispatch actually selected ("avx2"/"neon"/"scalar").
+    simd_backend: String,
+    /// f32 lanes per vector register for the selected backend (1 = scalar).
+    simd_lanes: usize,
+    /// Worker-pool parallelism the run used (`SNIP_THREADS` or the machine).
+    threads: usize,
+}
+
+/// One point of the small-GEMM sweep: the same shape through the default
+/// dispatch (fast path below the cutoff) and the forced generic path.
+#[derive(Debug, Serialize, Deserialize)]
+struct SmallGemmRow {
+    shape: String,
+    macs: usize,
+    /// Whether default dispatch takes the fast path at this size.
+    fast_path: bool,
+    default_ms: f64,
+    generic_ms: f64,
     speedup: f64,
 }
 
@@ -54,11 +87,11 @@ struct Report {
     schema: u64,
     generated_by: String,
     smoke: bool,
-    /// Worker-pool parallelism the run used (`SNIP_THREADS` or the machine).
-    threads: usize,
+    machine: Machine,
     gemm: Vec<KernelRow>,
     decode: Vec<KernelRow>,
     quantize: Vec<CurrentRow>,
+    small_gemm: Vec<SmallGemmRow>,
     train_step: TrainStep,
 }
 
@@ -148,7 +181,17 @@ fn run(smoke: bool) -> Report {
         &[(256, 768, 768), (256, 2048, 768)]
     };
     let reps = if smoke { 2 } else { 5 };
-    let threads = pool::size();
+    let machine = Machine {
+        arch: std::env::consts::ARCH.to_string(),
+        cpu_features: simd::detected_features()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        simd_compiled: simd::compiled(),
+        simd_backend: simd::backend().to_string(),
+        simd_lanes: simd::lane_width(),
+        threads: pool::size(),
+    };
     let mut rng = Rng::seed_from(0xBE7C);
 
     let mut gemm = Vec::new();
@@ -209,6 +252,8 @@ fn run(smoke: bool) -> Report {
             ),
         ];
 
+        // Every orientation of one layer triple does the same 2·m·k·n flops.
+        let flops = 2.0 * (tokens * d_out * d_in) as f64;
         for (kernel, shape, baseline, current) in rows {
             assert_bits_eq(&current(), &baseline(), kernel);
             let baseline_ms = time_best_ms(reps, &*baseline);
@@ -219,6 +264,7 @@ fn run(smoke: bool) -> Report {
                 baseline_ms,
                 current_ms,
                 speedup: baseline_ms / current_ms,
+                gflops: Some(flops / (current_ms * 1e6)),
             });
         }
 
@@ -241,6 +287,7 @@ fn run(smoke: bool) -> Report {
                 baseline_ms,
                 current_ms,
                 speedup: baseline_ms / current_ms,
+                gflops: None,
             });
         }
 
@@ -260,6 +307,8 @@ fn run(smoke: bool) -> Report {
         }
     }
 
+    let small_gemm = small_gemm_sweep(smoke, &mut rng);
+
     // End-to-end training step on the shared bench fixture.
     let steps: u64 = if smoke { 2 } else { 8 };
     let mut trainer = snip_bench::fixtures::bench_trainer();
@@ -268,15 +317,61 @@ fn run(smoke: bool) -> Report {
     let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
 
     Report {
-        schema: 1,
+        schema: 2,
         generated_by: "bench_gemm".to_string(),
         smoke,
-        threads,
+        machine,
         gemm,
         decode,
         quantize,
+        small_gemm,
         train_step: TrainStep { steps, ms_per_step },
     }
+}
+
+/// Times shapes straddling [`SMALL_GEMM_MACS`] through default dispatch
+/// (fast path below the cutoff) and through `pool::with_threads(1)`, which
+/// forces the generic blocked path. The speedup column is what justifies —
+/// and tunes — the cutoff: it should be comfortably above 1 on the fast-path
+/// side and near 1 just past the boundary. Results are bit-identical by
+/// construction (asserted here before timing, pinned in
+/// `tests/pool_determinism.rs`).
+fn small_gemm_sweep(smoke: bool, rng: &mut Rng) -> Vec<SmallGemmRow> {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(16, 16, 16), (64, 64, 16)]
+    } else {
+        &[
+            (8, 8, 8),
+            (16, 16, 16),
+            (32, 32, 16),
+            (32, 32, 32),
+            (64, 64, 16), // exactly the cutoff: generic path
+            (64, 64, 32),
+            (64, 64, 64),
+        ]
+    };
+    // Tiny kernels finish in microseconds; many reps keep the minimum stable.
+    let reps = if smoke { 20 } else { 200 };
+    let mut out = Vec::new();
+    for &(m, k, n) in shapes {
+        let a = Tensor::randn(m, k, 1.0, rng);
+        let b = Tensor::randn(k, n, 1.0, rng);
+        let default_result = matmul(&a, &b);
+        let generic_result = pool::with_threads(1, || matmul(&a, &b));
+        assert_bits_eq(&default_result, &generic_result, "small_gemm");
+        let default_ms = time_best_ms(reps, || matmul(&a, &b));
+        let generic_ms = time_best_ms(reps, || pool::with_threads(1, || matmul(&a, &b)));
+        let macs = m * k * n;
+        out.push(SmallGemmRow {
+            shape: format!("{m}x{k}x{n}"),
+            macs,
+            fast_path: macs < SMALL_GEMM_MACS,
+            default_ms,
+            generic_ms,
+            speedup: generic_ms / default_ms,
+        });
+    }
+    out
 }
 
 fn pack_fp8(t: &Tensor, rng: &mut Rng) -> QTensor {
@@ -291,12 +386,28 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let report: Report =
         serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    if report.schema != 1 {
+    if report.schema != 2 {
         return Err(format!("unknown schema {}", report.schema));
+    }
+    let mach = &report.machine;
+    if mach.arch.is_empty() || mach.simd_backend.is_empty() {
+        return Err("machine section is missing arch/simd_backend".to_string());
+    }
+    if mach.simd_lanes == 0 || mach.threads == 0 {
+        return Err(format!(
+            "machine: simd_lanes = {}, threads = {}",
+            mach.simd_lanes, mach.threads
+        ));
     }
     for kernel in KERNELS {
         if !report.gemm.iter().any(|r| r.kernel == kernel) {
             return Err(format!("gemm section is missing kernel `{kernel}`"));
+        }
+    }
+    for r in &report.gemm {
+        match r.gflops {
+            Some(g) if g.is_finite() && g > 0.0 => {}
+            other => return Err(format!("{} {}: gflops = {other:?}", r.kernel, r.shape)),
         }
     }
     if report.decode.is_empty() {
@@ -321,6 +432,20 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
             return Err(format!("{}: current_ms = {}", r.name, r.current_ms));
         }
     }
+    if report.small_gemm.is_empty() {
+        return Err("small_gemm section is empty".to_string());
+    }
+    for r in &report.small_gemm {
+        for (what, v) in [
+            ("default_ms", r.default_ms),
+            ("generic_ms", r.generic_ms),
+            ("speedup", r.speedup),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("small_gemm {}: {what} = {v}", r.shape));
+            }
+        }
+    }
     let ts = &report.train_step;
     if ts.steps == 0 || !ts.ms_per_step.is_finite() || ts.ms_per_step <= 0.0 {
         return Err(format!(
@@ -329,25 +454,48 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{} gemm rows, {} decode rows, {} quantize rows, {:.2} ms/train-step, threads = {}",
+        "{} gemm rows, {} decode rows, {} quantize rows, {} small-gemm rows, \
+         {:.2} ms/train-step, {} simd on {} threads",
         report.gemm.len(),
         report.decode.len(),
         report.quantize.len(),
+        report.small_gemm.len(),
         ts.ms_per_step,
-        report.threads
+        mach.simd_backend,
+        mach.threads
     ))
 }
 
 fn print_summary(report: &Report) {
-    println!("threads = {}, smoke = {}", report.threads, report.smoke);
+    let mach = &report.machine;
+    println!(
+        "{} [{}], simd = {} ({} lanes, compiled = {}), threads = {}, smoke = {}",
+        mach.arch,
+        mach.cpu_features.join(","),
+        mach.simd_backend,
+        mach.simd_lanes,
+        mach.simd_compiled,
+        mach.threads,
+        report.smoke
+    );
     for r in report.gemm.iter().chain(&report.decode) {
+        let gflops = r
+            .gflops
+            .map(|g| format!("  {g:>6.2} GFLOP/s"))
+            .unwrap_or_default();
         println!(
-            "  {:>12} {:>14}  {:>9.3} ms → {:>9.3} ms   {:>5.2}x",
+            "  {:>12} {:>14}  {:>9.3} ms → {:>9.3} ms   {:>5.2}x{gflops}",
             r.kernel, r.shape, r.baseline_ms, r.current_ms, r.speedup
         );
     }
     for r in &report.quantize {
         println!("  {:>12} {:>14}  {:>9.3} ms", r.name, r.shape, r.current_ms);
+    }
+    for r in &report.small_gemm {
+        println!(
+            "  {:>12} {:>14}  {:>9.4} ms generic → {:>9.4} ms default  {:>5.2}x  (fast_path = {})",
+            "small_gemm", r.shape, r.generic_ms, r.default_ms, r.speedup, r.fast_path
+        );
     }
     println!(
         "  {:>12} {:>14}  {:>9.3} ms/step",

@@ -12,19 +12,22 @@
 //!            dW = Q_g(dY)ᵀ · Q_x(X)          (output BF16, accumulated FP32)
 //! ```
 //!
-//! These three calls — `qgemm_nt`, `qgemm`, `qgemm_tn` — are the hottest
-//! loops of every training step. They dispatch into `snip-tensor`'s
-//! pool-backed, cache-blocked GEMM engine: packed operands are decoded
-//! block-wise (once per block sweep, through the byte-pair table for FP4),
-//! large products are split across the persistent worker pool, and results
-//! are bit-identical at every pool size / `SNIP_THREADS` setting — so the
-//! training trajectory never depends on the machine's parallelism.
+//! These three calls — `qgemm_nt_bf16`, `qgemm_bf16`, `qgemm_tn_bf16` —
+//! are the hottest loops of every training step. They dispatch into
+//! `snip-tensor`'s pool-backed, cache-blocked GEMM engine with the BF16
+//! output rounding fused into the tile store (bit-identical to rounding in
+//! a second pass, without touching the output twice): packed operands are
+//! decoded block-wise (once per block sweep, through the byte-pair table
+//! for FP4), large products are split across the persistent worker pool,
+//! and results are bit-identical at every pool size / `SNIP_THREADS` /
+//! SIMD-backend setting — so the training trajectory never depends on the
+//! machine's parallelism or instruction set.
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use snip_quant::{format::bf16_round_slice, LinearPrecision, Quantizer, TensorRole};
+use snip_quant::{LinearPrecision, Quantizer, TensorRole};
 use snip_tensor::{
-    packed::{qgemm, qgemm_nt, qgemm_tn},
+    packed::{qgemm, qgemm_bf16, qgemm_nt, qgemm_nt_bf16, qgemm_tn, qgemm_tn_bf16},
     rng::Rng,
     QOperandRef, QTensor, Tensor,
 };
@@ -211,8 +214,9 @@ impl Linear {
         }
         let qx = self.quantize_cached(TensorRole::Input, x, rng);
         let qw = self.quantize_cached(TensorRole::Weight, self.weight.value(), rng);
-        let mut y = qgemm_nt(qx.operand(), qw.operand());
-        bf16_round_slice(y.as_mut_slice());
+        // The `_bf16` kernel folds the BF16 rounding into the tile store —
+        // bit-identical to rounding the plain qgemm output in a second pass.
+        let y = qgemm_nt_bf16(qx.operand(), qw.operand());
         (y, LinearCache { qx, qw })
     }
 
@@ -241,10 +245,8 @@ impl Linear {
             return (dx, dw);
         }
         let qdy = self.quantize_cached(TensorRole::OutputGrad, dy, rng);
-        let mut dx = qgemm(qdy.operand(), cache.qw.operand());
-        bf16_round_slice(dx.as_mut_slice());
-        let mut dw = qgemm_tn(qdy.operand(), cache.qx.operand());
-        bf16_round_slice(dw.as_mut_slice());
+        let dx = qgemm_bf16(qdy.operand(), cache.qw.operand());
+        let dw = qgemm_tn_bf16(qdy.operand(), cache.qx.operand());
         self.weight.accumulate_grad(&dw);
         (dx, dw)
     }
@@ -361,6 +363,7 @@ mod tests {
         // The packed path must reproduce the seed's fake-quantization
         // implementation exactly — same outputs, same gradients, same RNG
         // stream — so training trajectories are unchanged.
+        use snip_quant::format::bf16_round_slice;
         use snip_tensor::matmul::{matmul, matmul_nt, matmul_tn};
         for precision in [
             LinearPrecision::uniform(Precision::Fp4),

@@ -188,6 +188,15 @@ impl Codebook {
     /// Tables are interned per format, so every packed tensor of one format
     /// shares a single allocation — decode tables are format metadata and
     /// cost nothing per tensor.
+    ///
+    /// The table's length and layout are a contract with the SIMD decode
+    /// kernels in `snip-tensor`: exactly 16 entries for 4-bit formats (the
+    /// AVX2 path holds `lut[0..8]` and `lut[8..16]` in two vector registers
+    /// and selects between them on code bit 3 — which is the sign bit of
+    /// this sign-magnitude code space, so the split falls on the
+    /// positive/negative halves) and exactly 256 for byte-wide formats
+    /// (gathered directly). `build_lut`'s mirrored-halves layout is what
+    /// makes the 4-bit split legal.
     pub fn lut(&self) -> Arc<[f32]> {
         let registry = LUT_REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = registry.lock().expect("lut registry poisoned");
@@ -704,6 +713,52 @@ mod tests {
                 let v = lut[code];
                 assert_eq!(cb.encode(v), cb.encode_binary_search(v));
                 assert_eq!(cb.encode(-v), cb.encode_binary_search(-v));
+            }
+        }
+    }
+
+    /// The SIMD decode kernels rely on every decode table being exactly
+    /// `lut_len` long with mirrored sign-magnitude halves (`lut[half + i]
+    /// == -lut[i]` bitwise): the AVX2 4-bit path splits the 16-entry table
+    /// into two 8-entry permute registers selected by code bit 3, and the
+    /// byte-wide gather indexes all 256 entries unconditionally. Pin the
+    /// layout for every format we ship.
+    #[test]
+    fn decode_tables_satisfy_the_simd_layout_contract() {
+        let books: Vec<Codebook> = [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ]
+        .into_iter()
+        .map(|f| Codebook::for_float(f).unwrap())
+        .chain(
+            [IntFormat::int4(), IntFormat::int8(), IntFormat::new(3)]
+                .into_iter()
+                .map(|f| Codebook::for_int(f).unwrap()),
+        )
+        .collect();
+        for cb in &books {
+            let lut = cb.lut();
+            assert_eq!(lut.len(), cb.width().lut_len());
+            let half = lut.len() / 2;
+            for i in 0..half {
+                if i < cb.values() {
+                    assert_eq!(
+                        lut[half + i].to_bits(),
+                        (-lut[i]).to_bits(),
+                        "halves must mirror at index {i}"
+                    );
+                } else {
+                    // Unused codes decode to +0 in both halves.
+                    assert_eq!(lut[i].to_bits(), 0);
+                    assert_eq!(lut[half + i].to_bits(), 0);
+                }
+            }
+            match cb.width() {
+                CodeWidth::U4 => assert_eq!(cb.pair_lut().len(), 512),
+                CodeWidth::U8 => assert!(cb.pair_lut().is_empty()),
             }
         }
     }

@@ -290,6 +290,11 @@ fn exp2i(e: i32) -> f32 {
 /// returning it as `f32`. This is the "high precision" of the training
 /// framework (paper Fig. 5): GEMM outputs and non-linear ops stay in BF16.
 ///
+/// The implementation lives in [`snip_tensor::bf16`] so the GEMM engine
+/// can fuse the identical rounding into its tile store (the `*_bf16`
+/// kernel variants); this re-export keeps the historical `snip-quant`
+/// call sites working against the single source of truth.
+///
 /// # Example
 ///
 /// ```
@@ -299,19 +304,12 @@ fn exp2i(e: i32) -> f32 {
 /// ```
 #[inline]
 pub fn bf16_round(x: f32) -> f32 {
-    if x.is_nan() {
-        return x;
-    }
-    let bits = x.to_bits();
-    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
-    f32::from_bits(rounded & 0xFFFF_0000)
+    snip_tensor::bf16::round(x)
 }
 
 /// Applies [`bf16_round`] to every element of a slice.
 pub fn bf16_round_slice(data: &mut [f32]) {
-    for v in data {
-        *v = bf16_round(*v);
-    }
+    snip_tensor::bf16::round_slice(data);
 }
 
 #[cfg(test)]

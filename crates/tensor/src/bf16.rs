@@ -1,0 +1,80 @@
+//! BF16 rounding — the "high precision" of the training framework.
+//!
+//! GEMM outputs and non-linear ops stay in BF16 (paper Fig. 5). The
+//! rounding lives in `snip-tensor` (not `snip-quant`) because the GEMM
+//! engine fuses it into the tile store of the `*_bf16` kernels: one
+//! implementation serves both the fused store and the standalone
+//! [`round_slice`] pass, which is what makes
+//! `qgemm_nt_bf16(a, b)` bit-identical to `qgemm_nt(a, b)` followed by
+//! `round_slice` — by construction, not by test alone.
+//! `snip_quant::format::bf16_round` delegates here.
+
+/// Rounds an `f32` to the nearest BF16 value (round-to-nearest-even),
+/// returning it as `f32`. NaN passes through with its payload untouched
+/// (a poisoned activation must stay identifiable); overflow past the
+/// largest finite BF16 rounds to infinity, exactly as IEEE-754
+/// narrowing would.
+///
+/// # Example
+///
+/// ```
+/// let x = 1.0 + 2f32.powi(-9); // below bf16 resolution at 1.0
+/// assert_eq!(snip_tensor::bf16::round(x), 1.0);
+/// ```
+#[inline]
+pub fn round(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    f32::from_bits(rounded & 0xFFFF_0000)
+}
+
+/// Applies [`round`] to every element of a slice.
+pub fn round_slice(data: &mut [f32]) {
+    for v in data {
+        *v = round(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_matches_known_values() {
+        assert_eq!(round(1.0), 1.0);
+        assert_eq!(round(0.0), 0.0);
+        // 1 + 2^-8 is exactly between 1.0 and the next bf16; ties to even.
+        assert_eq!(round(1.0 + 2f32.powi(-8)), 1.0);
+        assert_eq!(round(1.0 + 3.0 * 2f32.powi(-9)), 1.0 + 2f32.powi(-7));
+    }
+
+    #[test]
+    fn round_is_idempotent() {
+        for &x in &[0.37f32, -1234.5, 3.0e-40, 7.5e37, -0.0] {
+            let once = round(x);
+            assert_eq!(round(once), once, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_survive() {
+        assert!(round(f32::NAN).is_nan());
+        // NaN payload bits pass through untouched.
+        let payload = f32::from_bits(0x7FC1_2345);
+        assert_eq!(round(payload).to_bits(), 0x7FC1_2345);
+        assert_eq!(round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        // The largest finite f32 overflows bf16 and must round to +inf.
+        assert_eq!(round(f32::MAX), f32::INFINITY);
+        assert_eq!(round(f32::MIN), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn signed_zero_is_preserved() {
+        assert_eq!(round(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(round(0.0).to_bits(), 0.0f32.to_bits());
+    }
+}

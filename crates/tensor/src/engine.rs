@@ -16,28 +16,45 @@
 //! output tile as rank-1 updates — the vectorizable form (the naive
 //! dot-product `nt` kernel was a serial FMA latency chain; rewriting it as
 //! rank-1 updates over a transposed B tile is the single largest win in
-//! this engine). The `k` loop is register-blocked 4-wide to amortize the
-//! output tile's load/store traffic.
+//! this engine). Two tile-kernel implementations exist behind one
+//! dispatcher: the portable scalar kernel in [`scalar`] (always compiled,
+//! always the reference) and the explicit SIMD kernels in `simd_x86` /
+//! `simd_neon`, selected at runtime by [`simd`] when the `simd` cargo
+//! feature is on and the CPU supports them.
 //!
 //! # The accumulation-order constraint
 //!
 //! Every output element is accumulated **serially over `k`, ascending, in a
-//! single f32 accumulator** — including inside the 4-way register block,
-//! which adds its four products one at a time (`acc += a0·b0; acc += a1·b1;
-//! …`), never as a fused `a0·b0 + a1·b1` tree. Blocking over output tiles
-//! only reorders *which elements* are computed when, never the order of
-//! additions within one element, so any M×N tiling is bit-exact with any
-//! other (and with the serial kernel) at every thread count. Splitting `k`
-//! across tasks or summing it through trees/SIMD horizontal adds would
-//! break both the packed-vs-dense identity and cross-split determinism;
-//! future SIMD work must vectorize across output elements (the `j` lanes
-//! below), not within one element's `k` reduction.
+//! single f32 accumulator** — terms are added one at a time (`acc += a0·b0;
+//! acc += a1·b1; …`), never as a fused `a0·b0 + a1·b1` tree. Blocking over
+//! output tiles only reorders *which elements* are computed when, never the
+//! order of additions within one element, so any M×N tiling is bit-exact
+//! with any other (and with the serial kernel) at every thread count.
+//! Splitting `k` across tasks or summing it through trees/SIMD horizontal
+//! adds would break both the packed-vs-dense identity and cross-split
+//! determinism.
+//!
+//! The SIMD kernels obey the same rule by vectorizing **across output
+//! elements only**: each lane owns one output column's accumulator and the
+//! `k` loop stays serial inside every lane, with a plain multiply followed
+//! by a plain add per term (no FMA — a fused multiply-add skips the
+//! intermediate rounding and would diverge from the scalar kernel by an
+//! ULP). Lane `j` of the vector performs exactly the scalar kernel's
+//! operation sequence for element `(i, j0 + j)`, so SIMD-vs-scalar equality
+//! is 0 ULP lane-by-lane (property-tested in `tests/simd_scalar.rs`).
 
 use crate::matmul::{for_each_row_chunk, thread_count};
 use crate::packed::{prep, QOperandRef};
-use crate::pool;
+use crate::pool::{self, AlignedVec};
 use crate::Tensor;
 use std::cell::RefCell;
+
+mod scalar;
+pub mod simd;
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod simd_neon;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd_x86;
 
 /// Output rows per block (bounds A-side scratch to `MC × k` floats).
 const MC: usize = 64;
@@ -45,15 +62,33 @@ const MC: usize = 64;
 /// keeps a 64×64 f32 output tile (16 KiB) L1-resident.
 const NC: usize = 64;
 
-thread_local! {
-    /// Per-worker scratch, reused across GEMM calls for the lifetime of the
-    /// pool worker (or calling thread): A block, B tile, and a row staging
-    /// buffer for transposes.
-    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
-        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+/// What happens to each output element at tile-store time.
+///
+/// `Bf16` folds the round-to-nearest-even BF16 rounding of
+/// [`crate::bf16::round`] into the final store of the tile kernel instead
+/// of a second pass over the output. Each element is rounded exactly once,
+/// after its full `k` accumulation (the engine calls the tile kernel once
+/// per output tile with the whole `k` extent), so the fused store is
+/// bit-identical to `Round::Keep` followed by
+/// [`crate::bf16::round_slice`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Round {
+    /// Store the raw f32 accumulators.
+    Keep,
+    /// Round every stored element to BF16 (kept in f32 storage).
+    Bf16,
 }
 
-fn with_scratch<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+thread_local! {
+    /// Per-worker scratch, reused across GEMM calls for the lifetime of the
+    /// pool worker (or calling thread): A block, B tile (cache-line aligned
+    /// for SIMD tile-row streaming), and a row staging buffer for
+    /// transposes.
+    static SCRATCH: RefCell<(Vec<f32>, AlignedVec, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), AlignedVec::new(), Vec::new())) };
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Vec<f32>, &mut AlignedVec, &mut Vec<f32>) -> R) -> R {
     SCRATCH.with(|s| {
         let mut s = s.borrow_mut();
         let (a, b, r) = &mut *s;
@@ -66,8 +101,13 @@ fn with_scratch<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>) -
 /// caller's output rows (`row0` = first tile row's index within the chunk,
 /// `n` = full output row stride). Terms are added one at a time, `k`
 /// ascending, per element — see the module docs.
+///
+/// Dispatches to the active SIMD backend, falling back to the scalar
+/// kernel (plus a scalar rounding pass for [`Round::Bf16`] — the SIMD
+/// kernels fold the rounding into the tile store instead).
 #[allow(clippy::too_many_arguments)]
 fn tile_kernel(
+    round: Round,
     chunk: &mut [f32],
     n: usize,
     row0: usize,
@@ -78,87 +118,40 @@ fn tile_kernel(
     ablock: &[f32],
     btile: &[f32],
 ) {
-    // Two output rows per pass: the four B-tile rows of each k-quad are
-    // loaded once and feed both rows' updates, halving the dominant B-side
-    // read traffic. Each row's elements still accumulate independently.
-    let mut i = 0;
-    while i + 2 <= mb {
-        let arow0 = &ablock[i * k..(i + 1) * k];
-        let arow1 = &ablock[(i + 1) * k..(i + 2) * k];
-        let (head, tail) = chunk.split_at_mut((row0 + i + 1) * n);
-        let crow0 = &mut head[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
-        let crow1 = &mut tail[j0..j0 + nb];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let (a00, a01, a02, a03) = (arow0[kk], arow0[kk + 1], arow0[kk + 2], arow0[kk + 3]);
-            let (a10, a11, a12, a13) = (arow1[kk], arow1[kk + 1], arow1[kk + 2], arow1[kk + 3]);
-            let b0 = &btile[kk * nb..(kk + 1) * nb];
-            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
-            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
-            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
-            for (((((cv0, cv1), &v0), &v1), &v2), &v3) in crow0
-                .iter_mut()
-                .zip(crow1.iter_mut())
-                .zip(b0)
-                .zip(b1)
-                .zip(b2)
-                .zip(b3)
-            {
-                let mut acc0 = *cv0;
-                acc0 += a00 * v0;
-                acc0 += a01 * v1;
-                acc0 += a02 * v2;
-                acc0 += a03 * v3;
-                *cv0 = acc0;
-                let mut acc1 = *cv1;
-                acc1 += a10 * v0;
-                acc1 += a11 * v1;
-                acc1 += a12 * v2;
-                acc1 += a13 * v3;
-                *cv1 = acc1;
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::active() {
+        // SAFETY: `active()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2 at backend init.
+        unsafe {
+            match round {
+                Round::Keep => {
+                    simd_x86::tile_kernel::<false>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                }
+                Round::Bf16 => {
+                    simd_x86::tile_kernel::<true>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                }
             }
-            kk += 4;
         }
-        while kk < k {
-            let a0 = arow0[kk];
-            let a1 = arow1[kk];
-            let b0 = &btile[kk * nb..(kk + 1) * nb];
-            for ((cv0, cv1), &bv) in crow0.iter_mut().zip(crow1.iter_mut()).zip(b0) {
-                *cv0 += a0 * bv;
-                *cv1 += a1 * bv;
-            }
-            kk += 1;
-        }
-        i += 2;
+        return;
     }
-    if i < mb {
-        let arow = &ablock[i * k..(i + 1) * k];
-        let crow = &mut chunk[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
-            let b0 = &btile[kk * nb..(kk + 1) * nb];
-            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
-            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
-            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
-            for ((((cv, &v0), &v1), &v2), &v3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-                let mut acc = *cv;
-                acc += a0 * v0;
-                acc += a1 * v1;
-                acc += a2 * v2;
-                acc += a3 * v3;
-                *cv = acc;
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if simd::active() {
+        // SAFETY: NEON is a baseline aarch64 feature.
+        unsafe {
+            match round {
+                Round::Keep => {
+                    simd_neon::tile_kernel::<false>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                }
+                Round::Bf16 => {
+                    simd_neon::tile_kernel::<true>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                }
             }
-            kk += 4;
         }
-        while kk < k {
-            let a0 = arow[kk];
-            let b0 = &btile[kk * nb..(kk + 1) * nb];
-            for (cv, &bv) in crow.iter_mut().zip(b0) {
-                *cv += a0 * bv;
-            }
-            kk += 1;
-        }
+        return;
+    }
+    scalar::tile_kernel(chunk, n, row0, j0, mb, nb, k, ablock, btile);
+    if round == Round::Bf16 {
+        scalar::round_tile(chunk, n, row0, j0, mb, nb);
     }
 }
 
@@ -179,6 +172,17 @@ enum BSide {
 /// of tiles) workers fall back to building tiles per block sweep from their
 /// own bounded scratch.
 const B_CACHE_LIMIT: usize = 1 << 24;
+
+/// Problems below this many multiply–accumulates take the small-GEMM fast
+/// path: no parallelism decision, no shared B-tile cache, just one serial
+/// block sweep from per-thread scratch. Queue-push + condvar dispatch and
+/// the cache's allocate/zero/build pass are fixed costs that dominate tiny
+/// GEMMs; the sweep itself is the same code either way, so the fast path is
+/// bit-identical by construction (pinned in `tests/pool_determinism.rs`).
+/// The cutoff sits well below the parallel threshold (2^20 MACs) and was
+/// picked from the `small_gemm` sweep in `bench_gemm`, which times both
+/// paths on shapes straddling the boundary.
+pub const SMALL_GEMM_MACS: usize = 1 << 16;
 
 /// Materializes the `k×nb` k-major B tile for columns `[j0, j1)` into
 /// `tile` (length `k * nb`).
@@ -269,24 +273,100 @@ fn build_ablock<'s>(
     }
 }
 
+/// One chunk's block sweep: `MC×NC` output tiles over rows `[start, end)`
+/// of the output, the A block materialized once per sweep, B tiles served
+/// from the shared cache when present and built into per-thread scratch
+/// otherwise. `chunk` holds exactly rows `[start, end)`. Both the generic
+/// (pooled) path and the small-GEMM fast path run this exact code — that
+/// shared body is what pins their bit-identity.
+#[allow(clippy::too_many_arguments)]
+fn sweep_rows(
+    a: &QOperandRef<'_>,
+    a_side: ASide,
+    b: &QOperandRef<'_>,
+    b_side: BSide,
+    n: usize,
+    k: usize,
+    round: Round,
+    bcache: Option<&[f32]>,
+    start: usize,
+    end: usize,
+    chunk: &mut [f32],
+) {
+    with_scratch(|sa, sb, sr| {
+        let mut i0 = start;
+        while i0 < end {
+            let i1 = (i0 + MC).min(end);
+            let ablock = build_ablock(a, a_side, k, i0, i1, sa, sr);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + NC).min(n);
+                let btile: &[f32] = match bcache {
+                    Some(cache) => &cache[j0 * k..j1 * k],
+                    None => {
+                        let tile = sb.prep(k * (j1 - j0));
+                        build_btile_into(b, b_side, k, j0, j1, tile, sr);
+                        tile
+                    }
+                };
+                tile_kernel(
+                    round,
+                    chunk,
+                    n,
+                    i0 - start,
+                    j0,
+                    i1 - i0,
+                    j1 - j0,
+                    k,
+                    ablock,
+                    btile,
+                );
+                j0 = j1;
+            }
+            i0 = i1;
+        }
+    });
+}
+
 /// The blocked driver shared by all three orientations: pre-materialize
 /// the B-side tile cache (tiles are j-aligned, so one build serves every
 /// row chunk — B-side decode/transpose work is a single pass over B
 /// regardless of `m` or the chunk count), then row-chunk the output across
 /// the pool, sweeping `MC×NC` output tiles per chunk with the A block
 /// materialized once per sweep. Oversized B operands skip the shared cache
-/// and build tiles per sweep from bounded per-worker scratch.
+/// and build tiles per sweep from bounded per-worker scratch; tiny
+/// problems skip the whole parallel apparatus (see [`SMALL_GEMM_MACS`]).
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     a: &QOperandRef<'_>,
     a_side: ASide,
     b: &QOperandRef<'_>,
     b_side: BSide,
+    round: Round,
     m: usize,
     n: usize,
     k: usize,
 ) -> Tensor {
     let mut c = Tensor::zeros(m, n);
     if m == 0 {
+        return c;
+    }
+    // Small-GEMM fast path. A forced split (`pool::with_threads`) still
+    // takes the generic path so tests and benchmarks can pin/measure it.
+    if m * n * k < SMALL_GEMM_MACS && pool::forced_threads().is_none() {
+        sweep_rows(
+            a,
+            a_side,
+            b,
+            b_side,
+            n,
+            k,
+            round,
+            None,
+            0,
+            m,
+            c.as_mut_slice(),
+        );
         return c;
     }
     let parts = thread_count(m * n * k);
@@ -296,13 +376,14 @@ fn gemm_blocked(
     // per-worker scratch instead — same traffic as reading B once, no
     // up-front allocation.
     let reused = m > MC || (parts > 1 && m > 1);
-    let bcache: Option<Vec<f32>> = if reused && k * n > 0 && k * n <= B_CACHE_LIMIT {
+    let bcache: Option<AlignedVec> = if reused && k * n > 0 && k * n <= B_CACHE_LIMIT {
         // Tiles are stored back to back: the tile starting at column `j0`
         // occupies `cache[j0 * k..j1 * k]` — disjoint slices, so when the
         // GEMM itself will run parallel the build fans out across the pool
         // too (one task per tile; tile contents depend only on position,
         // so the cache is identical at every split).
-        let mut cache = vec![0.0f32; k * n];
+        let mut cache = AlignedVec::new();
+        cache.prep(k * n);
         let n_tiles = n.div_ceil(NC);
         let build_tasks = if parts > 1 { n_tiles } else { 1 };
         struct SendPtr(*mut f32);
@@ -337,55 +418,35 @@ fn gemm_blocked(
     } else {
         None
     };
+    let btiles = bcache.as_ref().map(|cache| cache.as_slice());
     let cdata = c.as_mut_slice();
     for_each_row_chunk(m, parts, cdata, n, |start, end, chunk| {
-        with_scratch(|sa, sb, sr| {
-            let mut i0 = start;
-            while i0 < end {
-                let i1 = (i0 + MC).min(end);
-                let ablock = build_ablock(a, a_side, k, i0, i1, sa, sr);
-                let mut j0 = 0;
-                while j0 < n {
-                    let j1 = (j0 + NC).min(n);
-                    let btile: &[f32] = match &bcache {
-                        Some(cache) => &cache[j0 * k..j1 * k],
-                        None => {
-                            let tile = prep(sb, k * (j1 - j0));
-                            build_btile_into(b, b_side, k, j0, j1, tile, sr);
-                            tile
-                        }
-                    };
-                    tile_kernel(chunk, n, i0 - start, j0, i1 - i0, j1 - j0, k, ablock, btile);
-                    j0 = j1;
-                }
-                i0 = i1;
-            }
-        });
+        sweep_rows(a, a_side, b, b_side, n, k, round, btiles, start, end, chunk);
     });
     c
 }
 
 /// `C = A · B` (`A`: `M×K`, `B`: `K×N`). Inner dims must already be
 /// validated by the public wrappers.
-pub(crate) fn gemm_nn(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+pub(crate) fn gemm_nn(a: &QOperandRef<'_>, b: &QOperandRef<'_>, round: Round) -> Tensor {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     debug_assert_eq!(k, kb);
-    gemm_blocked(a, ASide::RowMajor, b, BSide::RowMajor, m, n, k)
+    gemm_blocked(a, ASide::RowMajor, b, BSide::RowMajor, round, m, n, k)
 }
 
 /// `C = A · Bᵀ` (`A`: `M×K`, `B`: `N×K`).
-pub(crate) fn gemm_nt(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+pub(crate) fn gemm_nt(a: &QOperandRef<'_>, b: &QOperandRef<'_>, round: Round) -> Tensor {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     debug_assert_eq!(k, kb);
-    gemm_blocked(a, ASide::RowMajor, b, BSide::Transposed, m, n, k)
+    gemm_blocked(a, ASide::RowMajor, b, BSide::Transposed, round, m, n, k)
 }
 
 /// `C = Aᵀ · B` (`A`: `K×M`, `B`: `K×N`).
-pub(crate) fn gemm_tn(a: &QOperandRef<'_>, b: &QOperandRef<'_>) -> Tensor {
+pub(crate) fn gemm_tn(a: &QOperandRef<'_>, b: &QOperandRef<'_>, round: Round) -> Tensor {
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
     debug_assert_eq!(k, kb);
-    gemm_blocked(a, ASide::Transposed, b, BSide::RowMajor, m, n, k)
+    gemm_blocked(a, ASide::Transposed, b, BSide::RowMajor, round, m, n, k)
 }

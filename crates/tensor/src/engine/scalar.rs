@@ -1,0 +1,125 @@
+//! The portable scalar tile kernel — always compiled, always the
+//! reference the SIMD backends are property-tested against.
+//!
+//! Per output element the arithmetic is exactly the engine contract: load
+//! the accumulator from C, add `a[kk] · b[kk]` terms one at a time with
+//! `kk` ascending, store. The register blocking below (two output rows per
+//! pass, `k` in quads) only changes *which* elements are in flight
+//! together, never the order of additions within one element.
+
+/// `C[row0.., j0..] += Ablock · Btile` — see `engine::tile_kernel` for the
+/// argument contract.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn tile_kernel(
+    chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+    k: usize,
+    ablock: &[f32],
+    btile: &[f32],
+) {
+    // Two output rows per pass: the four B-tile rows of each k-quad are
+    // loaded once and feed both rows' updates, halving the dominant B-side
+    // read traffic. Each row's elements still accumulate independently.
+    let mut i = 0;
+    while i + 2 <= mb {
+        let arow0 = &ablock[i * k..(i + 1) * k];
+        let arow1 = &ablock[(i + 1) * k..(i + 2) * k];
+        let (head, tail) = chunk.split_at_mut((row0 + i + 1) * n);
+        let crow0 = &mut head[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
+        let crow1 = &mut tail[j0..j0 + nb];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a00, a01, a02, a03) = (arow0[kk], arow0[kk + 1], arow0[kk + 2], arow0[kk + 3]);
+            let (a10, a11, a12, a13) = (arow1[kk], arow1[kk + 1], arow1[kk + 2], arow1[kk + 3]);
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
+            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
+            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
+            for (((((cv0, cv1), &v0), &v1), &v2), &v3) in crow0
+                .iter_mut()
+                .zip(crow1.iter_mut())
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+            {
+                let mut acc0 = *cv0;
+                acc0 += a00 * v0;
+                acc0 += a01 * v1;
+                acc0 += a02 * v2;
+                acc0 += a03 * v3;
+                *cv0 = acc0;
+                let mut acc1 = *cv1;
+                acc1 += a10 * v0;
+                acc1 += a11 * v1;
+                acc1 += a12 * v2;
+                acc1 += a13 * v3;
+                *cv1 = acc1;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = arow0[kk];
+            let a1 = arow1[kk];
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            for ((cv0, cv1), &bv) in crow0.iter_mut().zip(crow1.iter_mut()).zip(b0) {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+            }
+            kk += 1;
+        }
+        i += 2;
+    }
+    if i < mb {
+        let arow = &ablock[i * k..(i + 1) * k];
+        let crow = &mut chunk[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            let b1 = &btile[(kk + 1) * nb..(kk + 2) * nb];
+            let b2 = &btile[(kk + 2) * nb..(kk + 3) * nb];
+            let b3 = &btile[(kk + 3) * nb..(kk + 4) * nb];
+            for ((((cv, &v0), &v1), &v2), &v3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                let mut acc = *cv;
+                acc += a0 * v0;
+                acc += a1 * v1;
+                acc += a2 * v2;
+                acc += a3 * v3;
+                *cv = acc;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = arow[kk];
+            let b0 = &btile[kk * nb..(kk + 1) * nb];
+            for (cv, &bv) in crow.iter_mut().zip(b0) {
+                *cv += a0 * bv;
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// BF16-rounds the `mb×nb` output tile at (`row0`, `j0`) in place — the
+/// scalar counterpart of the SIMD kernels' fused rounding store. The tile
+/// kernel runs once per output tile with the full `k` extent, so every
+/// element is final when this pass runs; rounding after the store is
+/// therefore bit-identical to rounding inside it.
+pub(super) fn round_tile(
+    chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+) {
+    for i in 0..mb {
+        let row = &mut chunk[(row0 + i) * n + j0..(row0 + i) * n + j0 + nb];
+        crate::bf16::round_slice(row);
+    }
+}

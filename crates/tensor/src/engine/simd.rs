@@ -1,0 +1,250 @@
+//! Runtime SIMD backend selection and introspection for the GEMM engine.
+//!
+//! The `simd` cargo feature compiles explicit vector microkernels (AVX2 on
+//! `x86_64`, NEON on `aarch64`); this module decides — **once per
+//! process** — whether they run:
+//!
+//! 1. the feature must be compiled in ([`compiled`]),
+//! 2. the `SNIP_SIMD` environment variable must not disable it (`0`,
+//!    `off`, `false` or `scalar` force the scalar kernels; read once at
+//!    first use),
+//! 3. the CPU must report the instruction set (`is_x86_feature_detected!`
+//!    on x86_64; NEON is baseline on aarch64).
+//!
+//! The scalar kernels are always compiled and are always the reference:
+//! the vector kernels assign one output element per lane and replay the
+//! scalar operation sequence inside each lane (multiply then add, `k`
+//! ascending, no FMA, no horizontal reduction), so switching backends can
+//! never change a result bit (`tests/simd_scalar.rs` pins this at 0 ULP;
+//! only NaN *payloads* are exempt, because LLVM leaves the operand order
+//! of scalar float multiplies unspecified, so the scalar reference itself
+//! does not pin them). That makes the selection here a pure
+//! performance decision — which is exactly why it is allowed to depend on
+//! the machine.
+//!
+//! [`with_forced_scalar`] pins the current thread to the scalar kernels so
+//! tests can compare both backends in one process; `bench_gemm` records
+//! [`backend`], [`lane_width`] and [`detected_features`] in
+//! `BENCH_gemm.json` so numbers from different boxes stay comparable.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Whether the `simd` cargo feature was compiled in. Runtime dispatch can
+/// still land on `"scalar"` (unsupported CPU or `SNIP_SIMD` override).
+pub fn compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Whether an environment value for `SNIP_SIMD` permits the SIMD backend.
+/// Unset permits; `0`, `off`, `false` and `scalar` (any case, surrounding
+/// whitespace ignored) force scalar; anything else permits.
+fn env_allows(value: Option<&str>) -> bool {
+    let Some(v) = value else { return true };
+    let v = v.trim();
+    !(v == "0"
+        || v.eq_ignore_ascii_case("off")
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("scalar"))
+}
+
+fn detect_backend() -> &'static str {
+    if !compiled() {
+        return "scalar";
+    }
+    if !env_allows(std::env::var("SNIP_SIMD").ok().as_deref()) {
+        return "scalar";
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return "avx2";
+    }
+    #[cfg(target_arch = "aarch64")]
+    return "neon";
+    #[allow(unreachable_code)]
+    "scalar"
+}
+
+/// The process-wide SIMD backend: `"avx2"`, `"neon"` or `"scalar"`.
+/// Resolved once at first use (cargo feature + `SNIP_SIMD` + CPU
+/// detection) and cached.
+pub fn backend() -> &'static str {
+    static BACKEND: OnceLock<&'static str> = OnceLock::new();
+    BACKEND.get_or_init(detect_backend)
+}
+
+/// Output elements one vector register owns in the active backend's tile
+/// kernel: 8 for AVX2, 4 for NEON, 1 for scalar.
+pub fn lane_width() -> usize {
+    match backend() {
+        "avx2" => 8,
+        "neon" => 4,
+        _ => 1,
+    }
+}
+
+/// Instruction-set extensions detected on this CPU (independent of which
+/// backend is active) — machine context for benchmark records.
+pub fn detected_features() -> Vec<&'static str> {
+    let mut feats = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, have) in [
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if have {
+                feats.push(name);
+            }
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    feats.push("neon");
+    feats
+}
+
+thread_local! {
+    /// Set inside [`with_forced_scalar`]: this thread runs scalar kernels
+    /// regardless of the process-wide backend.
+    static FORCED_SCALAR: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether SIMD kernels should run on this thread right now. Checked at
+/// every tile/decode dispatch; a `true` result implies the backend's
+/// instruction set was runtime-detected. (The dispatch sites are compiled
+/// out entirely without the `simd` feature or on arches with no backend,
+/// hence the dead-code allowance.)
+#[cfg_attr(
+    not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
+    allow(dead_code)
+)]
+#[inline]
+pub(crate) fn active() -> bool {
+    backend() != "scalar" && !FORCED_SCALAR.with(|f| f.get())
+}
+
+/// Runs `f` with every kernel dispatch on this thread forced to the scalar
+/// backend, then restores the previous setting. Forcing is thread-local
+/// and does not propagate to pool workers — tests that need a fully scalar
+/// parallel GEMM combine this with `SNIP_SIMD=0` or the small serial
+/// shapes the suites use. Results are bit-identical either way; this hook
+/// exists so `tests/simd_scalar.rs` can prove that in one process.
+pub fn with_forced_scalar<R>(f: impl FnOnce() -> R) -> R {
+    let prev = FORCED_SCALAR.with(|c| c.replace(true));
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_SCALAR.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Decodes `bytes.len()` packed 4-bit code pairs into `out` (length
+/// `2 * bytes.len()`): `out[2i] = lut[bytes[i] & 0xF] * scale`,
+/// `out[2i+1] = lut[bytes[i] >> 4] * scale`. `pair` is the byte → value
+/// pair expansion of `lut` ([`crate::QTensor::pair_table`]); the scalar
+/// path reads it, the AVX2 path re-derives both nibble values from `lut`
+/// directly with in-register permutes (same table entries, same multiply —
+/// bit-identical).
+pub(crate) fn decode_u4_pairs(
+    bytes: &[u8],
+    lut: &[f32],
+    pair: &[f32],
+    scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), bytes.len() * 2);
+    debug_assert_eq!(lut.len(), 16);
+    debug_assert_eq!(pair.len(), 512);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() {
+        // SAFETY: `active()` implies AVX2 was runtime-detected.
+        unsafe { super::simd_x86::decode_u4_pairs(bytes, lut, scale, out) };
+        return;
+    }
+    let _ = lut;
+    for (ob, &byte) in out.chunks_exact_mut(2).zip(bytes) {
+        let p = &pair[(byte as usize) * 2..(byte as usize) * 2 + 2];
+        ob[0] = p[0] * scale;
+        ob[1] = p[1] * scale;
+    }
+}
+
+/// Decodes a run of one-byte codes: `out[i] = lut[codes[i]] * scale`
+/// (`lut` has 256 entries — FP8/INT8 formats). The AVX2 path gathers eight
+/// table entries per step; same loads, same multiply, bit-identical.
+pub(crate) fn decode_u8_run(codes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), codes.len());
+    debug_assert_eq!(lut.len(), 256);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() {
+        // SAFETY: `active()` implies AVX2 was runtime-detected.
+        unsafe { super::simd_x86::decode_u8_run(codes, lut, scale, out) };
+        return;
+    }
+    for (o, &code) in out.iter_mut().zip(codes) {
+        *o = lut[code as usize] * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_parse_as_documented() {
+        for allow in [
+            None,
+            Some("1"),
+            Some("on"),
+            Some("avx2"),
+            Some(""),
+            Some("yes"),
+        ] {
+            assert!(env_allows(allow), "{allow:?} should permit SIMD");
+        }
+        for deny in [
+            Some("0"),
+            Some("off"),
+            Some("OFF"),
+            Some("false"),
+            Some("False"),
+            Some("scalar"),
+            Some(" scalar "),
+            Some("  0\t"),
+        ] {
+            assert!(!env_allows(deny), "{deny:?} should force scalar");
+        }
+    }
+
+    #[test]
+    fn backend_and_lane_width_are_consistent() {
+        let b = backend();
+        assert!(["avx2", "neon", "scalar"].contains(&b), "backend {b:?}");
+        let lanes = lane_width();
+        match b {
+            "avx2" => assert_eq!(lanes, 8),
+            "neon" => assert_eq!(lanes, 4),
+            _ => assert_eq!(lanes, 1),
+        }
+        if !compiled() {
+            assert_eq!(b, "scalar");
+        }
+    }
+
+    #[test]
+    fn forced_scalar_nests_and_restores() {
+        let outer = active();
+        with_forced_scalar(|| {
+            assert!(!active());
+            with_forced_scalar(|| assert!(!active()));
+            assert!(!active());
+        });
+        assert_eq!(active(), outer);
+    }
+}

@@ -1,0 +1,150 @@
+//! NEON microkernels for aarch64 — the 4-lane mirror of `simd_x86`.
+//!
+//! NEON is a baseline aarch64 feature, so no runtime detection is needed
+//! beyond the [`super::simd`] dispatcher's feature/env gating. The same
+//! bit-identity argument applies: one output element per lane, a separate
+//! `vmulq_f32` then `vaddq_f32` per k-step (**never** `vmlaq_f32` /
+//! `vfmaq_f32`, which contract into a fused multiply-add on aarch64 and
+//! would skip the intermediate rounding), `k` serial and ascending inside
+//! every lane, no cross-lane reduction.
+//!
+//! This backend vectorizes the tile kernel only; the 4-bit/8-bit decode
+//! runs the scalar pair-table/LUT loops (table gathers don't map onto
+//! NEON without `tbl` trickery that wouldn't pay at these table sizes).
+
+use std::arch::aarch64::*;
+
+/// Output elements per vector register.
+pub(super) const LANES: usize = 4;
+
+/// Rounds each lane to BF16 (kept in f32) — the vector form of
+/// [`crate::bf16::round`]: NaN lanes keep their original bits.
+#[inline]
+unsafe fn bf16_round_q(x: float32x4_t) -> float32x4_t {
+    let bits = vreinterpretq_u32_f32(x);
+    let lsb = vandq_u32(vshrq_n_u32::<16>(bits), vdupq_n_u32(1));
+    let rounded = vaddq_u32(bits, vaddq_u32(lsb, vdupq_n_u32(0x7FFF)));
+    let rounded = vandq_u32(rounded, vdupq_n_u32(0xFFFF_0000));
+    // vceqq_f32(x, x) is all-ones exactly on non-NaN lanes.
+    let ordered = vceqq_f32(x, x);
+    vbslq_f32(ordered, vreinterpretq_f32_u32(rounded), x)
+}
+
+/// Stores a finished accumulator vector, fusing the BF16 rounding when the
+/// output is a packed-precision path.
+#[inline]
+unsafe fn store<const ROUND: bool>(p: *mut f32, v: float32x4_t) {
+    let v = if ROUND { bf16_round_q(v) } else { v };
+    vst1q_f32(p, v);
+}
+
+/// The NEON tile kernel — same contract as `engine::tile_kernel`. Rows in
+/// register blocks of 4/2/1; columns in strips of 8, 4 and a scalar tail.
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn tile_kernel<const ROUND: bool>(
+    chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+    k: usize,
+    ablock: &[f32],
+    btile: &[f32],
+) {
+    debug_assert!((row0 + mb) * n <= chunk.len());
+    debug_assert!(j0 + nb <= n);
+    let cbase = chunk.as_mut_ptr();
+    let abase = ablock.as_ptr();
+    let bbase = btile.as_ptr();
+    let mut i = 0;
+    while i + 4 <= mb {
+        row_block::<4, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+        i += 4;
+    }
+    while i + 2 <= mb {
+        row_block::<2, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+        i += 2;
+    }
+    if i < mb {
+        row_block::<1, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+    }
+}
+
+/// `MR` output rows against the whole `k×nb` B tile — the 4-lane analogue
+/// of the AVX2 `row_block`, with the identical per-element operation
+/// sequence.
+#[allow(clippy::too_many_arguments)]
+unsafe fn row_block<const MR: usize, const ROUND: bool>(
+    cbase: *mut f32,
+    n: usize,
+    row: usize,
+    j0: usize,
+    arows: *const f32,
+    k: usize,
+    btile: *const f32,
+    nb: usize,
+) {
+    let mut cptr = [std::ptr::null_mut::<f32>(); MR];
+    let mut aptr = [std::ptr::null::<f32>(); MR];
+    for r in 0..MR {
+        cptr[r] = cbase.add((row + r) * n + j0);
+        aptr[r] = arows.add(r * k);
+    }
+    let mut j = 0;
+    while j + 2 * LANES <= nb {
+        let mut acc0 = [vdupq_n_f32(0.0); MR];
+        let mut acc1 = [vdupq_n_f32(0.0); MR];
+        for r in 0..MR {
+            acc0[r] = vld1q_f32(cptr[r].add(j));
+            acc1[r] = vld1q_f32(cptr[r].add(j + LANES));
+        }
+        let mut bp = btile.add(j);
+        for kk in 0..k {
+            let b0 = vld1q_f32(bp);
+            let b1 = vld1q_f32(bp.add(LANES));
+            for r in 0..MR {
+                let av = vdupq_n_f32(*aptr[r].add(kk));
+                acc0[r] = vaddq_f32(acc0[r], vmulq_f32(av, b0));
+                acc1[r] = vaddq_f32(acc1[r], vmulq_f32(av, b1));
+            }
+            bp = bp.add(nb);
+        }
+        for r in 0..MR {
+            store::<ROUND>(cptr[r].add(j), acc0[r]);
+            store::<ROUND>(cptr[r].add(j + LANES), acc1[r]);
+        }
+        j += 2 * LANES;
+    }
+    while j + LANES <= nb {
+        let mut acc = [vdupq_n_f32(0.0); MR];
+        for r in 0..MR {
+            acc[r] = vld1q_f32(cptr[r].add(j));
+        }
+        let mut bp = btile.add(j);
+        for kk in 0..k {
+            let b0 = vld1q_f32(bp);
+            for r in 0..MR {
+                let av = vdupq_n_f32(*aptr[r].add(kk));
+                acc[r] = vaddq_f32(acc[r], vmulq_f32(av, b0));
+            }
+            bp = bp.add(nb);
+        }
+        for r in 0..MR {
+            store::<ROUND>(cptr[r].add(j), acc[r]);
+        }
+        j += LANES;
+    }
+    while j < nb {
+        for r in 0..MR {
+            let mut acc = *cptr[r].add(j);
+            let mut bp = btile.add(j);
+            for kk in 0..k {
+                acc += *aptr[r].add(kk) * *bp;
+                bp = bp.add(nb);
+            }
+            *cptr[r].add(j) = if ROUND { crate::bf16::round(acc) } else { acc };
+        }
+        j += 1;
+    }
+}

@@ -1,0 +1,251 @@
+//! AVX2 microkernels: lane-parallel rank-1 tile updates, vectorized
+//! pair-table / LUT decode, and the fused BF16 rounding store.
+//!
+//! Every function here is compiled with `#[target_feature(enable =
+//! "avx2")]` and must only be called after `is_x86_feature_detected!`
+//! confirmed AVX2 (the [`super::simd`] dispatcher guarantees that).
+//!
+//! # Why this is bit-identical to the scalar kernel
+//!
+//! Each vector lane owns exactly one output element. A k-step is a
+//! broadcast of `a[kk]`, one `vmulps` and one `vaddps` — the same two
+//! IEEE-754 operations, in the same operand order, that the scalar kernel
+//! performs for that element (`acc += a * b` is a multiply then an add; on
+//! x86 the packed and scalar forms round identically per lane). The one
+//! thing *not* pinned is which operand's NaN payload survives when both
+//! inputs are NaN — LLVM may commute the scalar multiply, so the scalar
+//! reference itself leaves that unspecified (numeric values, infinities
+//! and signed zeros are still exact). There is **no FMA**: a
+//! fused multiply-add skips the intermediate rounding and would drift from
+//! the scalar kernel by an ULP. There are **no horizontal reductions**:
+//! the `k` loop stays serial inside every lane, ascending, exactly as the
+//! accumulation-order contract in the engine docs requires. Lanes never
+//! interact, so an 8-lane strip is just eight scalar element loops run in
+//! lock-step.
+
+use std::arch::x86_64::*;
+
+/// Output elements per vector register.
+pub(super) const LANES: usize = 8;
+
+/// Rounds each lane to BF16 (kept in f32) — the vector form of
+/// [`crate::bf16::round`]: NaN lanes pass through payload-intact, other
+/// lanes add the round-to-nearest-even bias and truncate the low mantissa
+/// half.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn bf16_round_ps(x: __m256) -> __m256 {
+    let bits = _mm256_castps_si256(x);
+    let lsb = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(1));
+    let rounded = _mm256_add_epi32(bits, _mm256_add_epi32(lsb, _mm256_set1_epi32(0x7FFF)));
+    let rounded = _mm256_and_si256(rounded, _mm256_set1_epi32(0xFFFF_0000u32 as i32));
+    // Unordered compare marks NaN lanes; keep their original bits.
+    let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+    _mm256_blendv_ps(_mm256_castsi256_ps(rounded), x, nan)
+}
+
+/// Stores a finished accumulator vector, fusing the BF16 rounding when the
+/// output is a packed-precision path.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn store<const ROUND: bool>(p: *mut f32, v: __m256) {
+    let v = if ROUND { bf16_round_ps(v) } else { v };
+    _mm256_storeu_ps(p, v);
+}
+
+/// The AVX2 tile kernel — same contract as `engine::tile_kernel`. Rows are
+/// processed in register blocks of 4/2/1; columns in strips of 16, 8 and a
+/// scalar tail, every strip lane owning one output element end-to-end.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn tile_kernel<const ROUND: bool>(
+    chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+    k: usize,
+    ablock: &[f32],
+    btile: &[f32],
+) {
+    debug_assert!((row0 + mb) * n <= chunk.len());
+    debug_assert!(j0 + nb <= n);
+    debug_assert!(mb * k <= ablock.len());
+    debug_assert!(k * nb <= btile.len());
+    let cbase = chunk.as_mut_ptr();
+    let abase = ablock.as_ptr();
+    let bbase = btile.as_ptr();
+    let mut i = 0;
+    while i + 4 <= mb {
+        row_block::<4, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+        i += 4;
+    }
+    while i + 2 <= mb {
+        row_block::<2, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+        i += 2;
+    }
+    if i < mb {
+        row_block::<1, ROUND>(cbase, n, row0 + i, j0, abase.add(i * k), k, bbase, nb);
+    }
+}
+
+/// `MR` output rows against the whole `k×nb` B tile. Two accumulator
+/// registers per row in the 16-wide strips (`4 rows × 4 regs + 2 B loads +
+/// 1 broadcast` fits the 16 ymm registers), one in the 8-wide strip, plain
+/// f32 in the tail — all with the identical per-element operation
+/// sequence.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn row_block<const MR: usize, const ROUND: bool>(
+    cbase: *mut f32,
+    n: usize,
+    row: usize,
+    j0: usize,
+    arows: *const f32,
+    k: usize,
+    btile: *const f32,
+    nb: usize,
+) {
+    let mut cptr = [std::ptr::null_mut::<f32>(); MR];
+    let mut aptr = [std::ptr::null::<f32>(); MR];
+    for r in 0..MR {
+        cptr[r] = cbase.add((row + r) * n + j0);
+        aptr[r] = arows.add(r * k);
+    }
+    let mut j = 0;
+    while j + 2 * LANES <= nb {
+        let mut acc0 = [_mm256_setzero_ps(); MR];
+        let mut acc1 = [_mm256_setzero_ps(); MR];
+        for r in 0..MR {
+            acc0[r] = _mm256_loadu_ps(cptr[r].add(j));
+            acc1[r] = _mm256_loadu_ps(cptr[r].add(j + LANES));
+        }
+        let mut bp = btile.add(j);
+        for kk in 0..k {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(LANES));
+            for r in 0..MR {
+                let av = _mm256_set1_ps(*aptr[r].add(kk));
+                acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+                acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+            }
+            bp = bp.add(nb);
+        }
+        for r in 0..MR {
+            store::<ROUND>(cptr[r].add(j), acc0[r]);
+            store::<ROUND>(cptr[r].add(j + LANES), acc1[r]);
+        }
+        j += 2 * LANES;
+    }
+    while j + LANES <= nb {
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for r in 0..MR {
+            acc[r] = _mm256_loadu_ps(cptr[r].add(j));
+        }
+        let mut bp = btile.add(j);
+        for kk in 0..k {
+            let b0 = _mm256_loadu_ps(bp);
+            for r in 0..MR {
+                let av = _mm256_set1_ps(*aptr[r].add(kk));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, b0));
+            }
+            bp = bp.add(nb);
+        }
+        for r in 0..MR {
+            store::<ROUND>(cptr[r].add(j), acc[r]);
+        }
+        j += LANES;
+    }
+    while j < nb {
+        for r in 0..MR {
+            let mut acc = *cptr[r].add(j);
+            let mut bp = btile.add(j);
+            for kk in 0..k {
+                acc += *aptr[r].add(kk) * *bp;
+                bp = bp.add(nb);
+            }
+            *cptr[r].add(j) = if ROUND { crate::bf16::round(acc) } else { acc };
+        }
+        j += 1;
+    }
+}
+
+/// 16-entry nibble lookup: `vpermps` indexes modulo 8, so the table is
+/// split into `lut[0..8]` / `lut[8..16]` halves looked up in parallel and
+/// blended on the nibble's bit 3 (shifted into each lane's sign bit —
+/// `vblendvps` selects on the sign).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn nibble_lookup(idx: __m256i, lo_tab: __m256, hi_tab: __m256) -> __m256 {
+    let lo = _mm256_permutevar8x32_ps(lo_tab, idx);
+    let hi = _mm256_permutevar8x32_ps(hi_tab, idx);
+    let sel = _mm256_castsi256_ps(_mm256_slli_epi32::<28>(idx));
+    _mm256_blendv_ps(lo, hi, sel)
+}
+
+/// Vectorized 4-bit pair decode: eight bytes per step expand to sixteen
+/// outputs. Both nibble values come straight from the 16-entry `lut` via
+/// in-register permutes — the same table entries the scalar pair-table
+/// walk reads (the pair table *is* `lut` indexed by nibble), multiplied by
+/// the same scale in the same order, so results are bit-identical.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decode_u4_pairs(bytes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(lut.len(), 16);
+    debug_assert_eq!(out.len(), bytes.len() * 2);
+    let lo_tab = _mm256_loadu_ps(lut.as_ptr());
+    let hi_tab = _mm256_loadu_ps(lut.as_ptr().add(8));
+    let sv = _mm256_set1_ps(scale);
+    let n = bytes.len();
+    let bp = bytes.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let raw = _mm_loadl_epi64(bp.add(i) as *const __m128i);
+        let codes = _mm256_cvtepu8_epi32(raw);
+        let lo = _mm256_and_si256(codes, _mm256_set1_epi32(0x0F));
+        let hi = _mm256_srli_epi32::<4>(codes);
+        let lo_v = nibble_lookup(lo, lo_tab, hi_tab);
+        let hi_v = nibble_lookup(hi, lo_tab, hi_tab);
+        // Interleave to byte order: out[2j] = low nibble, out[2j+1] = high.
+        let even = _mm256_unpacklo_ps(lo_v, hi_v);
+        let odd = _mm256_unpackhi_ps(lo_v, hi_v);
+        let first = _mm256_permute2f128_ps::<0x20>(even, odd);
+        let second = _mm256_permute2f128_ps::<0x31>(even, odd);
+        _mm256_storeu_ps(op.add(2 * i), _mm256_mul_ps(first, sv));
+        _mm256_storeu_ps(op.add(2 * i + 8), _mm256_mul_ps(second, sv));
+        i += 8;
+    }
+    while i < n {
+        let b = *bp.add(i) as usize;
+        *op.add(2 * i) = lut[b & 0x0F] * scale;
+        *op.add(2 * i + 1) = lut[b >> 4] * scale;
+        i += 1;
+    }
+}
+
+/// Vectorized one-byte LUT decode (FP8/INT8): eight codes widen to dword
+/// indices and gather from the 256-entry table, then scale — the same
+/// table load and multiply as the scalar loop.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decode_u8_run(codes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(lut.len(), 256);
+    debug_assert_eq!(out.len(), codes.len());
+    let sv = _mm256_set1_ps(scale);
+    let n = codes.len();
+    let cp = codes.as_ptr();
+    let op = out.as_mut_ptr();
+    let lp = lut.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let raw = _mm_loadl_epi64(cp.add(i) as *const __m128i);
+        let idx = _mm256_cvtepu8_epi32(raw);
+        let vals = _mm256_i32gather_ps::<4>(lp, idx);
+        _mm256_storeu_ps(op.add(i), _mm256_mul_ps(vals, sv));
+        i += 8;
+    }
+    while i < n {
+        *op.add(i) = lut[*cp.add(i) as usize] * scale;
+        i += 1;
+    }
+}

@@ -18,6 +18,14 @@
 //! * [`pool`] — the lazily-initialized persistent worker pool behind every
 //!   parallel kernel (`SNIP_THREADS` overrides its size; results are
 //!   bit-identical at every size).
+//! * [`bf16`] — round-to-nearest-even BF16 rounding, shared between the
+//!   engine's fused tile store (`matmul_bf16`/`qgemm_bf16` families) and the
+//!   standalone slice pass used elsewhere in the workspace.
+//! * [`simd`] — the runtime-dispatched SIMD backend behind the engine
+//!   (AVX2/NEON when the `simd` cargo feature is on, scalar otherwise);
+//!   exposes introspection (`backend()`, `lane_width()`) and the
+//!   `with_forced_scalar` test hook. Results are bit-identical across
+//!   backends by construction: lanes vectorize *output elements* only.
 //! * [`ops`] — elementwise and reduction helpers (softmax, SiLU, norms).
 //! * [`rng`] — deterministic xoshiro256++ random streams with Gaussian
 //!   sampling; all randomness in the workspace flows from explicit seeds so
@@ -37,6 +45,7 @@
 //! assert!(n.is_finite());
 //! ```
 
+pub mod bf16;
 mod engine;
 pub mod matmul;
 pub mod ops;
@@ -45,13 +54,16 @@ pub mod pool;
 pub mod rng;
 mod tensor;
 
+pub use engine::simd;
 pub use packed::{CodeWidth, GroupLayout, QOperandRef, QTensor};
 pub use tensor::Tensor;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::matmul::{matmul, matmul_nt, matmul_tn};
-    pub use crate::packed::{qgemm, qgemm_nt, qgemm_tn, QOperandRef, QTensor};
+    pub use crate::packed::{
+        qgemm, qgemm_bf16, qgemm_nt, qgemm_nt_bf16, qgemm_tn, qgemm_tn_bf16, QOperandRef, QTensor,
+    };
     pub use crate::rng::Rng;
     pub use crate::Tensor;
 }

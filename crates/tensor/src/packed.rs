@@ -37,6 +37,7 @@
 //! by `snip-quant`, which knows about FP4/FP8/INT codecs. [`GroupLayout`]
 //! mirrors the scaling granularities at the storage level.
 
+use crate::engine::Round;
 use crate::matmul::{for_each_row_chunk, parts_for, DECODE_PARALLEL_THRESHOLD};
 use crate::Tensor;
 use serde::{de_field, Content, Deserialize, Error as SerdeError, Serialize};
@@ -507,12 +508,12 @@ impl QTensor {
             match self.width {
                 CodeWidth::U8 => {
                     let base = r * self.cols;
-                    for (o, &code) in out[c - c0..run_end - c0]
-                        .iter_mut()
-                        .zip(&self.data[base + c..base + run_end])
-                    {
-                        *o = self.lut[code as usize] * scale;
-                    }
+                    crate::engine::simd::decode_u8_run(
+                        &self.data[base + c..base + run_end],
+                        &self.lut,
+                        scale,
+                        &mut out[c - c0..run_end - c0],
+                    );
                 }
                 CodeWidth::U4 => {
                     self.decode_u4_run(r, c, run_end, scale, &mut out[c - c0..run_end - c0])
@@ -539,11 +540,13 @@ impl QTensor {
         }
         let pairs = (end - c) / 2;
         let bytes = &row[c / 2..c / 2 + pairs];
-        for (ob, &byte) in out[o..o + 2 * pairs].chunks_exact_mut(2).zip(bytes) {
-            let p = &pair[(byte as usize) * 2..(byte as usize) * 2 + 2];
-            ob[0] = p[0] * scale;
-            ob[1] = p[1] * scale;
-        }
+        crate::engine::simd::decode_u4_pairs(
+            bytes,
+            &self.lut,
+            pair,
+            scale,
+            &mut out[o..o + 2 * pairs],
+        );
         if (end - c) % 2 == 1 {
             out[o + 2 * pairs] = pair[(row[(end - 1) / 2] as usize) * 2] * scale;
         }
@@ -686,7 +689,23 @@ pub fn qgemm(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
     let (_, k) = a.shape();
     let (kb, _) = b.shape();
     assert_eq!(k, kb, "qgemm: inner dims differ ({k} vs {kb})");
-    crate::engine::gemm_nn(&a, &b)
+    crate::engine::gemm_nn(&a, &b, Round::Keep)
+}
+
+/// [`qgemm`] with the BF16 output rounding fused into the tile store:
+/// bit-identical to `qgemm` followed by [`crate::bf16::round_slice`] on
+/// the result, without the second pass over the output. This is the
+/// quantized-GEMM form SNIP's linear layers use — their outputs live in
+/// BF16 "high precision" (paper Fig. 5).
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn qgemm_bf16(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (_, k) = a.shape();
+    let (kb, _) = b.shape();
+    assert_eq!(k, kb, "qgemm_bf16: inner dims differ ({k} vs {kb})");
+    crate::engine::gemm_nn(&a, &b, Round::Bf16)
 }
 
 /// `C = A · Bᵀ` over packed/dense operands (`A`: `M×K`, `B`: `N×K`) — the
@@ -702,7 +721,19 @@ pub fn qgemm_nt(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
     let (_, k) = a.shape();
     let (_, kb) = b.shape();
     assert_eq!(k, kb, "qgemm_nt: inner dims differ ({k} vs {kb})");
-    crate::engine::gemm_nt(&a, &b)
+    crate::engine::gemm_nt(&a, &b, Round::Keep)
+}
+
+/// [`qgemm_nt`] with fused BF16 output rounding — see [`qgemm_bf16`].
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn qgemm_nt_bf16(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (_, k) = a.shape();
+    let (_, kb) = b.shape();
+    assert_eq!(k, kb, "qgemm_nt_bf16: inner dims differ ({k} vs {kb})");
+    crate::engine::gemm_nt(&a, &b, Round::Bf16)
 }
 
 /// `C = Aᵀ · B` over packed/dense operands (`A`: `K×M`, `B`: `K×N`) — the
@@ -716,7 +747,19 @@ pub fn qgemm_tn(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
     let (k, _) = a.shape();
     let (kb, _) = b.shape();
     assert_eq!(k, kb, "qgemm_tn: outer dims differ ({k} vs {kb})");
-    crate::engine::gemm_tn(&a, &b)
+    crate::engine::gemm_tn(&a, &b, Round::Keep)
+}
+
+/// [`qgemm_tn`] with fused BF16 output rounding — see [`qgemm_bf16`].
+///
+/// # Panics
+///
+/// Panics if outer dimensions differ.
+pub fn qgemm_tn_bf16(a: QOperandRef<'_>, b: QOperandRef<'_>) -> Tensor {
+    let (k, _) = a.shape();
+    let (kb, _) = b.shape();
+    assert_eq!(k, kb, "qgemm_tn_bf16: outer dims differ ({k} vs {kb})");
+    crate::engine::gemm_tn(&a, &b, Round::Bf16)
 }
 
 #[cfg(test)]

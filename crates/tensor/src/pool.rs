@@ -29,10 +29,103 @@
 //! the current thread only (the worker count itself never changes after
 //! init).
 
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Cache-line alignment for GEMM scratch buffers: covers every vector width
+/// we dispatch to (32-byte AVX2, 64-byte AVX-512) and keeps tiles from
+/// straddling lines.
+pub(crate) const SCRATCH_ALIGN: usize = 64;
+
+/// A grow-only `f32` buffer whose storage is always [`SCRATCH_ALIGN`]-byte
+/// aligned — `Vec<f32>` only guarantees 4.
+///
+/// The B-side tile cache and per-worker tile scratch live in these so the
+/// SIMD microkernels stream k-major tile rows from aligned, cache-line-sized
+/// slots. The kernels still use unaligned loads (output rows land at
+/// arbitrary `j0` offsets and correctness never depends on alignment), but
+/// aligned tile bases mean an 8-lane load never splits across two lines.
+/// Alignment can't change results — only which micro-op the load decodes to.
+///
+/// Like the `prep` pattern on `Vec`, `prep` here zero-fills the requested
+/// length; capacity never shrinks for the lifetime of the worker.
+pub(crate) struct AlignedVec {
+    ptr: NonNull<f32>,
+    cap: usize,
+    len: usize,
+}
+
+// SAFETY: the buffer is plain `f32` storage with unique ownership; sending
+// it (or a shared reference) across threads is as safe as `Vec<f32>`.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    pub(crate) const fn new() -> Self {
+        AlignedVec {
+            ptr: NonNull::dangling(),
+            cap: 0,
+            len: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap * std::mem::size_of::<f32>(), SCRATCH_ALIGN)
+            .expect("scratch layout overflow")
+    }
+
+    /// Returns a zeroed slice of exactly `len` floats, growing the
+    /// allocation if needed.
+    pub(crate) fn prep(&mut self, len: usize) -> &mut [f32] {
+        if len > self.cap {
+            let new_cap = len.next_power_of_two();
+            let layout = Self::layout(new_cap);
+            // Grow-only scratch has no contents worth copying: drop the old
+            // allocation and take a fresh zeroed one.
+            unsafe { self.release() };
+            let raw = unsafe { alloc_zeroed(layout) } as *mut f32;
+            self.ptr = NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout));
+            self.cap = new_cap;
+            self.len = len;
+            // Freshly zeroed; skip the fill below.
+            return unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), len) };
+        }
+        self.len = len;
+        let s = unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), len) };
+        s.fill(0.0);
+        s
+    }
+
+    /// The slice produced by the last [`prep`](Self::prep) call.
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Raw base pointer (valid for `len` floats after a `prep`).
+    pub(crate) fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr.as_ptr()
+    }
+
+    /// Frees the current allocation (no-op when empty). Caller must not use
+    /// `ptr` afterwards without reassigning it.
+    unsafe fn release(&mut self) {
+        if self.cap > 0 {
+            dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+            self.cap = 0;
+            self.len = 0;
+        }
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        unsafe { self.release() };
+    }
+}
 
 /// One parallel region: a fixed number of task indices, a lifetime-erased
 /// task function, and a completion latch.
@@ -316,5 +409,18 @@ mod tests {
     #[test]
     fn size_is_at_least_one() {
         assert!(size() >= 1);
+    }
+
+    #[test]
+    fn aligned_vec_is_aligned_zeroed_and_reusable() {
+        let mut v = AlignedVec::new();
+        for len in [1usize, 7, 64, 65, 1000, 3] {
+            let s = v.prep(len);
+            assert_eq!(s.len(), len);
+            assert_eq!(s.as_ptr() as usize % SCRATCH_ALIGN, 0);
+            assert!(s.iter().all(|&x| x == 0.0), "len {len} not zeroed");
+            s.fill(3.5); // dirty it so the next prep must re-zero
+            assert_eq!(v.as_slice().len(), len);
+        }
     }
 }

@@ -1,0 +1,243 @@
+//! SIMD-vs-scalar identity: every kernel must return **bit-identical**
+//! results whether the runtime-dispatched SIMD backend or the scalar
+//! reference runs it. The scalar path is forced per-case with
+//! [`snip_tensor::simd::with_forced_scalar`], which is what `SNIP_SIMD=0`
+//! pins at startup but scoped to a closure.
+//!
+//! Covered here:
+//!
+//! * all six dense/packed kernels plus their fused-BF16 variants, over
+//!   proptest-drawn shapes that exercise every lane tail (`n % 16`,
+//!   `n % 8`, `n < 8`, row-block tails `m % 4`);
+//! * fused BF16 output == two-pass (`Keep` kernel then `bf16::round_slice`);
+//! * the FP4 pair-table decode and the FP8/INT8 LUT decode (`dequantize`),
+//!   including ragged columns around the 16-wide pair strip;
+//! * NaN and Inf operands — non-finite *structure* must match exactly
+//!   (which elements are NaN, infinity signs, signed zeros). NaN payloads
+//!   alone are exempt: LLVM leaves the operand order of a scalar float
+//!   multiply unspecified, so the scalar reference itself does not pin
+//!   which input's payload survives.
+//!
+//! When the crate is built without the `simd` feature (or the CPU lacks
+//! AVX2/NEON) both sides dispatch to scalar and the suite degenerates to a
+//! self-check; `simd::backend()` is printed once so CI logs show which case
+//! ran.
+
+use proptest::prelude::*;
+use snip_tensor::rng::Rng;
+use snip_tensor::{
+    bf16, matmul, packed, simd, CodeWidth, GroupLayout, QOperandRef, QTensor, Tensor,
+};
+
+/// A 4-bit sign-magnitude codebook over {0, 0.5, …, 3.5} — same mirrored
+/// layout the SIMD nibble lookup assumes (code `8 + i` = `-lut[i]`).
+fn test_lut_u4() -> Vec<f32> {
+    let mut lut = vec![0.0f32; 16];
+    for i in 0..8 {
+        lut[i] = i as f32 * 0.5;
+        lut[8 + i] = -(i as f32 * 0.5);
+    }
+    lut
+}
+
+/// An 8-bit LUT with irregular values so gather lanes can't accidentally
+/// agree: entry i is a signed, non-monotonic function of i.
+fn test_lut_u8() -> Vec<f32> {
+    (0..256)
+        .map(|i| {
+            let x = i as f32;
+            (x - 128.0) * 0.03125 + (x * 0.7).sin() * 0.001
+        })
+        .collect()
+}
+
+fn random_qtensor(rows: usize, cols: usize, width: CodeWidth, seed: u64) -> QTensor {
+    let mut rng = Rng::seed_from(seed);
+    let layout = GroupLayout::Tile { nb: 5 };
+    let groups = layout.group_count(rows, cols);
+    let scales: Vec<f32> = (0..groups).map(|_| 0.25 + rng.next_f32()).collect();
+    let (lut, codes) = match width {
+        CodeWidth::U4 => (test_lut_u4(), 16u64),
+        CodeWidth::U8 => (test_lut_u8(), 256u64),
+    };
+    let mut q = QTensor::new_zeroed(rows, cols, width, lut, layout, scales);
+    for r in 0..rows {
+        for c in 0..cols {
+            q.set_code(r, c, (rng.next_u64() % codes) as u8);
+        }
+    }
+    q
+}
+
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: element {i}: {a:?} ({:#010x}) vs {b:?} ({:#010x})",
+            a.to_bits(),
+            b.to_bits()
+        );
+    }
+}
+
+/// Runs all twelve kernels (six orientations × Keep/BF16) plus both decode
+/// widths with the dispatched backend and again under `with_forced_scalar`,
+/// asserting 0-ULP equality pairwise.
+fn check_simd_matches_scalar(m: usize, k: usize, n: usize, seed: u64) {
+    let mut rng = Rng::seed_from(seed);
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b = Tensor::randn(k, n, 1.0, &mut rng);
+    let bt = Tensor::randn(n, k, 1.0, &mut rng);
+    let at = Tensor::randn(k, m, 1.0, &mut rng);
+    let qa = random_qtensor(m, k, CodeWidth::U4, seed ^ 1);
+    let qb = random_qtensor(k, n, CodeWidth::U4, seed ^ 2);
+    let q8 = random_qtensor(m, n.max(1), CodeWidth::U8, seed ^ 5);
+
+    let run = || {
+        (
+            matmul::matmul(&a, &b),
+            matmul::matmul_nt(&a, &bt),
+            matmul::matmul_tn(&at, &b),
+            matmul::matmul_bf16(&a, &b),
+            matmul::matmul_nt_bf16(&a, &bt),
+            matmul::matmul_tn_bf16(&at, &b),
+            packed::qgemm(QOperandRef::from(&qa), QOperandRef::from(&qb)),
+            packed::qgemm_bf16(QOperandRef::from(&qa), QOperandRef::from(&qb)),
+            qa.dequantize(),
+            q8.dequantize(),
+        )
+    };
+
+    let dispatched = run();
+    let scalar = simd::with_forced_scalar(run);
+
+    let what = |name: &str| format!("{name}, {m}x{k}x{n} ({})", simd::backend());
+    assert_bits_eq(&dispatched.0, &scalar.0, &what("matmul"));
+    assert_bits_eq(&dispatched.1, &scalar.1, &what("matmul_nt"));
+    assert_bits_eq(&dispatched.2, &scalar.2, &what("matmul_tn"));
+    assert_bits_eq(&dispatched.3, &scalar.3, &what("matmul_bf16"));
+    assert_bits_eq(&dispatched.4, &scalar.4, &what("matmul_nt_bf16"));
+    assert_bits_eq(&dispatched.5, &scalar.5, &what("matmul_tn_bf16"));
+    assert_bits_eq(&dispatched.6, &scalar.6, &what("qgemm"));
+    assert_bits_eq(&dispatched.7, &scalar.7, &what("qgemm_bf16"));
+    assert_bits_eq(&dispatched.8, &scalar.8, &what("dequantize u4"));
+    assert_bits_eq(&dispatched.9, &scalar.9, &what("dequantize u8"));
+
+    // Fused BF16 must equal the two-pass form (Keep kernel, then a
+    // standalone rounding sweep) on BOTH backends.
+    let mut two_pass = dispatched.0.clone();
+    bf16::round_slice(two_pass.as_mut_slice());
+    assert_bits_eq(&dispatched.3, &two_pass, &what("fused vs two-pass bf16"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simd_and_scalar_agree_to_the_bit(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        check_simd_matches_scalar(m, k, n, seed);
+    }
+}
+
+/// Fixed shapes chosen to hit every strip tail in the x86 kernel: the
+/// 16-wide double strip, the 8-wide strip, the scalar column tail, and the
+/// 4/2/1-row blocks — plus widths below one SIMD lane.
+#[test]
+fn lane_tail_shapes_agree() {
+    eprintln!(
+        "simd backend: {} (compiled: {}, lanes: {})",
+        simd::backend(),
+        simd::compiled(),
+        simd::lane_width()
+    );
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (1, 3, 7),   // below one lane
+        (2, 5, 8),   // exactly one lane
+        (3, 5, 9),   // one lane + scalar tail
+        (4, 7, 15),  // 8-strip + 7 tail
+        (5, 7, 16),  // exactly the double strip
+        (6, 9, 17),  // double strip + 1
+        (7, 9, 31),  // double strip + 8-strip + 7
+        (9, 16, 33), // row blocks 4+4+1
+        (11, 13, 40),
+    ] {
+        check_simd_matches_scalar(m, k, n, 0xBEEF ^ ((m * 971 + k * 31 + n) as u64));
+    }
+}
+
+/// Bit equality except that two NaNs (any payload, any sign) match: the
+/// payload surviving a NaN*NaN multiply is unspecified even between two
+/// scalar builds, so only NaN-ness is contractual. Everything else —
+/// numeric values, infinity signs, signed zeros — must be exact.
+fn assert_bits_eq_modulo_nan(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        if a.is_nan() && b.is_nan() {
+            continue;
+        }
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: element {i}: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// NaN and Inf operands: the SIMD kernels must propagate non-finite values
+/// structurally as the scalar kernels do — same elements NaN, same
+/// infinity and zero signs (payloads exempt, see above).
+#[test]
+fn non_finite_operands_propagate_identically() {
+    let mut rng = Rng::seed_from(77);
+    for (m, k, n) in [(3, 6, 17), (5, 9, 33)] {
+        let mut a = Tensor::randn(m, k, 1.0, &mut rng);
+        let mut b = Tensor::randn(k, n, 1.0, &mut rng);
+        // Sprinkle NaNs with distinct payloads, infinities, and zeros.
+        let specials = [
+            f32::from_bits(0x7FC1_2345),
+            f32::from_bits(0xFFC0_0001),
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+        ];
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = specials[i % specials.len()];
+            }
+        }
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *v = specials[(i + 3) % specials.len()];
+            }
+        }
+        let run = || (matmul::matmul(&a, &b), matmul::matmul_bf16(&a, &b));
+        let dispatched = run();
+        let scalar = simd::with_forced_scalar(run);
+        assert_bits_eq_modulo_nan(&dispatched.0, &scalar.0, "matmul with non-finite");
+        assert_bits_eq_modulo_nan(&dispatched.1, &scalar.1, "matmul_bf16 with non-finite");
+    }
+}
+
+/// Decode raggedness: column ranges that start/end off the pair-strip
+/// boundary, odd widths (trailing nibble), and runs shorter than one lane.
+#[test]
+fn decode_tails_agree() {
+    for &(rows, cols) in &[(1, 1), (2, 3), (3, 15), (4, 16), (5, 17), (3, 37), (2, 63)] {
+        let q4 = random_qtensor(rows, cols, CodeWidth::U4, 0xD4 ^ (cols as u64));
+        let q8 = random_qtensor(rows, cols, CodeWidth::U8, 0xD8 ^ (cols as u64));
+        let d4 = q4.dequantize();
+        let d8 = q8.dequantize();
+        let (s4, s8) = simd::with_forced_scalar(|| (q4.dequantize(), q8.dequantize()));
+        assert_bits_eq(&d4, &s4, &format!("u4 decode {rows}x{cols}"));
+        assert_bits_eq(&d8, &s8, &format!("u8 decode {rows}x{cols}"));
+    }
+}
