@@ -1,7 +1,9 @@
-//! The perf-trajectory runner: times quantize, decode, all six GEMM
-//! orientations and an end-to-end training step at model-realistic shapes,
-//! each kernel against its frozen PR-4 predecessor (`snip_bench::legacy`),
-//! and writes machine-readable `BENCH_gemm.json` at the repo root.
+//! The perf-trajectory runner: times quantize (fake vs packed, per rounding
+//! mode), decode, all six GEMM orientations and an end-to-end training step
+//! at model-realistic shapes, each kernel against its frozen PR-4
+//! predecessor (`snip_bench::legacy`), plus a per-backend GEMM matrix with
+//! the dispatch pinned to each compiled SIMD tier in turn, and writes
+//! machine-readable `BENCH_gemm.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p snip-bench --bin bench_gemm            # full run
@@ -68,12 +70,32 @@ struct SmallGemmRow {
     speedup: f64,
 }
 
-/// A current-only measurement (no frozen predecessor to compare against).
+/// One cell of the per-backend GEMM matrix: the same kernel and shape timed
+/// with the dispatch pinned to one compiled tier via
+/// [`simd::with_forced_backend`]. Results across backends are asserted
+/// bit-identical before any timing, so the matrix only ever compares
+/// identical math.
 #[derive(Debug, Serialize, Deserialize)]
-struct CurrentRow {
-    name: String,
+struct BackendRow {
+    backend: String,
+    kernel: String,
     shape: String,
     current_ms: f64,
+    gflops: f64,
+}
+
+/// One quantize measurement: the fused packed path against the fake-quant
+/// (dequantized `Tensor` output) path over the same input and rounding mode.
+/// `ratio` is `packed_ms / fake_ms` — the packed path also *packs* codes, so
+/// staying near 1.0 means the fused sweep adds no second pass.
+#[derive(Debug, Serialize, Deserialize)]
+struct QuantizeRow {
+    name: String,
+    shape: String,
+    rounding: String,
+    fake_ms: f64,
+    packed_ms: f64,
+    ratio: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -89,8 +111,9 @@ struct Report {
     smoke: bool,
     machine: Machine,
     gemm: Vec<KernelRow>,
+    backend_gemm: Vec<BackendRow>,
     decode: Vec<KernelRow>,
-    quantize: Vec<CurrentRow>,
+    quantize: Vec<QuantizeRow>,
     small_gemm: Vec<SmallGemmRow>,
     train_step: TrainStep,
 }
@@ -291,21 +314,38 @@ fn run(smoke: bool) -> Report {
             });
         }
 
-        // Quantize: current-only (PR 4 already closed the encode gap; this
-        // extends the trajectory forward from here).
+        // Quantize: packed path vs fake-quant path, per rounding mode. The
+        // packed path does strictly more work (it emits codes, not just the
+        // dequantized grid), so `ratio` near 1.0 shows the single-pass fused
+        // sweep — for stochastic rounding in particular, that the SR encode
+        // costs no second pass over the data.
         for p in [Precision::Fp4, Precision::Fp8] {
-            let quantizer = p.quantizer_with_group(TensorRole::Input, 128);
-            let mut qrng = Rng::seed_from(11);
-            let current_ms = time_best_ms(reps, || {
-                quantizer.quantize_packed(&x, &mut qrng).expect("packable")
-            });
-            quantize.push(CurrentRow {
-                name: format!("quantize_{p}"),
-                shape: format!("{tokens}x{d_in}"),
-                current_ms,
-            });
+            for rounding in [
+                snip_quant::Rounding::Nearest,
+                snip_quant::Rounding::Stochastic,
+            ] {
+                let quantizer = p
+                    .quantizer_with_group(TensorRole::Input, 128)
+                    .with_rounding(rounding);
+                let mut frng = Rng::seed_from(11);
+                let fake_ms = time_best_ms(reps, || quantizer.fake_quantize(&x, &mut frng));
+                let mut qrng = Rng::seed_from(11);
+                let packed_ms = time_best_ms(reps, || {
+                    quantizer.quantize_packed(&x, &mut qrng).expect("packable")
+                });
+                quantize.push(QuantizeRow {
+                    name: format!("quantize_{p}"),
+                    shape: format!("{tokens}x{d_in}"),
+                    rounding: format!("{rounding:?}").to_lowercase(),
+                    fake_ms,
+                    packed_ms,
+                    ratio: packed_ms / fake_ms,
+                });
+            }
         }
     }
+
+    let backend_gemm = backend_gemm_sweep(shapes, reps, &mut rng);
 
     let small_gemm = small_gemm_sweep(smoke, &mut rng);
 
@@ -317,16 +357,68 @@ fn run(smoke: bool) -> Report {
     let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
 
     Report {
-        schema: 2,
+        schema: 3,
         generated_by: "bench_gemm".to_string(),
         smoke,
         machine,
         gemm,
+        backend_gemm,
         decode,
         quantize,
         small_gemm,
         train_step: TrainStep { steps, ms_per_step },
     }
+}
+
+/// Times the dense and packed forward kernels at each full shape with the
+/// dispatch pinned to every compiled backend tier in turn. Before timing,
+/// every tier's result is asserted bit-identical to the scalar tier's, so a
+/// backend row can never record a kernel that drifted. This is the
+/// per-backend evidence for the SIMD trajectory: scalar → 8-lane AVX2 →
+/// 16-lane AVX-512 on the same box, same binary, same operands.
+fn backend_gemm_sweep(
+    shapes: &[(usize, usize, usize)],
+    reps: usize,
+    rng: &mut Rng,
+) -> Vec<BackendRow> {
+    let mut out = Vec::new();
+    for &(tokens, d_out, d_in) in shapes {
+        let dy = Tensor::randn(tokens, d_out, 1.0, rng);
+        let w = Tensor::randn(d_out, d_in, 0.05, rng);
+        let qdy = pack(&dy, TensorRole::OutputGrad, rng);
+        let qw = pack(&w, TensorRole::Weight, rng);
+        let dw_ = qw.dequantize();
+
+        type Call<'a> = Box<dyn Fn() -> Tensor + 'a>;
+        let kernels: [(&str, Call<'_>); 2] = [
+            ("matmul", Box::new(|| matmul(&dy, &dw_))),
+            (
+                "qgemm",
+                Box::new(|| qgemm(QOperandRef::from(&qdy), QOperandRef::from(&qw))),
+            ),
+        ];
+        let flops = 2.0 * (tokens * d_out * d_in) as f64;
+        for (kernel, call) in kernels {
+            let reference = simd::with_forced_scalar(&*call);
+            for backend in simd::available_backends() {
+                let result = simd::with_forced_backend(backend, &*call);
+                assert_bits_eq(
+                    &result,
+                    &reference,
+                    &format!("{kernel} @ {}", backend.name()),
+                );
+                let current_ms = simd::with_forced_backend(backend, || time_best_ms(reps, &*call));
+                out.push(BackendRow {
+                    backend: backend.name().to_string(),
+                    kernel: kernel.to_string(),
+                    shape: format!("{tokens}x{d_out}x{d_in}"),
+                    current_ms,
+                    gflops: flops / (current_ms * 1e6),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Times shapes straddling [`SMALL_GEMM_MACS`] through default dispatch
@@ -336,6 +428,13 @@ fn run(smoke: bool) -> Report {
 /// side and near 1 just past the boundary. Results are bit-identical by
 /// construction (asserted here before timing, pinned in
 /// `tests/pool_determinism.rs`).
+///
+/// Re-swept after the 16-lane AVX-512 kernel landed: the faster microkernel
+/// shrinks per-call compute, which could in principle move the crossover up
+/// (fixed dispatch overhead amortized over less work). Measured on the bench
+/// box the sweep stays ~1.0x on both sides of the boundary, so the cutoff
+/// keeps its `1 << 16` value; the extra shapes just under and over the
+/// boundary (including a ragged-K one) keep the boundary itself in evidence.
 fn small_gemm_sweep(smoke: bool, rng: &mut Rng) -> Vec<SmallGemmRow> {
     let shapes: &[(usize, usize, usize)] = if smoke {
         &[(16, 16, 16), (64, 64, 16)]
@@ -345,6 +444,8 @@ fn small_gemm_sweep(smoke: bool, rng: &mut Rng) -> Vec<SmallGemmRow> {
             (16, 16, 16),
             (32, 32, 16),
             (32, 32, 32),
+            (48, 48, 28), // 64512 MACs: just under the cutoff, ragged for 16 lanes
+            (64, 63, 16), // 64512 MACs: just under the cutoff, ragged K
             (64, 64, 16), // exactly the cutoff: generic path
             (64, 64, 32),
             (64, 64, 64),
@@ -386,7 +487,7 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let report: Report =
         serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    if report.schema != 2 {
+    if report.schema != 3 {
         return Err(format!("unknown schema {}", report.schema));
     }
     let mach = &report.machine;
@@ -410,11 +511,57 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
             other => return Err(format!("{} {}: gflops = {other:?}", r.kernel, r.shape)),
         }
     }
+    if report.backend_gemm.is_empty() {
+        return Err("backend_gemm section is empty".to_string());
+    }
+    // Every backend in the matrix must cover the same kernels, the machine's
+    // selected backend must appear, and a scalar baseline must be present
+    // (it is compiled unconditionally, so its absence means a broken sweep).
+    let backends: std::collections::BTreeSet<&str> = report
+        .backend_gemm
+        .iter()
+        .map(|r| r.backend.as_str())
+        .collect();
+    if !backends.contains("scalar") {
+        return Err("backend_gemm is missing the scalar tier".to_string());
+    }
+    if !backends.contains(mach.simd_backend.as_str()) {
+        return Err(format!(
+            "backend_gemm is missing the dispatched backend `{}`",
+            mach.simd_backend
+        ));
+    }
+    for backend in &backends {
+        for kernel in ["matmul", "qgemm"] {
+            if !report
+                .backend_gemm
+                .iter()
+                .any(|r| r.backend == *backend && r.kernel == kernel)
+            {
+                return Err(format!("backend_gemm: `{backend}` is missing `{kernel}`"));
+            }
+        }
+    }
+    for r in &report.backend_gemm {
+        for (what, v) in [("current_ms", r.current_ms), ("gflops", r.gflops)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "backend_gemm {} {} {}: {what} = {v}",
+                    r.backend, r.kernel, r.shape
+                ));
+            }
+        }
+    }
     if report.decode.is_empty() {
         return Err("decode section is empty".to_string());
     }
     if report.quantize.is_empty() {
         return Err("quantize section is empty".to_string());
+    }
+    for rounding in ["nearest", "stochastic"] {
+        if !report.quantize.iter().any(|r| r.rounding == rounding) {
+            return Err(format!("quantize section has no `{rounding}` rows"));
+        }
     }
     for r in report.gemm.iter().chain(&report.decode) {
         for (what, v) in [
@@ -428,8 +575,14 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
         }
     }
     for r in &report.quantize {
-        if !r.current_ms.is_finite() || r.current_ms <= 0.0 {
-            return Err(format!("{}: current_ms = {}", r.name, r.current_ms));
+        for (what, v) in [
+            ("fake_ms", r.fake_ms),
+            ("packed_ms", r.packed_ms),
+            ("ratio", r.ratio),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{} {}: {what} = {v}", r.name, r.rounding));
+            }
         }
     }
     if report.small_gemm.is_empty() {
@@ -454,9 +607,11 @@ fn check_report(path: &std::path::Path) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{} gemm rows, {} decode rows, {} quantize rows, {} small-gemm rows, \
-         {:.2} ms/train-step, {} simd on {} threads",
+        "{} gemm rows, {} backend rows ({}), {} decode rows, {} quantize rows, \
+         {} small-gemm rows, {:.2} ms/train-step, {} simd on {} threads",
         report.gemm.len(),
+        report.backend_gemm.len(),
+        backends.iter().copied().collect::<Vec<_>>().join("/"),
         report.decode.len(),
         report.quantize.len(),
         report.small_gemm.len(),
@@ -488,8 +643,17 @@ fn print_summary(report: &Report) {
             r.kernel, r.shape, r.baseline_ms, r.current_ms, r.speedup
         );
     }
+    for r in &report.backend_gemm {
+        println!(
+            "  {:>12} {:>14}  {:>9.3} ms   {:>6.2} GFLOP/s  [{}]",
+            r.kernel, r.shape, r.current_ms, r.gflops, r.backend
+        );
+    }
     for r in &report.quantize {
-        println!("  {:>12} {:>14}  {:>9.3} ms", r.name, r.shape, r.current_ms);
+        println!(
+            "  {:>12} {:>14}  {:>9.3} ms fake → {:>9.3} ms packed  {:>5.2}x  ({})",
+            r.name, r.shape, r.fake_ms, r.packed_ms, r.ratio, r.rounding
+        );
     }
     for r in &report.small_gemm {
         println!(

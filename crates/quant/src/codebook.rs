@@ -249,6 +249,125 @@ impl Codebook {
         self.pack_with(t, granularity, rng, Self::max_abs_scale(grid_max), quantize)
     }
 
+    /// [`Codebook::pack`] for **stochastic rounding** of a float format
+    /// under the standard max-abs scale recipe: scan, scale and SR-encode
+    /// in one sweep. Where [`Codebook::pack`] quantizes each element to its
+    /// grid *value* and then searches the code table
+    /// (`encode(quantize_stochastic(...))`), this path computes the code
+    /// index directly from the element's exponent and stochastically
+    /// rounded mantissa (`FloatFormat::stochastic_code`) — no grid-value
+    /// reconstruction, no encode-table lookup.
+    ///
+    /// The RNG contract is the oracle's exactly: **one `next_f32()` draw
+    /// per element, unconditionally** (drawn before any zero/NaN/saturation
+    /// short-circuit, just as the two-step path evaluates the draw as a
+    /// call argument), in [`Granularity::for_each_group`] row-major-within-
+    /// group order. Codes and the final RNG position are therefore
+    /// bit-identical to the two-step path and to fake quantization
+    /// (property-tested in `tests/packed_equivalence.rs` and the quant
+    /// fused-SR suite).
+    ///
+    /// `fmt` must be the float format this codebook was built from
+    /// (`Codebook::for_float(fmt)`) — the index arithmetic assumes this
+    /// table *is* `fmt.enumerate_non_negative()`.
+    pub fn pack_stochastic(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        fmt: FloatFormat,
+        rng: &mut Rng,
+    ) -> QTensor {
+        debug_assert_eq!(
+            self.key,
+            LutKey::Float(fmt.kind()),
+            "pack_stochastic: codebook was not built from {fmt}"
+        );
+        let half = (self.width.lut_len() / 2) as u8;
+        let top = (self.values() - 1) as u8;
+        // A dedicated sweep rather than `pack_impl` with a code_of closure:
+        // the draw + SR-encode call sits directly in the segment loops (one
+        // closure level instead of two), which measures ~8% faster on the
+        // FP8 path — and this path is the one the ≤ 1.1×-of-fake budget in
+        // `BENCH_gemm.json` holds to account.
+        let (rows, cols) = t.shape();
+        let layout = granularity.layout();
+        let width = self.width();
+        let row_bytes = width.row_bytes(cols);
+        let mut data = vec![0u8; rows * row_bytes];
+        let mut scales = Vec::with_capacity(layout.group_count(rows, cols));
+        granularity.for_each_group(rows, cols, |rr, cr| {
+            let mut max_abs = 0.0f32;
+            for r in rr.clone() {
+                for &v in &t.row(r)[cr.clone()] {
+                    max_abs = max_abs.max(v.abs());
+                }
+            }
+            let scale = Granularity::group_scale(fmt.max_value(), max_abs);
+            scales.push(1.0 / scale);
+            for r in rr {
+                let seg = &t.row(r)[cr.clone()];
+                let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
+                match width {
+                    CodeWidth::U4 => encode_seg_u4(seg, cr.start, out, &mut |v| {
+                        fmt.stochastic_code(v * scale, rng.next_f32(), half, top)
+                    }),
+                    CodeWidth::U8 => {
+                        for (&v, o) in seg.iter().zip(&mut out[cr.clone()]) {
+                            *o = fmt.stochastic_code(v * scale, rng.next_f32(), half, top);
+                        }
+                    }
+                }
+            }
+        });
+        QTensor::from_parts_with_pair(
+            rows,
+            cols,
+            width,
+            self.lut(),
+            self.pair_lut(),
+            layout,
+            scales,
+            data,
+        )
+    }
+
+    /// [`Codebook::pack_nearest`] specialized to the float format this
+    /// codebook was built from. Byte-wide formats (FP8-class, 127 rounding
+    /// boundaries) skip the threshold table's per-element binary search and
+    /// compute the code arithmetically from the element's exponent
+    /// (`FloatFormat::nearest_code`), exactly like the stochastic path;
+    /// subbyte formats keep the threshold count, which vectorizes and beats
+    /// the arithmetic path at ≤ 8 boundaries. Bit-identical to
+    /// `encode(quantize_nearest(..))` either way (pinned by the packed ↔
+    /// fake equivalence suites).
+    pub fn pack_nearest_float(
+        &self,
+        t: &Tensor,
+        granularity: Granularity,
+        fmt: FloatFormat,
+    ) -> QTensor {
+        debug_assert_eq!(
+            self.key,
+            LutKey::Float(fmt.kind()),
+            "pack_nearest_float: codebook was not built from {fmt}"
+        );
+        match self.width {
+            CodeWidth::U4 => self.pack_nearest(t, granularity, fmt.max_value(), |scaled| {
+                fmt.quantize_nearest(scaled)
+            }),
+            CodeWidth::U8 => {
+                let half = (self.width.lut_len() / 2) as u8;
+                let top = (self.values() - 1) as u8;
+                self.pack_impl(
+                    t,
+                    granularity,
+                    Self::max_abs_scale(fmt.max_value()),
+                    |v, enc_scale| fmt.nearest_code(v * enc_scale, half, top),
+                )
+            }
+        }
+    }
+
     /// [`Codebook::pack`] for **nearest rounding** under the standard
     /// max-abs scale recipe: the fused quantize+encode fast path of
     /// [`Codebook::pack_nearest_with`], no RNG needed.

@@ -173,16 +173,16 @@ impl Quantizer {
         }
         let cb = Codebook::for_float(self.format)?;
         let fmt = self.format;
-        let grid_max = fmt.max_value();
         Some(match self.rounding {
             // Deterministic rounding takes the fused quantize+encode path
-            // (pure integer threshold counting, no RNG).
-            Rounding::Nearest => cb.pack_nearest(t, self.granularity, grid_max, |scaled| {
-                fmt.quantize_nearest(scaled)
-            }),
-            Rounding::Stochastic => cb.pack(t, self.granularity, grid_max, rng, |scaled, rng| {
-                fmt.quantize_stochastic(scaled, rng.next_f32())
-            }),
+            // (threshold counting for subbyte formats, exponent arithmetic
+            // for byte-wide ones, no RNG).
+            Rounding::Nearest => cb.pack_nearest_float(t, self.granularity, fmt),
+            // Stochastic rounding takes the fused scan+scale+SR-encode
+            // sweep — same element order, same one-draw-per-element RNG
+            // stream as the two-step `encode(quantize_stochastic(..))`
+            // oracle, bit-identical codes.
+            Rounding::Stochastic => cb.pack_stochastic(t, self.granularity, fmt, rng),
         })
     }
 

@@ -1,12 +1,15 @@
 //! Packed ↔ fake-quantization bit-equivalence for the §5.2 alternative
 //! quantizers (MX, RHT, outlier split), mirroring the FP4/FP8/INT suites in
 //! the crate's unit tests, plus the direct-map encode table against its
-//! binary-search reference.
+//! binary-search reference, plus the fused single-pass stochastic-rounding
+//! pack against its two-step `encode(quantize_stochastic(..))` oracle.
 //!
 //! The contract under test is [`PackedQuantize`]'s: for every quantizer,
 //! `pack(t, rng).dequantize()` must equal `fake_reference(t, rng')` bit for
 //! bit when both start from the same RNG state, and both paths must consume
-//! the same number of stochastic draws.
+//! the same number of stochastic draws. The fused-SR suite sharpens this to
+//! the packed *codes* themselves (not just their decoded values) and to the
+//! exact RNG stream position.
 
 use proptest::prelude::*;
 use snip_quant::format::FloatFormat;
@@ -115,6 +118,29 @@ proptest! {
         assert_packed_equivalence(&int_q, &t, seed, "int4 stochastic");
     }
 
+    /// The fused single-pass stochastic pack ([`Codebook::pack_stochastic`],
+    /// what `Quantizer::quantize_packed` dispatches for
+    /// `Rounding::Stochastic`) against the two-step oracle
+    /// `encode(quantize_stochastic(scaled, next_f32()))`: **bit-identical
+    /// packed codes and scales, and the identical RNG stream position
+    /// afterwards**, for every float format × granularity.
+    #[test]
+    fn fused_stochastic_pack_matches_two_step_oracle(
+        t in tensor_strategy(7, 29),
+        seed in 0u64..1_000,
+    ) {
+        for fmt in [
+            FloatFormat::e2m1(),
+            FloatFormat::e4m3(),
+            FloatFormat::e5m2(),
+            FloatFormat::e3m4(),
+        ] {
+            for g in GRANULARITIES {
+                assert_fused_sr_matches_oracle(fmt, g, &t, seed);
+            }
+        }
+    }
+
     /// The direct-map encode table agrees with the binary-search reference
     /// on every value the quantization kernels can emit: each grid point of
     /// each format, both signs.
@@ -146,6 +172,91 @@ proptest! {
                 let v = lut[code];
                 prop_assert_eq!(cb.encode(v), cb.encode_binary_search(v), "{}", v);
             }
+        }
+    }
+}
+
+/// Runs the fused stochastic pack and the two-step oracle from identical
+/// RNG states; asserts code-for-code, scale-for-scale bit equality and the
+/// same stream position after.
+fn assert_fused_sr_matches_oracle(fmt: FloatFormat, g: Granularity, t: &Tensor, seed: u64) {
+    let cb = Codebook::for_float(fmt).unwrap();
+    let mut rng_fused = Rng::seed_from(seed);
+    let mut rng_oracle = Rng::seed_from(seed);
+    let q = Quantizer::new(fmt, g, Rounding::Stochastic);
+    let fused = q
+        .quantize_packed(t, &mut rng_fused)
+        .expect("float formats are packable");
+    let oracle = cb.pack(t, g, fmt.max_value(), &mut rng_oracle, |scaled, rng| {
+        fmt.quantize_stochastic(scaled, rng.next_f32())
+    });
+    let ctx = format!("{fmt} {g}");
+    assert_eq!(fused.shape(), oracle.shape(), "{ctx}: shape");
+    assert_eq!(
+        fused.packed_data(),
+        oracle.packed_data(),
+        "{ctx}: packed code bytes"
+    );
+    let (rows, cols) = t.shape();
+    for r in 0..rows {
+        for c in 0..cols {
+            assert_eq!(fused.code(r, c), oracle.code(r, c), "{ctx}: code ({r},{c})");
+        }
+    }
+    for (i, (a, b)) in fused.scales().iter().zip(oracle.scales()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: scale {i}");
+    }
+    assert_eq!(
+        rng_fused.next_u64(),
+        rng_oracle.next_u64(),
+        "{ctx}: rng stream diverged"
+    );
+}
+
+/// Edge inputs the fused index arithmetic must get right: signed zeros
+/// (negative underflow must encode as `-0.0`'s code), NaN and infinities,
+/// f32 subnormals, exact grid values and binade boundaries, midpoints,
+/// values at/above saturation, and the truncated top binade of e4m3/e5m2.
+/// One element pins max|t| = FPX_MAX so the tensorwise scale is exactly 1
+/// and the probe values hit the format grid unscaled; the stochastic draws
+/// still exercise both round directions across seeds.
+#[test]
+fn fused_stochastic_pack_handles_edge_inputs() {
+    for fmt in [
+        FloatFormat::e2m1(),
+        FloatFormat::e4m3(),
+        FloatFormat::e5m2(),
+        FloatFormat::e3m4(),
+    ] {
+        let max = fmt.max_value();
+        let mut probes = vec![
+            max, // scale anchor: tensorwise scale = max/max = 1
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::from_bits(1),           // smallest f32 subnormal
+            f32::from_bits(0x0070_0000), // f32 subnormal with high mantissa
+            fmt.min_subnormal(),
+            fmt.min_subnormal() / 2.0,
+            -fmt.min_subnormal() / 4.0, // rounds to ±0 → sign must fold like the oracle
+            max - 1e-3 * max,
+            -max,
+            max * 0.99999,
+        ];
+        // Every grid value and every adjacent midpoint, both signs.
+        let values = fmt.enumerate_non_negative();
+        for w in values.windows(2) {
+            probes.push(w[0]);
+            probes.push(-(w[1]));
+            probes.push((w[0] + w[1]) / 2.0);
+            probes.push(-(w[0] + w[1]) / 2.0);
+        }
+        let cols = probes.len();
+        let t = Tensor::from_vec(1, cols, probes);
+        for seed in [0u64, 1, 7, 0xDEAD, 12345] {
+            assert_fused_sr_matches_oracle(fmt, Granularity::Tensorwise, &t, seed);
         }
     }
 }

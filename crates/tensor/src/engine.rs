@@ -55,6 +55,8 @@ pub mod simd;
 mod simd_neon;
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 mod simd_x86;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd_x86_512;
 
 /// Output rows per block (bounds A-side scratch to `MC × k` floats).
 const MC: usize = 64;
@@ -119,23 +121,39 @@ fn tile_kernel(
     btile: &[f32],
 ) {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if simd::active() {
-        // SAFETY: `active()` is true only after `is_x86_feature_detected!`
-        // confirmed AVX2 at backend init.
-        unsafe {
-            match round {
-                Round::Keep => {
-                    simd_x86::tile_kernel::<false>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
-                }
-                Round::Bf16 => {
-                    simd_x86::tile_kernel::<true>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+    match simd::active_backend() {
+        // SAFETY: a vector backend is only ever selected after
+        // `is_x86_feature_detected!` confirmed its instruction set.
+        simd::Backend::Avx512 => {
+            unsafe {
+                match round {
+                    Round::Keep => simd_x86_512::tile_kernel::<false>(
+                        chunk, n, row0, j0, mb, nb, k, ablock, btile,
+                    ),
+                    Round::Bf16 => simd_x86_512::tile_kernel::<true>(
+                        chunk, n, row0, j0, mb, nb, k, ablock, btile,
+                    ),
                 }
             }
+            return;
         }
-        return;
+        simd::Backend::Avx2 => {
+            unsafe {
+                match round {
+                    Round::Keep => {
+                        simd_x86::tile_kernel::<false>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                    }
+                    Round::Bf16 => {
+                        simd_x86::tile_kernel::<true>(chunk, n, row0, j0, mb, nb, k, ablock, btile)
+                    }
+                }
+            }
+            return;
+        }
+        _ => {}
     }
     #[cfg(all(feature = "simd", target_arch = "aarch64"))]
-    if simd::active() {
+    if simd::active_backend() == simd::Backend::Neon {
         // SAFETY: NEON is a baseline aarch64 feature.
         unsafe {
             match round {

@@ -1,15 +1,30 @@
 //! Runtime SIMD backend selection and introspection for the GEMM engine.
 //!
-//! The `simd` cargo feature compiles explicit vector microkernels (AVX2 on
-//! `x86_64`, NEON on `aarch64`); this module decides — **once per
-//! process** — whether they run:
+//! The `simd` cargo feature compiles explicit vector microkernels (AVX2
+//! and AVX-512 on `x86_64`, NEON on `aarch64`); this module decides —
+//! **once per process** — which tier runs:
 //!
 //! 1. the feature must be compiled in ([`compiled`]),
-//! 2. the `SNIP_SIMD` environment variable must not disable it (`0`,
-//!    `off`, `false` or `scalar` force the scalar kernels; read once at
-//!    first use),
+//! 2. the `SNIP_SIMD` environment variable may cap or disable the tier
+//!    (see below; read once at first use),
 //! 3. the CPU must report the instruction set (`is_x86_feature_detected!`
 //!    on x86_64; NEON is baseline on aarch64).
+//!
+//! # `SNIP_SIMD` accepted values
+//!
+//! | value (any case, trimmed)        | effect                               |
+//! |----------------------------------|--------------------------------------|
+//! | unset, empty, `1`, `on`, `true`  | full dispatch (best detected tier)   |
+//! | `0`, `off`, `false`, `scalar`    | scalar kernels only                  |
+//! | `avx2`, `neon`                   | cap at the 1st vector tier (AVX2/NEON) |
+//! | `avx512`                         | cap at the 2nd vector tier (AVX-512) |
+//!
+//! A cap names a *tier*, not a requirement: `SNIP_SIMD=avx512` on an
+//! AVX2-only box still runs AVX2, and `SNIP_SIMD=avx2` on aarch64 runs
+//! NEON (both are tier-1 backends). `SNIP_SIMD=avx2` on an AVX-512 machine
+//! pins the 8-lane backend for A/B comparisons. Any other value warns once
+//! to stderr and behaves like full dispatch (the historical behavior,
+//! now no longer silent).
 //!
 //! The scalar kernels are always compiled and are always the reference:
 //! the vector kernels assign one output element per lane and replay the
@@ -22,13 +37,68 @@
 //! performance decision — which is exactly why it is allowed to depend on
 //! the machine.
 //!
-//! [`with_forced_scalar`] pins the current thread to the scalar kernels so
-//! tests can compare both backends in one process; `bench_gemm` records
-//! [`backend`], [`lane_width`] and [`detected_features`] in
-//! `BENCH_gemm.json` so numbers from different boxes stay comparable.
+//! [`with_forced_backend`] pins the current thread (and, for the duration
+//! of any pool dispatch it issues, the workers that serve it) to a specific
+//! tier so tests and benchmarks can compare every compiled backend in one
+//! process; `bench_gemm` records [`backend`], [`lane_width`] and
+//! [`detected_features`] in `BENCH_gemm.json` so numbers from different
+//! boxes stay comparable.
 
 use std::cell::Cell;
 use std::sync::OnceLock;
+
+/// A kernel backend tier. Backends are ordered by tier (vector width):
+/// scalar is tier 0, NEON and AVX2 are the first vector tier, AVX-512 the
+/// second. On any given machine the usable backends form a chain
+/// ([`available_backends`]); [`with_forced_backend`] clamps requests into
+/// that chain so a test matrix written for the widest machine still runs
+/// (degenerately) everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// The portable reference kernels. Always available.
+    Scalar,
+    /// 4-lane NEON (aarch64 baseline).
+    Neon,
+    /// 8-lane AVX2 (x86_64).
+    Avx2,
+    /// 16-lane AVX-512 (x86_64, `avx512f`).
+    Avx512,
+}
+
+impl Backend {
+    /// The name recorded in benchmarks and accepted by `SNIP_SIMD`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Neon => "neon",
+            Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
+        }
+    }
+
+    /// Output elements one vector register owns in this backend's tile
+    /// kernel.
+    pub fn lane_width(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Neon => 4,
+            Backend::Avx2 => 8,
+            Backend::Avx512 => 16,
+        }
+    }
+
+    /// Vector-width tier: 0 = scalar, 1 = 128/256-bit (NEON, AVX2),
+    /// 2 = 512-bit (AVX-512). `SNIP_SIMD` caps and `with_forced_backend`
+    /// clamp by tier, so the same request means the same thing on every
+    /// architecture.
+    fn tier(self) -> u8 {
+        match self {
+            Backend::Scalar => 0,
+            Backend::Neon | Backend::Avx2 => 1,
+            Backend::Avx512 => 2,
+        }
+    }
+}
 
 /// Whether the `simd` cargo feature was compiled in. Runtime dispatch can
 /// still land on `"scalar"` (unsupported CPU or `SNIP_SIMD` override).
@@ -36,51 +106,112 @@ pub fn compiled() -> bool {
     cfg!(feature = "simd")
 }
 
-/// Whether an environment value for `SNIP_SIMD` permits the SIMD backend.
-/// Unset permits; `0`, `off`, `false` and `scalar` (any case, surrounding
-/// whitespace ignored) force scalar; anything else permits.
-fn env_allows(value: Option<&str>) -> bool {
-    let Some(v) = value else { return true };
+/// How an environment value for `SNIP_SIMD` parses: a tier cap, plus
+/// whether the value was unrecognized (warned once at backend init).
+fn env_tier_cap(value: Option<&str>) -> (u8, bool) {
+    const FULL: u8 = u8::MAX;
+    let Some(v) = value else { return (FULL, false) };
     let v = v.trim();
-    !(v == "0"
+    if v.is_empty() {
+        return (FULL, false);
+    }
+    if v == "0"
         || v.eq_ignore_ascii_case("off")
         || v.eq_ignore_ascii_case("false")
-        || v.eq_ignore_ascii_case("scalar"))
+        || v.eq_ignore_ascii_case("scalar")
+    {
+        return (0, false);
+    }
+    if v.eq_ignore_ascii_case("avx2") || v.eq_ignore_ascii_case("neon") {
+        return (1, false);
+    }
+    if v.eq_ignore_ascii_case("avx512") {
+        return (2, false);
+    }
+    if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+        return (FULL, false);
+    }
+    (FULL, true)
 }
 
-fn detect_backend() -> &'static str {
+/// The widest backend the CPU supports (ignoring `SNIP_SIMD`), or scalar
+/// when the feature is compiled out.
+fn detect_cpu_backend() -> Backend {
     if !compiled() {
-        return "scalar";
-    }
-    if !env_allows(std::env::var("SNIP_SIMD").ok().as_deref()) {
-        return "scalar";
+        return Backend::Scalar;
     }
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        return "avx2";
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Backend::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
     }
     #[cfg(target_arch = "aarch64")]
-    return "neon";
+    return Backend::Neon;
     #[allow(unreachable_code)]
-    "scalar"
+    Backend::Scalar
 }
 
-/// The process-wide SIMD backend: `"avx2"`, `"neon"` or `"scalar"`.
-/// Resolved once at first use (cargo feature + `SNIP_SIMD` + CPU
-/// detection) and cached.
+/// Lowers `detected` to `tier`: tier 0 is scalar, tier 1 is the
+/// architecture's first vector backend, and any higher tier keeps
+/// `detected` (the chain has at most three rungs per arch).
+fn at_tier(detected: Backend, tier: u8) -> Backend {
+    match tier {
+        0 => Backend::Scalar,
+        1 => match detected {
+            Backend::Avx512 => Backend::Avx2,
+            other => other,
+        },
+        _ => detected,
+    }
+}
+
+fn detect_backend() -> Backend {
+    let raw = std::env::var("SNIP_SIMD").ok();
+    let (cap, unrecognized) = env_tier_cap(raw.as_deref());
+    if unrecognized {
+        eprintln!(
+            "snip-tensor: unrecognized SNIP_SIMD value {:?}; accepted values are \
+             1/on/true (full), 0/off/false/scalar, avx2/neon (tier-1 cap), avx512 \
+             (tier-2 cap) — proceeding with full SIMD dispatch",
+            raw.as_deref().unwrap_or("")
+        );
+    }
+    let detected = detect_cpu_backend();
+    at_tier(detected, cap.min(detected.tier()))
+}
+
+/// The process-wide SIMD backend (cargo feature + `SNIP_SIMD` cap + CPU
+/// detection). Resolved once at first use and cached; the unrecognized-
+/// value warning, if any, is emitted exactly once here.
+pub fn backend_kind() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(detect_backend)
+}
+
+/// The process-wide SIMD backend's name: `"avx512"`, `"avx2"`, `"neon"`
+/// or `"scalar"`.
 pub fn backend() -> &'static str {
-    static BACKEND: OnceLock<&'static str> = OnceLock::new();
-    BACKEND.get_or_init(detect_backend)
+    backend_kind().name()
 }
 
 /// Output elements one vector register owns in the active backend's tile
-/// kernel: 8 for AVX2, 4 for NEON, 1 for scalar.
+/// kernel: 16 for AVX-512, 8 for AVX2, 4 for NEON, 1 for scalar.
 pub fn lane_width() -> usize {
-    match backend() {
-        "avx2" => 8,
-        "neon" => 4,
-        _ => 1,
-    }
+    backend_kind().lane_width()
+}
+
+/// Every backend tier usable in this process, scalar first, widest last —
+/// the process backend and each lower tier. This is the sweep domain for
+/// the per-backend test suites and `bench_gemm`'s backend matrix: on an
+/// AVX-512 box it is `[Scalar, Avx2, Avx512]`, under `SNIP_SIMD=avx2` it
+/// shrinks to `[Scalar, Avx2]`, and with `SNIP_SIMD=0` only `[Scalar]`.
+pub fn available_backends() -> Vec<Backend> {
+    let top = backend_kind();
+    (0..=top.tier()).map(|t| at_tier(top, t)).collect()
 }
 
 /// Instruction-set extensions detected on this CPU (independent of which
@@ -107,50 +238,79 @@ pub fn detected_features() -> Vec<&'static str> {
 }
 
 thread_local! {
-    /// Set inside [`with_forced_scalar`]: this thread runs scalar kernels
-    /// regardless of the process-wide backend.
-    static FORCED_SCALAR: Cell<bool> = const { Cell::new(false) };
+    /// Set inside [`with_forced_backend`]: this thread dispatches to the
+    /// stored backend regardless of the process-wide one. Always holds a
+    /// value already clamped into this machine's chain.
+    static FORCED: Cell<Option<Backend>> = const { Cell::new(None) };
 }
 
-/// Whether SIMD kernels should run on this thread right now. Checked at
-/// every tile/decode dispatch; a `true` result implies the backend's
-/// instruction set was runtime-detected. (The dispatch sites are compiled
-/// out entirely without the `simd` feature or on arches with no backend,
-/// hence the dead-code allowance.)
+/// The backend every kernel dispatch on this thread uses right now: the
+/// forced backend if one is installed, the process backend otherwise. A
+/// non-scalar result implies the backend's instruction set was
+/// runtime-detected. (The vector dispatch sites are compiled out entirely
+/// without the `simd` feature or on arches with no backend, hence the
+/// dead-code allowance.)
 #[cfg_attr(
     not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
     allow(dead_code)
 )]
 #[inline]
-pub(crate) fn active() -> bool {
-    backend() != "scalar" && !FORCED_SCALAR.with(|f| f.get())
+pub(crate) fn active_backend() -> Backend {
+    FORCED.with(|f| f.get()).unwrap_or_else(backend_kind)
 }
 
-/// Runs `f` with every kernel dispatch on this thread forced to the scalar
-/// backend, then restores the previous setting. Forcing is thread-local
-/// and does not propagate to pool workers — tests that need a fully scalar
-/// parallel GEMM combine this with `SNIP_SIMD=0` or the small serial
-/// shapes the suites use. Results are bit-identical either way; this hook
-/// exists so `tests/simd_scalar.rs` can prove that in one process.
-pub fn with_forced_scalar<R>(f: impl FnOnce() -> R) -> R {
-    let prev = FORCED_SCALAR.with(|c| c.replace(true));
-    struct Restore(bool);
+/// The forced backend installed on this thread, if any — captured by
+/// `pool::run` so workers serving a forced caller dispatch the same tier.
+pub(crate) fn forced_backend() -> Option<Backend> {
+    FORCED.with(|f| f.get())
+}
+
+/// Installs an already-clamped forced-backend value for the duration of
+/// `f` (restoring the previous one after) — the raw form `pool` workers
+/// use to mirror the submitting thread. [`with_forced_backend`] is the
+/// public, clamping entry point.
+pub(crate) fn with_forced_raw<R>(forced: Option<Backend>, f: impl FnOnce() -> R) -> R {
+    let prev = FORCED.with(|c| c.replace(forced));
+    struct Restore(Option<Backend>);
     impl Drop for Restore {
         fn drop(&mut self) {
-            FORCED_SCALAR.with(|c| c.set(self.0));
+            FORCED.with(|c| c.set(self.0));
         }
     }
     let _restore = Restore(prev);
     f()
 }
 
+/// Runs `f` with every kernel dispatch on this thread — and on pool
+/// workers serving dispatches this thread issues while inside `f` — pinned
+/// to `requested`, then restores the previous setting. The request is
+/// clamped by *tier* to what this process can run (`Scalar` always works;
+/// `Avx512` on an AVX2-only box runs AVX2; `Avx2` on aarch64 runs NEON;
+/// a `SNIP_SIMD` cap lowers the ceiling the same way), so sweeping
+/// [`available_backends`] — or any fixed list — is portable. Results are
+/// bit-identical across backends by contract; this hook exists so
+/// `tests/simd_scalar.rs` can prove that for every tier in one process.
+pub fn with_forced_backend<R>(requested: Backend, f: impl FnOnce() -> R) -> R {
+    let top = backend_kind();
+    let effective = at_tier(top, requested.tier().min(top.tier()));
+    with_forced_raw(Some(effective), f)
+}
+
+/// Runs `f` with every kernel dispatch on this thread (and serving pool
+/// workers) forced to the scalar backend — shorthand for
+/// [`with_forced_backend`]`(Backend::Scalar, f)`, which is what
+/// `SNIP_SIMD=0` pins at startup but scoped to a closure.
+pub fn with_forced_scalar<R>(f: impl FnOnce() -> R) -> R {
+    with_forced_backend(Backend::Scalar, f)
+}
+
 /// Decodes `bytes.len()` packed 4-bit code pairs into `out` (length
 /// `2 * bytes.len()`): `out[2i] = lut[bytes[i] & 0xF] * scale`,
 /// `out[2i+1] = lut[bytes[i] >> 4] * scale`. `pair` is the byte → value
 /// pair expansion of `lut` ([`crate::QTensor::pair_table`]); the scalar
-/// path reads it, the AVX2 path re-derives both nibble values from `lut`
-/// directly with in-register permutes (same table entries, same multiply —
-/// bit-identical).
+/// path reads it, the vector paths re-derive both nibble values from `lut`
+/// directly with in-register permutes/table lookups (same table entries,
+/// same multiply — bit-identical).
 pub(crate) fn decode_u4_pairs(
     bytes: &[u8],
     lut: &[f32],
@@ -162,9 +322,22 @@ pub(crate) fn decode_u4_pairs(
     debug_assert_eq!(lut.len(), 16);
     debug_assert_eq!(pair.len(), 512);
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if active() {
-        // SAFETY: `active()` implies AVX2 was runtime-detected.
-        unsafe { super::simd_x86::decode_u4_pairs(bytes, lut, scale, out) };
+    match active_backend() {
+        // SAFETY: the backend is only selected after runtime detection.
+        Backend::Avx512 => {
+            unsafe { super::simd_x86_512::decode_u4_pairs(bytes, lut, scale, out) };
+            return;
+        }
+        Backend::Avx2 => {
+            unsafe { super::simd_x86::decode_u4_pairs(bytes, lut, scale, out) };
+            return;
+        }
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_backend() == Backend::Neon {
+        // SAFETY: NEON is a baseline aarch64 feature.
+        unsafe { super::simd_neon::decode_u4_pairs(bytes, lut, scale, out) };
         return;
     }
     let _ = lut;
@@ -176,15 +349,29 @@ pub(crate) fn decode_u4_pairs(
 }
 
 /// Decodes a run of one-byte codes: `out[i] = lut[codes[i]] * scale`
-/// (`lut` has 256 entries — FP8/INT8 formats). The AVX2 path gathers eight
-/// table entries per step; same loads, same multiply, bit-identical.
+/// (`lut` has 256 entries — FP8/INT8 formats). The vector paths gather a
+/// register's worth of table entries per step; same loads, same multiply,
+/// bit-identical.
 pub(crate) fn decode_u8_run(codes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
     debug_assert_eq!(out.len(), codes.len());
     debug_assert_eq!(lut.len(), 256);
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if active() {
-        // SAFETY: `active()` implies AVX2 was runtime-detected.
-        unsafe { super::simd_x86::decode_u8_run(codes, lut, scale, out) };
+    match active_backend() {
+        // SAFETY: the backend is only selected after runtime detection.
+        Backend::Avx512 => {
+            unsafe { super::simd_x86_512::decode_u8_run(codes, lut, scale, out) };
+            return;
+        }
+        Backend::Avx2 => {
+            unsafe { super::simd_x86::decode_u8_run(codes, lut, scale, out) };
+            return;
+        }
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_backend() == Backend::Neon {
+        // SAFETY: NEON is a baseline aarch64 feature.
+        unsafe { super::simd_neon::decode_u8_run(codes, lut, scale, out) };
         return;
     }
     for (o, &code) in out.iter_mut().zip(codes) {
@@ -198,53 +385,94 @@ mod tests {
 
     #[test]
     fn env_values_parse_as_documented() {
-        for allow in [
-            None,
-            Some("1"),
-            Some("on"),
-            Some("avx2"),
-            Some(""),
-            Some("yes"),
+        const FULL: u8 = u8::MAX;
+        for (value, want) in [
+            (None, FULL),
+            (Some("1"), FULL),
+            (Some("on"), FULL),
+            (Some("TRUE"), FULL),
+            (Some(""), FULL),
+            (Some("  "), FULL),
+            (Some("0"), 0),
+            (Some("off"), 0),
+            (Some("OFF"), 0),
+            (Some("false"), 0),
+            (Some("False"), 0),
+            (Some("scalar"), 0),
+            (Some(" scalar "), 0),
+            (Some("  0\t"), 0),
+            (Some("avx2"), 1),
+            (Some("AVX2"), 1),
+            (Some("neon"), 1),
+            (Some("avx512"), 2),
+            (Some(" AVX512 "), 2),
         ] {
-            assert!(env_allows(allow), "{allow:?} should permit SIMD");
+            let (cap, unrecognized) = env_tier_cap(value);
+            assert_eq!(cap, want, "{value:?} should cap at tier {want}");
+            assert!(!unrecognized, "{value:?} is a documented value");
         }
-        for deny in [
-            Some("0"),
-            Some("off"),
-            Some("OFF"),
-            Some("false"),
-            Some("False"),
-            Some("scalar"),
-            Some(" scalar "),
-            Some("  0\t"),
-        ] {
-            assert!(!env_allows(deny), "{deny:?} should force scalar");
+        for value in [Some("yes"), Some("2"), Some("sse"), Some("amx")] {
+            let (cap, unrecognized) = env_tier_cap(value);
+            assert_eq!(cap, FULL, "{value:?} must fall back to full dispatch");
+            assert!(unrecognized, "{value:?} should be flagged for the warning");
         }
     }
 
     #[test]
     fn backend_and_lane_width_are_consistent() {
-        let b = backend();
-        assert!(["avx2", "neon", "scalar"].contains(&b), "backend {b:?}");
-        let lanes = lane_width();
+        let b = backend_kind();
+        assert_eq!(backend(), b.name());
+        assert_eq!(lane_width(), b.lane_width());
         match b {
-            "avx2" => assert_eq!(lanes, 8),
-            "neon" => assert_eq!(lanes, 4),
-            _ => assert_eq!(lanes, 1),
+            Backend::Avx512 => assert_eq!(lane_width(), 16),
+            Backend::Avx2 => assert_eq!(lane_width(), 8),
+            Backend::Neon => assert_eq!(lane_width(), 4),
+            Backend::Scalar => assert_eq!(lane_width(), 1),
         }
         if !compiled() {
-            assert_eq!(b, "scalar");
+            assert_eq!(b, Backend::Scalar);
         }
     }
 
     #[test]
-    fn forced_scalar_nests_and_restores() {
-        let outer = active();
+    fn available_backends_form_a_chain() {
+        let avail = available_backends();
+        assert_eq!(avail.first(), Some(&Backend::Scalar));
+        assert_eq!(avail.last(), Some(&backend_kind()));
+        for pair in avail.windows(2) {
+            assert!(pair[0].tier() < pair[1].tier(), "tiers ascend: {avail:?}");
+        }
+    }
+
+    #[test]
+    fn tier_clamping_is_total() {
+        // Every (detected, requested) pair lands on a backend the machine
+        // can run, at min(tier) — the portability contract for sweeps.
+        use Backend::*;
+        for det in [Scalar, Neon, Avx2, Avx512] {
+            for req in [Scalar, Neon, Avx2, Avx512] {
+                let eff = at_tier(det, req.tier().min(det.tier()));
+                assert_eq!(eff.tier(), req.tier().min(det.tier()));
+                assert!(at_tier(det, eff.tier()) == eff, "{det:?} {req:?}");
+            }
+        }
+        assert_eq!(at_tier(Avx512, 1), Avx2);
+        assert_eq!(at_tier(Avx512, 0), Scalar);
+        assert_eq!(at_tier(Neon, 1), Neon);
+    }
+
+    #[test]
+    fn forced_backend_nests_and_restores() {
+        let outer = active_backend();
         with_forced_scalar(|| {
-            assert!(!active());
-            with_forced_scalar(|| assert!(!active()));
-            assert!(!active());
+            assert_eq!(active_backend(), Backend::Scalar);
+            with_forced_backend(Backend::Avx512, || {
+                // Clamped to the process chain, but never above the request.
+                let b = active_backend();
+                assert_eq!(b.tier(), 2.min(backend_kind().tier()));
+            });
+            assert_eq!(active_backend(), Backend::Scalar);
         });
-        assert_eq!(active(), outer);
+        assert_eq!(active_backend(), outer);
     }
 }

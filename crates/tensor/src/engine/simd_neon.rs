@@ -8,9 +8,15 @@
 //! would skip the intermediate rounding), `k` serial and ascending inside
 //! every lane, no cross-lane reduction.
 //!
-//! This backend vectorizes the tile kernel only; the 4-bit/8-bit decode
-//! runs the scalar pair-table/LUT loops (table gathers don't map onto
-//! NEON without `tbl` trickery that wouldn't pay at these table sizes).
+//! The decode paths vectorize too. NEON has no gather, but the pinned
+//! mirrored-LUT layout makes the FP4 table exactly 16 f32 entries = 64
+//! bytes — `vqtbl1q_u8` range. [`decode_u4_pairs`] deinterleaves the
+//! table into four byte planes (`vld4q_u8`), looks every nibble's four
+//! value bytes up in parallel, and re-interleaves them into f32 values
+//! (`vst4q_u8`); the trailing multiply is the same `value * scale` the
+//! scalar pair-table walk performs, so results stay bit-identical. The
+//! 256-entry FP8/INT8 table exceeds `tbl` range, so [`decode_u8_run`]
+//! gathers lanes individually and vectorizes only the multiply.
 
 use std::arch::aarch64::*;
 
@@ -146,5 +152,80 @@ unsafe fn row_block<const MR: usize, const ROUND: bool>(
             *cptr[r].add(j) = if ROUND { crate::bf16::round(acc) } else { acc };
         }
         j += 1;
+    }
+}
+
+/// Vectorized 4-bit pair decode: eight bytes per step expand to sixteen
+/// outputs. The 64-byte mirrored LUT is deinterleaved once into four
+/// per-byte-position `tbl` tables; each batch of sixteen nibble indices
+/// (low/high interleaved into byte order by `vzip_u8`) then looks up all
+/// four bytes of its f32 value in parallel, and `vst4q_u8` reassembles the
+/// values. The final multiply is `lut[nibble] * scale` — the same table
+/// entry and the same IEEE-754 multiply as the scalar pair-table walk, so
+/// results are bit-identical.
+pub(super) unsafe fn decode_u4_pairs(bytes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(lut.len(), 16);
+    debug_assert_eq!(out.len(), bytes.len() * 2);
+    // Byte planes of the table: `tab.k` holds byte `k` of each entry.
+    let tab = vld4q_u8(lut.as_ptr() as *const u8);
+    let sv = vdupq_n_f32(scale);
+    let n = bytes.len();
+    let bp = bytes.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut vals = [0.0f32; 16];
+    let mut i = 0;
+    while i + 8 <= n {
+        let raw = vld1_u8(bp.add(i));
+        let lo = vand_u8(raw, vdup_n_u8(0x0F));
+        let hi = vshr_n_u8::<4>(raw);
+        // Byte order: out[2j] = low nibble of byte j, out[2j+1] = high.
+        let z = vzip_u8(lo, hi);
+        let idx = vcombine_u8(z.0, z.1);
+        let assembled = uint8x16x4_t(
+            vqtbl1q_u8(tab.0, idx),
+            vqtbl1q_u8(tab.1, idx),
+            vqtbl1q_u8(tab.2, idx),
+            vqtbl1q_u8(tab.3, idx),
+        );
+        vst4q_u8(vals.as_mut_ptr() as *mut u8, assembled);
+        for t in 0..4 {
+            let v = vld1q_f32(vals.as_ptr().add(4 * t));
+            vst1q_f32(op.add(2 * i + 4 * t), vmulq_f32(v, sv));
+        }
+        i += 8;
+    }
+    while i < n {
+        let b = *bp.add(i) as usize;
+        *op.add(2 * i) = lut[b & 0x0F] * scale;
+        *op.add(2 * i + 1) = lut[b >> 4] * scale;
+        i += 1;
+    }
+}
+
+/// One-byte LUT decode (FP8/INT8): the 256-entry table is beyond `tbl`
+/// range and NEON has no gather, so lanes are fetched individually into a
+/// vector and only the multiply is vectorized — the same table load and
+/// the same multiply as the scalar loop, four elements per step.
+pub(super) unsafe fn decode_u8_run(codes: &[u8], lut: &[f32], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(lut.len(), 256);
+    debug_assert_eq!(out.len(), codes.len());
+    let sv = vdupq_n_f32(scale);
+    let n = codes.len();
+    let cp = codes.as_ptr();
+    let op = out.as_mut_ptr();
+    let lp = lut.as_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let mut v = vdupq_n_f32(0.0);
+        v = vld1q_lane_f32::<0>(lp.add(*cp.add(i) as usize), v);
+        v = vld1q_lane_f32::<1>(lp.add(*cp.add(i + 1) as usize), v);
+        v = vld1q_lane_f32::<2>(lp.add(*cp.add(i + 2) as usize), v);
+        v = vld1q_lane_f32::<3>(lp.add(*cp.add(i + 3) as usize), v);
+        vst1q_f32(op.add(i), vmulq_f32(v, sv));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = lut[*cp.add(i) as usize] * scale;
+        i += 1;
     }
 }

@@ -145,6 +145,12 @@ struct Job {
     finished: Condvar,
     /// First panic payload raised by a task, re-raised on the caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The dispatching thread's forced SIMD backend at submit time. Workers
+    /// install it for the duration of their drain so a region under
+    /// [`crate::engine::simd::with_forced_backend`] runs the same kernel
+    /// tier on every thread that serves it (thread-locals don't cross the
+    /// pool on their own).
+    forced_backend: Option<crate::engine::simd::Backend>,
 }
 
 // SAFETY: `task` is only dereferenced while the dispatching caller is
@@ -155,8 +161,13 @@ unsafe impl Sync for Job {}
 
 impl Job {
     /// Claims and runs task indices until none are left, then reports the
-    /// count it completed.
+    /// count it completed. Tasks run under the submitting thread's forced
+    /// SIMD backend (a no-op re-install on the caller itself).
     fn drain(&self) {
+        crate::engine::simd::with_forced_raw(self.forced_backend, || self.drain_inner());
+    }
+
+    fn drain_inner(&self) {
         let mut completed = 0usize;
         loop {
             let t = self.next.fetch_add(1, Ordering::Relaxed);
@@ -310,6 +321,7 @@ pub(crate) fn run(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         done: Mutex::new(0),
         finished: Condvar::new(),
         panic: Mutex::new(None),
+        forced_backend: crate::engine::simd::forced_backend(),
     });
     // One board entry per helper we could use; each popped entry drains the
     // job, so more entries than `threads - 1` would only wake workers to

@@ -1,27 +1,29 @@
-//! SIMD-vs-scalar identity: every kernel must return **bit-identical**
-//! results whether the runtime-dispatched SIMD backend or the scalar
-//! reference runs it. The scalar path is forced per-case with
-//! [`snip_tensor::simd::with_forced_scalar`], which is what `SNIP_SIMD=0`
-//! pins at startup but scoped to a closure.
+//! Backend identity: every kernel must return **bit-identical** results on
+//! **every compiled backend tier** — scalar, AVX2/NEON, AVX-512 — and under
+//! plain runtime dispatch. Each tier is pinned per-case with
+//! [`snip_tensor::simd::with_forced_backend`] (whose `Scalar` case is what
+//! `SNIP_SIMD=0` pins at startup, and whose tier caps are what
+//! `SNIP_SIMD=avx2` pins, but scoped to a closure); the scalar run is the
+//! reference every other tier is compared against.
 //!
 //! Covered here:
 //!
-//! * all six dense/packed kernels plus their fused-BF16 variants, over
-//!   proptest-drawn shapes that exercise every lane tail (`n % 16`,
-//!   `n % 8`, `n < 8`, row-block tails `m % 4`);
+//! * all twelve GEMM kernels (six orientations × Keep/fused-BF16), over
+//!   proptest-drawn shapes that exercise every lane tail (`n % 16` for the
+//!   AVX-512 masked tail, `n % 8`, `n < 8`, row-block tails `m % 4`);
 //! * fused BF16 output == two-pass (`Keep` kernel then `bf16::round_slice`);
 //! * the FP4 pair-table decode and the FP8/INT8 LUT decode (`dequantize`),
-//!   including ragged columns around the 16-wide pair strip;
+//!   including ragged columns around the 32-wide AVX-512 pair strip;
 //! * NaN and Inf operands — non-finite *structure* must match exactly
 //!   (which elements are NaN, infinity signs, signed zeros). NaN payloads
 //!   alone are exempt: LLVM leaves the operand order of a scalar float
 //!   multiply unspecified, so the scalar reference itself does not pin
 //!   which input's payload survives.
 //!
-//! When the crate is built without the `simd` feature (or the CPU lacks
-//! AVX2/NEON) both sides dispatch to scalar and the suite degenerates to a
-//! self-check; `simd::backend()` is printed once so CI logs show which case
-//! ran.
+//! The sweep domain is [`simd::available_backends`], so on an AVX2-only
+//! machine the AVX-512 leg simply isn't present, and without the `simd`
+//! feature the suite degenerates to a scalar self-check; the backend list
+//! is printed once so CI logs show which case ran.
 
 use proptest::prelude::*;
 use snip_tensor::rng::Rng;
@@ -82,9 +84,10 @@ fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
     }
 }
 
-/// Runs all twelve kernels (six orientations × Keep/BF16) plus both decode
-/// widths with the dispatched backend and again under `with_forced_scalar`,
-/// asserting 0-ULP equality pairwise.
+/// Runs all twelve GEMM kernels (six orientations × Keep/BF16) plus both
+/// decode widths under a forced-scalar reference run, then once per
+/// non-scalar backend tier (and once under plain dispatch), asserting
+/// 0-ULP equality against the reference each time.
 fn check_simd_matches_scalar(m: usize, k: usize, n: usize, seed: u64) {
     let mut rng = Rng::seed_from(seed);
     let a = Tensor::randn(m, k, 1.0, &mut rng);
@@ -93,43 +96,74 @@ fn check_simd_matches_scalar(m: usize, k: usize, n: usize, seed: u64) {
     let at = Tensor::randn(k, m, 1.0, &mut rng);
     let qa = random_qtensor(m, k, CodeWidth::U4, seed ^ 1);
     let qb = random_qtensor(k, n, CodeWidth::U4, seed ^ 2);
+    let qbt = random_qtensor(n, k, CodeWidth::U4, seed ^ 3);
+    let qat = random_qtensor(k, m, CodeWidth::U4, seed ^ 4);
     let q8 = random_qtensor(m, n.max(1), CodeWidth::U8, seed ^ 5);
 
-    let run = || {
-        (
-            matmul::matmul(&a, &b),
-            matmul::matmul_nt(&a, &bt),
-            matmul::matmul_tn(&at, &b),
-            matmul::matmul_bf16(&a, &b),
-            matmul::matmul_nt_bf16(&a, &bt),
-            matmul::matmul_tn_bf16(&at, &b),
-            packed::qgemm(QOperandRef::from(&qa), QOperandRef::from(&qb)),
-            packed::qgemm_bf16(QOperandRef::from(&qa), QOperandRef::from(&qb)),
-            qa.dequantize(),
-            q8.dequantize(),
-        )
+    let run = || -> Vec<(&'static str, Tensor)> {
+        vec![
+            ("matmul", matmul::matmul(&a, &b)),
+            ("matmul_nt", matmul::matmul_nt(&a, &bt)),
+            ("matmul_tn", matmul::matmul_tn(&at, &b)),
+            ("matmul_bf16", matmul::matmul_bf16(&a, &b)),
+            ("matmul_nt_bf16", matmul::matmul_nt_bf16(&a, &bt)),
+            ("matmul_tn_bf16", matmul::matmul_tn_bf16(&at, &b)),
+            (
+                "qgemm",
+                packed::qgemm(QOperandRef::from(&qa), QOperandRef::from(&qb)),
+            ),
+            (
+                "qgemm_nt",
+                packed::qgemm_nt(QOperandRef::from(&qa), QOperandRef::from(&qbt)),
+            ),
+            (
+                "qgemm_tn",
+                packed::qgemm_tn(QOperandRef::from(&qat), QOperandRef::from(&qb)),
+            ),
+            (
+                "qgemm_bf16",
+                packed::qgemm_bf16(QOperandRef::from(&qa), QOperandRef::from(&qb)),
+            ),
+            (
+                "qgemm_nt_bf16",
+                packed::qgemm_nt_bf16(QOperandRef::from(&qa), QOperandRef::from(&qbt)),
+            ),
+            (
+                "qgemm_tn_bf16",
+                packed::qgemm_tn_bf16(QOperandRef::from(&qat), QOperandRef::from(&qb)),
+            ),
+            ("dequantize u4", qa.dequantize()),
+            ("dequantize u8", q8.dequantize()),
+        ]
     };
 
-    let dispatched = run();
     let scalar = simd::with_forced_scalar(run);
+    let mut variants: Vec<(String, Vec<(&'static str, Tensor)>)> = simd::available_backends()
+        .into_iter()
+        .filter(|bk| *bk != simd::Backend::Scalar)
+        .map(|bk| {
+            (
+                format!("forced {}", bk.name()),
+                simd::with_forced_backend(bk, run),
+            )
+        })
+        .collect();
+    variants.push((format!("dispatched {}", simd::backend()), run()));
 
-    let what = |name: &str| format!("{name}, {m}x{k}x{n} ({})", simd::backend());
-    assert_bits_eq(&dispatched.0, &scalar.0, &what("matmul"));
-    assert_bits_eq(&dispatched.1, &scalar.1, &what("matmul_nt"));
-    assert_bits_eq(&dispatched.2, &scalar.2, &what("matmul_tn"));
-    assert_bits_eq(&dispatched.3, &scalar.3, &what("matmul_bf16"));
-    assert_bits_eq(&dispatched.4, &scalar.4, &what("matmul_nt_bf16"));
-    assert_bits_eq(&dispatched.5, &scalar.5, &what("matmul_tn_bf16"));
-    assert_bits_eq(&dispatched.6, &scalar.6, &what("qgemm"));
-    assert_bits_eq(&dispatched.7, &scalar.7, &what("qgemm_bf16"));
-    assert_bits_eq(&dispatched.8, &scalar.8, &what("dequantize u4"));
-    assert_bits_eq(&dispatched.9, &scalar.9, &what("dequantize u8"));
-
-    // Fused BF16 must equal the two-pass form (Keep kernel, then a
-    // standalone rounding sweep) on BOTH backends.
-    let mut two_pass = dispatched.0.clone();
-    bf16::round_slice(two_pass.as_mut_slice());
-    assert_bits_eq(&dispatched.3, &two_pass, &what("fused vs two-pass bf16"));
+    for (variant, results) in &variants {
+        for ((name, got), (_, want)) in results.iter().zip(&scalar) {
+            assert_bits_eq(got, want, &format!("{name}, {m}x{k}x{n} ({variant})"));
+        }
+        // Fused BF16 must equal the two-pass form (Keep kernel, then a
+        // standalone rounding sweep) on EVERY backend.
+        let mut two_pass = results[0].1.clone();
+        bf16::round_slice(two_pass.as_mut_slice());
+        assert_bits_eq(
+            &results[3].1,
+            &two_pass,
+            &format!("fused vs two-pass bf16, {m}x{k}x{n} ({variant})"),
+        );
+    }
 }
 
 proptest! {
@@ -146,28 +180,38 @@ proptest! {
     }
 }
 
-/// Fixed shapes chosen to hit every strip tail in the x86 kernel: the
-/// 16-wide double strip, the 8-wide strip, the scalar column tail, and the
-/// 4/2/1-row blocks — plus widths below one SIMD lane.
+/// Fixed shapes chosen to hit every strip tail in every x86 kernel tier:
+/// the AVX2 16-wide double strip, 8-wide strip and scalar column tail, the
+/// AVX-512 32-wide double strip, 16-wide strip and every masked-tail width
+/// class (`n % 16` ∈ {1, 7, 15}), and the 4/2/1-row blocks — plus widths
+/// below one SIMD lane at each tier.
 #[test]
 fn lane_tail_shapes_agree() {
     eprintln!(
-        "simd backend: {} (compiled: {}, lanes: {})",
+        "simd backend: {} (compiled: {}, lanes: {}, available: {:?})",
         simd::backend(),
         simd::compiled(),
-        simd::lane_width()
+        simd::lane_width(),
+        simd::available_backends()
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
     );
     for &(m, k, n) in &[
         (1, 1, 1),
-        (1, 3, 7),   // below one lane
-        (2, 5, 8),   // exactly one lane
-        (3, 5, 9),   // one lane + scalar tail
-        (4, 7, 15),  // 8-strip + 7 tail
-        (5, 7, 16),  // exactly the double strip
-        (6, 9, 17),  // double strip + 1
-        (7, 9, 31),  // double strip + 8-strip + 7
-        (9, 16, 33), // row blocks 4+4+1
+        (1, 3, 7),   // below one AVX2 lane
+        (2, 5, 8),   // exactly one AVX2 lane; 512 masked tail of 8
+        (3, 5, 9),   // one AVX2 lane + tail; 512 masked tail of 9
+        (4, 7, 15),  // AVX2 8-strip + 7; 512 masked tail of 15 (full mask - 1)
+        (5, 7, 16),  // exactly the AVX2 double strip / one 512 register
+        (6, 9, 17),  // 512 16-strip + masked tail of 1
+        (7, 9, 31),  // AVX2 double + 8 + 7; 512 16-strip + masked 15
+        (9, 16, 32), // exactly the 512 double strip; row blocks 4+4+1
+        (3, 8, 33),  // 512 double strip + masked tail of 1
+        (5, 10, 47), // 512 double strip + masked tail of 15
         (11, 13, 40),
+        (2, 21, 64), // two 512 double strips, no tail
+        (4, 6, 71),  // 64 + masked tail of 7
     ] {
         check_simd_matches_scalar(m, k, n, 0xBEEF ^ ((m * 971 + k * 31 + n) as u64));
     }
@@ -191,13 +235,14 @@ fn assert_bits_eq_modulo_nan(got: &Tensor, want: &Tensor, what: &str) {
     }
 }
 
-/// NaN and Inf operands: the SIMD kernels must propagate non-finite values
-/// structurally as the scalar kernels do — same elements NaN, same
-/// infinity and zero signs (payloads exempt, see above).
+/// NaN and Inf operands: every vector backend must propagate non-finite
+/// values structurally as the scalar kernels do — same elements NaN, same
+/// infinity and zero signs (payloads exempt, see above). Shapes include an
+/// AVX-512 masked tail so disabled lanes can't leak into active ones.
 #[test]
 fn non_finite_operands_propagate_identically() {
     let mut rng = Rng::seed_from(77);
-    for (m, k, n) in [(3, 6, 17), (5, 9, 33)] {
+    for (m, k, n) in [(3, 6, 17), (5, 9, 33), (4, 7, 45)] {
         let mut a = Tensor::randn(m, k, 1.0, &mut rng);
         let mut b = Tensor::randn(k, n, 1.0, &mut rng);
         // Sprinkle NaNs with distinct payloads, infinities, and zeros.
@@ -220,24 +265,48 @@ fn non_finite_operands_propagate_identically() {
             }
         }
         let run = || (matmul::matmul(&a, &b), matmul::matmul_bf16(&a, &b));
-        let dispatched = run();
         let scalar = simd::with_forced_scalar(run);
-        assert_bits_eq_modulo_nan(&dispatched.0, &scalar.0, "matmul with non-finite");
-        assert_bits_eq_modulo_nan(&dispatched.1, &scalar.1, "matmul_bf16 with non-finite");
+        for bk in simd::available_backends() {
+            let got = simd::with_forced_backend(bk, run);
+            let what = |name: &str| format!("{name} with non-finite ({})", bk.name());
+            assert_bits_eq_modulo_nan(&got.0, &scalar.0, &what("matmul"));
+            assert_bits_eq_modulo_nan(&got.1, &scalar.1, &what("matmul_bf16"));
+        }
     }
 }
 
-/// Decode raggedness: column ranges that start/end off the pair-strip
-/// boundary, odd widths (trailing nibble), and runs shorter than one lane.
+/// Decode raggedness on every backend tier: column ranges that start/end
+/// off the pair-strip boundary, odd widths (trailing nibble), runs shorter
+/// than one lane, and runs straddling the AVX-512 32-element pair strip.
 #[test]
 fn decode_tails_agree() {
-    for &(rows, cols) in &[(1, 1), (2, 3), (3, 15), (4, 16), (5, 17), (3, 37), (2, 63)] {
+    for &(rows, cols) in &[
+        (1, 1),
+        (2, 3),
+        (3, 15),
+        (4, 16),
+        (5, 17),
+        (3, 37),
+        (2, 63),
+        (2, 64),
+        (3, 65),
+        (1, 95),
+    ] {
         let q4 = random_qtensor(rows, cols, CodeWidth::U4, 0xD4 ^ (cols as u64));
         let q8 = random_qtensor(rows, cols, CodeWidth::U8, 0xD8 ^ (cols as u64));
-        let d4 = q4.dequantize();
-        let d8 = q8.dequantize();
         let (s4, s8) = simd::with_forced_scalar(|| (q4.dequantize(), q8.dequantize()));
-        assert_bits_eq(&d4, &s4, &format!("u4 decode {rows}x{cols}"));
-        assert_bits_eq(&d8, &s8, &format!("u8 decode {rows}x{cols}"));
+        for bk in simd::available_backends() {
+            let (d4, d8) = simd::with_forced_backend(bk, || (q4.dequantize(), q8.dequantize()));
+            assert_bits_eq(
+                &d4,
+                &s4,
+                &format!("u4 decode {rows}x{cols} ({})", bk.name()),
+            );
+            assert_bits_eq(
+                &d8,
+                &s8,
+                &format!("u8 decode {rows}x{cols} ({})", bk.name()),
+            );
+        }
     }
 }
