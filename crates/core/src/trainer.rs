@@ -10,7 +10,7 @@ use crate::engine::SnipEngine;
 use crate::scheme::Scheme;
 use serde::{Deserialize, Serialize};
 use snip_data::BatchStream;
-use snip_nn::model::{Model, StepOptions};
+use snip_nn::model::{Model, StepOptions, StepOutput};
 use snip_nn::ModelConfig;
 use snip_optim::{clip::clip_global_norm, AdamW, AdamWConfig, LrSchedule};
 use snip_tensor::rng::Rng;
@@ -80,6 +80,11 @@ pub struct Trainer {
     stream: BatchStream,
     rng: Rng,
     step: u64,
+    /// Loss of the most recent training step (0.0 before the first step).
+    /// Feeds the `"training"` section of the per-run telemetry report;
+    /// `default` keeps checkpoints from before this field loadable.
+    #[serde(default)]
+    last_loss: f64,
 }
 
 impl Trainer {
@@ -106,6 +111,7 @@ impl Trainer {
             optimizer,
             stream,
             step: 0,
+            last_loss: 0.0,
         })
     }
 
@@ -139,6 +145,22 @@ impl Trainer {
     /// one synchronous data-parallel run, with clipping and the update
     /// applied to the *reduced* gradient exactly as a real DP trainer does.
     pub fn train_step_with_grad_hook(&mut self, hook: &mut dyn FnMut(&mut Model)) -> f64 {
+        self.train_step_output_with_grad_hook(hook).loss
+    }
+
+    /// [`Trainer::train_step_with_grad_hook`] returning the full
+    /// [`StepOutput`] — loss plus the per-step wall-time breakdown
+    /// (`step_ns` / `quantize_ns` / `gemm_ns`, populated when `SNIP_TRACE`
+    /// collection is on) that `comm_precision` tabulates. The whole step —
+    /// forward/backward, gradient hook, clipping and the optimizer update —
+    /// runs under a `"train_step"` telemetry span, and the step count and
+    /// latest loss land in the registry (`trainer.steps` counter,
+    /// `trainer.loss` gauge).
+    pub fn train_step_output_with_grad_hook(
+        &mut self,
+        hook: &mut dyn FnMut(&mut Model),
+    ) -> StepOutput {
+        let _span = snip_obs::span("train_step");
         let lr = self.cfg.schedule.lr_at(self.step);
         self.optimizer.set_lr(lr);
         let batch = self.stream.next_batch();
@@ -152,7 +174,12 @@ impl Trainer {
         }
         self.optimizer.update(&mut self.model);
         self.step += 1;
-        out.loss
+        self.last_loss = out.loss;
+        if snip_obs::enabled() {
+            snip_obs::counter_add("trainer.steps", 1);
+            snip_obs::gauge_set("trainer.loss", out.loss);
+        }
+        out
     }
 
     /// Runs `n` steps of [`Trainer::train_step_with_grad_hook`], returning
@@ -211,6 +238,33 @@ impl Trainer {
     /// (useful for measurement probes).
     pub fn peek_batch(&mut self) -> snip_nn::Batch {
         self.stream.next_batch()
+    }
+
+    /// Publishes this trainer's run summary as the `"training"` section of
+    /// the telemetry report and writes the run artifacts (the Chrome trace
+    /// and `RUN_REPORT.json` next to it) if `SNIP_TRACE` named a path.
+    /// `world` is the number of data-parallel ranks the run used (1 for a
+    /// single-trainer run). Returns the artifact paths, or `Ok(None)` when
+    /// collection is off or no path was configured. Safe to call after
+    /// `data_parallel_train` already flushed: the flush is idempotent and
+    /// rewrites the artifacts from the full registry state.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the artifacts.
+    pub fn write_run_report(&self, world: usize) -> std::io::Result<Option<snip_obs::Artifacts>> {
+        if snip_obs::enabled() {
+            use serde::Content;
+            snip_obs::report::set_section(
+                "training",
+                Content::Map(vec![
+                    ("steps".into(), Content::U64(self.step)),
+                    ("world".into(), Content::U64(world as u64)),
+                    ("final_loss".into(), Content::F64(self.last_loss)),
+                ]),
+            );
+        }
+        snip_obs::flush()
     }
 
     /// Saves the full trainer state as JSON.

@@ -184,4 +184,44 @@ fn main() {
         println!("# measured per-link counters and must agree with these numbers —");
         println!("# and with each other, byte for byte.");
     }
+    train_step_timing_table();
+}
+
+/// The communication numbers above only matter relative to compute, so
+/// close with a per-step wall-time breakdown: `StepOutput`'s
+/// `step_ns`/`quantize_ns`/`gemm_ns`, collected by the `snip-obs` spans
+/// inside `Model::step`. Telemetry collection is forced on for this table
+/// (and restored after); the zero-bit contract guarantees the losses are
+/// the ones an uninstrumented run would print.
+fn train_step_timing_table() {
+    use snip_core::{Scheme, Trainer, TrainerConfig};
+    use snip_quant::Precision;
+
+    println!("\n# Train-step wall-time breakdown (snip-obs spans, TrainerConfig::tiny)");
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "step", "loss", "step_ms", "quant_ms", "gemm_ms"
+    );
+    let was = snip_obs::set_enabled(true);
+    for (label, precision) in [("bf16", Precision::Bf16), ("fp4", Precision::Fp4)] {
+        let mut t = Trainer::new(TrainerConfig::tiny()).expect("tiny trainer");
+        t.apply_scheme(&Scheme::uniform(
+            precision,
+            t.config().model.n_linear_layers(),
+        ));
+        for step in 1..=3u32 {
+            let out = t.train_step_output_with_grad_hook(&mut |_| {});
+            println!(
+                "{label:<8} {step:>6} {:>10.4} {:>10.3} {:>10.3} {:>10.3}",
+                out.loss,
+                out.step_ns as f64 / 1e6,
+                out.quantize_ns as f64 / 1e6,
+                out.gemm_ns as f64 / 1e6
+            );
+        }
+    }
+    snip_obs::set_enabled(was);
+    println!("# quant_ms/gemm_ms are the quantizer / GEMM shares of step_ms; the");
+    println!("# fp4 rows show what packed quantization adds per step and what the");
+    println!("# wire savings above have to amortize.");
 }

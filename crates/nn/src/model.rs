@@ -67,6 +67,15 @@ pub struct StepOutput {
     /// backward pass (measured, not estimated: subbyte precisions hold
     /// these bit-packed, BF16 holds them dense).
     pub linear_cache_bytes: usize,
+    /// Wall time of the whole step (forward + backward), populated from
+    /// telemetry spans when `SNIP_TRACE` collection is on; 0 when off.
+    pub step_ns: u64,
+    /// Wall time spent in quantizer entry points during the step (this
+    /// thread only; excludes RHT rotation). 0 when collection is off.
+    pub quantize_ns: u64,
+    /// Wall time spent in blocked-GEMM calls dispatched from this thread
+    /// during the step. 0 when collection is off.
+    pub gemm_ns: u64,
 }
 
 /// A Llama-like decoder-only LM with per-layer mixed-precision linear layers.
@@ -230,6 +239,21 @@ impl Model {
         } else {
             None
         };
+        // Telemetry: snapshot this thread's quantize/GEMM time counters so
+        // the step can report its own deltas (each data-parallel rank steps
+        // on its own thread, so thread-local deltas attribute correctly).
+        // One relaxed load when collection is off (zero-bit contract).
+        let obs = snip_obs::enabled();
+        let _step_span = snip_obs::span("model.step");
+        let (t0, quant0, gemm0) = if obs {
+            (
+                snip_obs::trace::now_ns(),
+                snip_obs::thread_counter_value("quant.ns"),
+                snip_obs::thread_counter_value("gemm.ns"),
+            )
+        } else {
+            (0, 0, 0)
+        };
         let out = {
             let mut rec_ref: Option<&mut StepRecord> = rec_storage.as_mut();
 
@@ -259,8 +283,8 @@ impl Model {
                 StepOutput {
                     loss,
                     ntokens: batch.num_tokens(),
-                    record: None,
                     linear_cache_bytes,
+                    ..StepOutput::default()
                 }
             } else {
                 // ---- Backward ----
@@ -280,8 +304,8 @@ impl Model {
                 StepOutput {
                     loss,
                     ntokens: batch.num_tokens(),
-                    record: None,
                     linear_cache_bytes,
+                    ..StepOutput::default()
                 }
             }
         };
@@ -289,8 +313,20 @@ impl Model {
             rec.loss = out.loss;
             rec.ntokens = out.ntokens;
         }
+        let (step_ns, quantize_ns, gemm_ns) = if obs {
+            (
+                snip_obs::trace::now_ns().saturating_sub(t0),
+                snip_obs::thread_counter_value("quant.ns").saturating_sub(quant0),
+                snip_obs::thread_counter_value("gemm.ns").saturating_sub(gemm0),
+            )
+        } else {
+            (0, 0, 0)
+        };
         StepOutput {
             record: rec_storage,
+            step_ns,
+            quantize_ns,
+            gemm_ns,
             ..out
         }
     }

@@ -1,0 +1,210 @@
+//! Quantization-signal accumulators — the raw material for the adaptive
+//! precision controller.
+//!
+//! Every packed-quantizer `pack` reports one [`PackSignal`] per tensor it
+//! quantizes (computed in `snip-quant`, which owns the tensor types); this
+//! module only merges those numbers per quantizer kind: tensor/element
+//! counts, running absmax (the largest magnitude any pack of that kind has
+//! seen), group-scale saturation counts, clip counts, and the summed mean
+//! absolute packed-round error. All cells are atomics updated with relaxed
+//! ordering — packs are chunky operations, so a shared cell per kind is
+//! uncontended in practice and keeps the merge trivially exact.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Signals extracted from one `pack` call, in the domain the packer saw
+/// (post-rotation for RHT, inliers-only for the outlier split).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PackSignal {
+    /// Elements quantized.
+    pub elems: u64,
+    /// Largest |x| over the packed tensor.
+    pub absmax: f32,
+    /// Scale groups in the tensor.
+    pub groups: u64,
+    /// Groups whose absmax reaches the top of their code grid (scale
+    /// ceiling) — the saturation signal SFMP-style policies watch.
+    pub saturated: u64,
+    /// Elements whose magnitude exceeds the representable ceiling of their
+    /// group (clipped by the codebook).
+    pub clipped: u64,
+    /// Sum over elements of |x - dequantize(pack(x))|.
+    pub abs_err_sum: f64,
+}
+
+struct Cell {
+    tensors: AtomicU64,
+    elems: AtomicU64,
+    groups: AtomicU64,
+    saturated: AtomicU64,
+    clipped: AtomicU64,
+    /// f32 bits; updated by CAS max (valid because non-negative floats
+    /// order the same as their bit patterns).
+    absmax_bits: AtomicU32,
+    /// f64 bits; updated by CAS add.
+    abs_err_sum_bits: AtomicU64,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            tensors: AtomicU64::new(0),
+            elems: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
+            clipped: AtomicU64::new(0),
+            absmax_bits: AtomicU32::new(0),
+            abs_err_sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+fn cells() -> &'static Mutex<BTreeMap<&'static str, Arc<Cell>>> {
+    static CELLS: OnceLock<Mutex<BTreeMap<&'static str, Arc<Cell>>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<HashMap<&'static str, Arc<Cell>>> = RefCell::new(HashMap::new());
+}
+
+fn cell_for(kind: &'static str) -> Arc<Cell> {
+    LOCAL.with(|m| {
+        let mut m = m.borrow_mut();
+        Arc::clone(m.entry(kind).or_insert_with(|| {
+            let mut g = cells().lock().expect("quant signal registry");
+            Arc::clone(g.entry(kind).or_insert_with(|| Arc::new(Cell::new())))
+        }))
+    })
+}
+
+/// Merges one pack's signals into the accumulator for `kind`.
+pub fn record(kind: &'static str, sig: &PackSignal) {
+    let c = cell_for(kind);
+    c.tensors.fetch_add(1, Relaxed);
+    c.elems.fetch_add(sig.elems, Relaxed);
+    c.groups.fetch_add(sig.groups, Relaxed);
+    c.saturated.fetch_add(sig.saturated, Relaxed);
+    c.clipped.fetch_add(sig.clipped, Relaxed);
+    // CAS max over non-negative f32 bit patterns.
+    let new_bits = sig.absmax.max(0.0).to_bits();
+    let mut cur = c.absmax_bits.load(Relaxed);
+    while new_bits > cur {
+        match c
+            .absmax_bits
+            .compare_exchange_weak(cur, new_bits, Relaxed, Relaxed)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    // CAS add over f64 bits.
+    let mut cur = c.abs_err_sum_bits.load(Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + sig.abs_err_sum).to_bits();
+        match c
+            .abs_err_sum_bits
+            .compare_exchange_weak(cur, next, Relaxed, Relaxed)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Merged view of one quantizer kind's accumulator.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct QuantSignalSnapshot {
+    /// Tensors packed.
+    pub tensors: u64,
+    /// Elements packed.
+    pub elems: u64,
+    /// Scale groups seen.
+    pub groups: u64,
+    /// Groups at their scale ceiling.
+    pub saturated: u64,
+    /// Elements clipped by the code grid.
+    pub clipped: u64,
+    /// Largest |x| seen by any pack of this kind.
+    pub absmax: f64,
+    /// `saturated / groups` (0 when no groups).
+    pub saturation_rate: f64,
+    /// `abs_err_sum / elems` (0 when no elements).
+    pub mean_abs_error: f64,
+}
+
+/// Snapshot of every kind's accumulator, keyed by quantizer kind.
+pub fn snapshot() -> BTreeMap<String, QuantSignalSnapshot> {
+    let g = cells().lock().expect("quant signal registry");
+    g.iter()
+        .map(|(kind, c)| {
+            let elems = c.elems.load(Relaxed);
+            let groups = c.groups.load(Relaxed);
+            let err_sum = f64::from_bits(c.abs_err_sum_bits.load(Relaxed));
+            let snap = QuantSignalSnapshot {
+                tensors: c.tensors.load(Relaxed),
+                elems,
+                groups,
+                saturated: c.saturated.load(Relaxed),
+                clipped: c.clipped.load(Relaxed),
+                absmax: f64::from(f32::from_bits(c.absmax_bits.load(Relaxed))),
+                saturation_rate: if groups == 0 {
+                    0.0
+                } else {
+                    c.saturated.load(Relaxed) as f64 / groups as f64
+                },
+                mean_abs_error: if elems == 0 {
+                    0.0
+                } else {
+                    err_sum / elems as f64
+                },
+            };
+            ((*kind).to_string(), snap)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_merge_exactly() {
+        const KIND: &str = "test.quantsig.merge";
+        record(
+            KIND,
+            &PackSignal {
+                elems: 100,
+                absmax: 1.5,
+                groups: 4,
+                saturated: 1,
+                clipped: 2,
+                abs_err_sum: 0.5,
+            },
+        );
+        record(
+            KIND,
+            &PackSignal {
+                elems: 300,
+                absmax: 0.75,
+                groups: 12,
+                saturated: 3,
+                clipped: 0,
+                abs_err_sum: 1.5,
+            },
+        );
+        let snap = snapshot();
+        let s = snap.get(KIND).expect("recorded kind");
+        assert_eq!(s.tensors, 2);
+        assert_eq!(s.elems, 400);
+        assert_eq!(s.groups, 16);
+        assert_eq!(s.saturated, 4);
+        assert_eq!(s.clipped, 2);
+        assert_eq!(s.absmax, 1.5);
+        assert!((s.saturation_rate - 0.25).abs() < 1e-12);
+        assert!((s.mean_abs_error - 2.0 / 400.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Satellite: cross-thread shard merge must be exact — counts sum with no
+//! lost updates, histograms keep every sample, and shards of threads that
+//! have already exited still contribute.
+
+use snip_obs::registry::{counter_value, hist_snapshot, HIST_BUCKETS};
+
+#[test]
+fn counter_shards_merge_exactly_across_threads() {
+    const NAME: &str = "test.merge.counter";
+    const THREADS: u64 = 8;
+    const INCREMENTS: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..INCREMENTS {
+                    // Mixed deltas so the expected total is not a trivial
+                    // multiple that a dropped batch could still hit.
+                    snip_obs::counter_add(NAME, 1 + (t + i) % 3);
+                }
+            })
+        })
+        .collect();
+    let expected: u64 = (0..THREADS)
+        .map(|t| (0..INCREMENTS).map(|i| 1 + (t + i) % 3).sum::<u64>())
+        .sum();
+    for h in handles {
+        h.join().expect("incrementing thread");
+    }
+    // Every thread has exited; their shards must still be visible.
+    assert_eq!(counter_value(NAME), expected);
+}
+
+#[test]
+fn histogram_shards_merge_exactly_across_threads() {
+    const NAME: &str = "test.merge.hist";
+    const THREADS: u64 = 6;
+    const SAMPLES: u64 = 5_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..SAMPLES {
+                    // Spread samples over many buckets.
+                    snip_obs::hist_record(NAME, (t * SAMPLES + i) % 100_000);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recording thread");
+    }
+    let h = hist_snapshot(NAME).expect("recorded histogram");
+    assert_eq!(h.count, THREADS * SAMPLES, "no lost samples");
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..SAMPLES).map(move |i| (t * SAMPLES + i) % 100_000))
+        .sum();
+    assert_eq!(h.sum, expected_sum, "no lost value mass");
+    assert_eq!(h.buckets.len(), HIST_BUCKETS);
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        THREADS * SAMPLES,
+        "bucket counts account for every sample"
+    );
+}
+
+#[test]
+fn quant_signal_records_merge_across_threads() {
+    const KIND: &str = "test.merge.quantsig";
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    snip_obs::quantsig::record(
+                        KIND,
+                        &snip_obs::quantsig::PackSignal {
+                            elems: 10,
+                            absmax: 0.5 + t as f32 * 0.25,
+                            groups: 2,
+                            saturated: 1,
+                            clipped: 0,
+                            abs_err_sum: 0.125,
+                        },
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recording thread");
+    }
+    let snap = snip_obs::quantsig::snapshot();
+    let s = snap.get(KIND).expect("recorded kind");
+    assert_eq!(s.tensors, 4_000);
+    assert_eq!(s.elems, 40_000);
+    assert_eq!(s.groups, 8_000);
+    assert_eq!(s.saturated, 4_000);
+    // Exact: 0.125 is a power of two, so the CAS-add sum has no rounding.
+    assert_eq!(s.mean_abs_error, 4_000.0 * 0.125 / 40_000.0);
+    assert_eq!(s.absmax, 0.5 + 3.0 * 0.25);
+    assert_eq!(s.saturation_rate, 0.5);
+}

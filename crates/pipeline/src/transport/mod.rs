@@ -189,6 +189,40 @@ impl TransportStats {
     }
 }
 
+/// Exports a measured [`TransportStats`] snapshot into the `snip-obs`
+/// registry: bumps the global `transport.{payload_bytes,envelope_bytes,
+/// frames}` counters and replaces the report's `"transport"` section with
+/// this run's totals. Both mesh drivers call it — [`run_ranks`] for the
+/// threaded [`ChannelFabric`], and [`proc::run_ranks_proc`] for the socket
+/// fabric after the RESULT handshake has merged every worker's per-link
+/// counters — so the two transports report through one path. One relaxed
+/// atomic load when collection is off; reads only, so the run's numeric
+/// results are untouched either way.
+pub fn publish_transport_stats(stats: &TransportStats) {
+    if !snip_obs::enabled() {
+        return;
+    }
+    let (payload, envelope, frames) = (
+        stats.total_payload_bytes(),
+        stats.total_envelope_bytes(),
+        stats.total_frames(),
+    );
+    snip_obs::counter_add("transport.payload_bytes", payload);
+    snip_obs::counter_add("transport.envelope_bytes", envelope);
+    snip_obs::counter_add("transport.frames", frames);
+    use serde::Content;
+    snip_obs::report::set_section(
+        "transport",
+        Content::Map(vec![
+            ("world".into(), Content::U64(stats.world() as u64)),
+            ("payload_bytes".into(), Content::U64(payload)),
+            ("envelope_bytes".into(), Content::U64(envelope)),
+            ("frames".into(), Content::U64(frames)),
+            ("two_sided".into(), Content::Bool(stats.two_sided())),
+        ]),
+    );
+}
+
 /// One rank's connection into the mesh: frame semantics (quantize, encode,
 /// account) over a byte-moving [`Fabric`] backend.
 pub struct Endpoint<F: Fabric> {
@@ -493,7 +527,9 @@ where
         }
         outputs
     });
-    (results, TransportStats::snapshot(&counters))
+    let stats = TransportStats::snapshot(&counters);
+    publish_transport_stats(&stats);
+    (results, stats)
 }
 
 /// Runs a full threaded reduce-scatter with one gradient vector and one RNG
@@ -604,6 +640,7 @@ pub fn data_parallel_train(
     comm_seed: u64,
 ) -> (Vec<Trainer>, Vec<Vec<f64>>, TransportStats) {
     assert!(!trainers.is_empty(), "no ranks");
+    let dp_span = snip_obs::span("data_parallel_train");
     let world = trainers.len();
     let slots: Vec<std::sync::Mutex<Option<Trainer>>> = trainers
         .into_iter()
@@ -623,6 +660,13 @@ pub fn data_parallel_train(
         .into_iter()
         .map(|s| s.into_inner().expect("slot").expect("trainer returned"))
         .collect();
+    // Close the span before flushing so the run itself appears in the trace.
+    drop(dp_span);
+    // End of a training run is the artifact boundary: write the trace and
+    // `RUN_REPORT.json` if `SNIP_TRACE` named a path (no-op otherwise).
+    if let Err(e) = snip_obs::flush() {
+        eprintln!("snip: failed writing telemetry artifacts: {e}");
+    }
     (trainers, losses, stats)
 }
 

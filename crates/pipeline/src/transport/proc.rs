@@ -907,6 +907,11 @@ pub fn run_ranks_proc(specs: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, TransportSta
             }
         }
     }
+    // Workers never publish telemetry themselves: their per-link counters
+    // arrive through the RESULT handshake and are exported here, once,
+    // after the cross-check — so the socket fabric reports through the same
+    // path as the threaded mesh.
+    super::publish_transport_stats(&merged);
     Ok((results, merged))
 }
 
@@ -1192,6 +1197,7 @@ pub fn proc_data_parallel_train(
     comm_seed: u64,
 ) -> Result<ProcDpTrain, ProcError> {
     assert!(!cfgs.is_empty(), "no ranks");
+    let dp_span = snip_obs::span("proc_data_parallel_train");
     let specs: Vec<Vec<u8>> = cfgs
         .iter()
         .map(|cfg| {
@@ -1224,6 +1230,14 @@ pub fn proc_data_parallel_train(
             .map_err(|e| ProcError::Protocol(format!("rank {rank} result: {e}")))?;
         losses.push(l);
         params.push(p);
+    }
+    // Close the span before flushing so the run itself appears in the trace.
+    drop(dp_span);
+    // Artifact boundary for the process fabric, mirroring
+    // `data_parallel_train`: only the parent writes — workers exited after
+    // the RESULT handshake and never call flush.
+    if let Err(e) = snip_obs::flush() {
+        eprintln!("snip: failed writing telemetry artifacts: {e}");
     }
     Ok(ProcDpTrain {
         losses,

@@ -163,6 +163,7 @@ impl IntQuantizer {
 
     /// In-place variant of [`IntQuantizer::fake_quantize`].
     pub fn fake_quantize_inplace(&self, t: &mut Tensor, rng: &mut Rng) {
+        let _t = crate::signals::QuantTimer::start();
         let (rows, cols) = t.shape();
         let fmt = self.format;
         let qmax = fmt.qmax();
@@ -204,6 +205,7 @@ impl IntQuantizer {
     /// stochastic draws are consumed.
     pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
         let cb = Codebook::for_int(self.format)?;
+        let _t = crate::signals::QuantTimer::start();
         let fmt = self.format;
         let grid_max = fmt.qmax();
         Some(match self.rounding {

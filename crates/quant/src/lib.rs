@@ -52,6 +52,7 @@ pub mod outlier;
 pub mod packed;
 mod quantizer;
 pub mod rht;
+pub mod signals;
 pub mod wire;
 
 pub use codebook::Codebook;

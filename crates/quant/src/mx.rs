@@ -79,6 +79,7 @@ impl MxQuantizer {
     /// Fake-quantizes `t` with per-row 32-element MX blocks. `rng` drives
     /// stochastic rounding and is untouched under [`Rounding::Nearest`].
     pub fn fake_quantize(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
+        let _t = crate::signals::QuantTimer::start();
         let (rows, cols) = t.shape();
         let stochastic = self.rounding == Rounding::Stochastic;
         let mut out = t.clone();
@@ -112,6 +113,7 @@ impl MxQuantizer {
     /// wider than 8 bits (never for the MX element formats).
     pub fn quantize_packed(&self, t: &Tensor, rng: &mut Rng) -> Option<QTensor> {
         let cb = Codebook::for_float(self.fmt)?;
+        let _t = crate::signals::QuantTimer::start();
         let fmt = self.fmt;
         let stochastic = self.rounding == Rounding::Stochastic;
         Some(cb.pack_with(

@@ -184,7 +184,9 @@ fn codebook_wire_bytes(cb: &Codebook, g: Granularity, rows: usize, cols: usize) 
 
 impl PackedQuantize for Quantizer {
     fn pack(&self, t: &Tensor, rng: &mut Rng) -> Option<PackedTensor> {
-        self.quantize_packed(t, rng).map(PackedTensor::Codes)
+        let q = self.quantize_packed(t, rng)?;
+        crate::signals::record_pack("float", t, &q);
+        Some(PackedTensor::Codes(q))
     }
 
     fn fake_reference(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
@@ -202,7 +204,9 @@ impl PackedQuantize for Quantizer {
 
 impl PackedQuantize for IntQuantizer {
     fn pack(&self, t: &Tensor, rng: &mut Rng) -> Option<PackedTensor> {
-        self.quantize_packed(t, rng).map(PackedTensor::Codes)
+        let q = self.quantize_packed(t, rng)?;
+        crate::signals::record_pack("int", t, &q);
+        Some(PackedTensor::Codes(q))
     }
 
     fn fake_reference(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
@@ -217,7 +221,9 @@ impl PackedQuantize for IntQuantizer {
 
 impl PackedQuantize for MxQuantizer {
     fn pack(&self, t: &Tensor, rng: &mut Rng) -> Option<PackedTensor> {
-        self.quantize_packed(t, rng).map(PackedTensor::Mx)
+        let q = self.quantize_packed(t, rng)?;
+        crate::signals::record_pack("mx", t, &q);
+        Some(PackedTensor::Mx(q))
     }
 
     fn fake_reference(&self, t: &Tensor, rng: &mut Rng) -> Tensor {
@@ -240,6 +246,8 @@ impl PackedQuantize for RhtQuantizer {
         let mut rotated = t.clone();
         rht::rotate_rows(&mut rotated, self.block(), self.seed(), true);
         let codes = self.inner().quantize_packed(&rotated, rng)?;
+        // Signals are reported in the domain the packer saw: post-rotation.
+        crate::signals::record_pack("rht", &rotated, &codes);
         Some(PackedTensor::Rotated {
             codes,
             block: self.block(),
@@ -271,6 +279,8 @@ impl PackedQuantize for OutlierQuantizer {
             }
         }
         let body = self.dense().quantize_packed(&inliers, rng)?;
+        // Signals are reported on the inlier body (outliers travel exact).
+        crate::signals::record_pack("outlier", &inliers, &body);
         let src = t.as_slice();
         let outliers = indices
             .iter()

@@ -105,6 +105,7 @@ impl Quantizer {
 
     /// In-place variant of [`Quantizer::fake_quantize`].
     pub fn fake_quantize_inplace(&self, t: &mut Tensor, rng: &mut Rng) {
+        let _t = crate::signals::QuantTimer::start();
         let (rows, cols) = t.shape();
         let fmt = self.format;
         let max_value = fmt.max_value();
@@ -171,6 +172,7 @@ impl Quantizer {
         if !self.packable() {
             return None;
         }
+        let _t = crate::signals::QuantTimer::start();
         let cb = Codebook::for_float(self.format)?;
         let fmt = self.format;
         Some(match self.rounding {

@@ -311,6 +311,9 @@ fn sweep_rows(
     end: usize,
     chunk: &mut [f32],
 ) {
+    // Hoisted so the tile loop pays the telemetry gate once per sweep, not
+    // per tile (and nothing at all beyond this load when collection is off).
+    let obs = snip_obs::enabled();
     with_scratch(|sa, sb, sr| {
         let mut i0 = start;
         while i0 < end {
@@ -320,8 +323,16 @@ fn sweep_rows(
             while j0 < n {
                 let j1 = (j0 + NC).min(n);
                 let btile: &[f32] = match bcache {
-                    Some(cache) => &cache[j0 * k..j1 * k],
+                    Some(cache) => {
+                        if obs {
+                            snip_obs::counter_add("gemm.btile.cache_hits", 1);
+                        }
+                        &cache[j0 * k..j1 * k]
+                    }
                     None => {
+                        if obs {
+                            snip_obs::counter_add("gemm.btile.scratch_builds", 1);
+                        }
                         let tile = sb.prep(k * (j1 - j0));
                         build_btile_into(b, b_side, k, j0, j1, tile, sr);
                         tile
@@ -356,6 +367,37 @@ fn sweep_rows(
 /// problems skip the whole parallel apparatus (see [`SMALL_GEMM_MACS`]).
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
+    a: &QOperandRef<'_>,
+    a_side: ASide,
+    b: &QOperandRef<'_>,
+    b_side: BSide,
+    round: Round,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Tensor {
+    // Telemetry wrapper: one relaxed load when collection is off; when on,
+    // count the call against the active backend and accumulate wall time
+    // on the dispatching thread (`gemm.ns` backs `StepOutput::gemm_ns`).
+    if !snip_obs::enabled() {
+        return gemm_blocked_inner(a, a_side, b, b_side, round, m, n, k);
+    }
+    let dispatch = match simd::active_backend() {
+        simd::Backend::Scalar => "gemm.dispatch.scalar",
+        simd::Backend::Neon => "gemm.dispatch.neon",
+        simd::Backend::Avx2 => "gemm.dispatch.avx2",
+        simd::Backend::Avx512 => "gemm.dispatch.avx512",
+    };
+    snip_obs::counter_add("gemm.calls", 1);
+    snip_obs::counter_add(dispatch, 1);
+    let t0 = snip_obs::trace::now_ns();
+    let c = gemm_blocked_inner(a, a_side, b, b_side, round, m, n, k);
+    snip_obs::counter_add("gemm.ns", snip_obs::trace::now_ns().saturating_sub(t0));
+    c
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_inner(
     a: &QOperandRef<'_>,
     a_side: ASide,
     b: &QOperandRef<'_>,
@@ -432,6 +474,9 @@ fn gemm_blocked(
                 build_btile_into(b, b_side, k, j0, j1, tile, &mut staging);
             }
         });
+        if snip_obs::enabled() {
+            snip_obs::counter_add("gemm.bcache.builds", 1);
+        }
         Some(cache)
     } else {
         None

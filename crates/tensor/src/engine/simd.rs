@@ -106,32 +106,45 @@ pub fn compiled() -> bool {
     cfg!(feature = "simd")
 }
 
-/// How an environment value for `SNIP_SIMD` parses: a tier cap, plus
-/// whether the value was unrecognized (warned once at backend init).
-fn env_tier_cap(value: Option<&str>) -> (u8, bool) {
+/// Accepted-value table for `SNIP_SIMD`, shown by the warn-once path.
+const SNIP_SIMD_ACCEPTED: &str = "1|on|true (full dispatch), 0|off|false|scalar, \
+     avx2|neon (tier-1 cap), avx512 (tier-2 cap)";
+
+/// The pure classification behind [`env_tier_cap`]: a recognized value's
+/// tier cap, or `None` for anything undocumented.
+fn tier_cap_of(v: &str) -> Option<u8> {
     const FULL: u8 = u8::MAX;
-    let Some(v) = value else { return (FULL, false) };
-    let v = v.trim();
-    if v.is_empty() {
-        return (FULL, false);
-    }
     if v == "0"
         || v.eq_ignore_ascii_case("off")
         || v.eq_ignore_ascii_case("false")
         || v.eq_ignore_ascii_case("scalar")
     {
-        return (0, false);
+        return Some(0);
     }
     if v.eq_ignore_ascii_case("avx2") || v.eq_ignore_ascii_case("neon") {
-        return (1, false);
+        return Some(1);
     }
     if v.eq_ignore_ascii_case("avx512") {
-        return (2, false);
+        return Some(2);
     }
     if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
-        return (FULL, false);
+        return Some(FULL);
     }
-    (FULL, true)
+    None
+}
+
+/// How an environment value for `SNIP_SIMD` parses: a tier cap, plus
+/// whether the value was unrecognized (warned once at backend init).
+/// Classification (unset/blank → default, trimming) goes through the
+/// shared [`crate::env`] helper that `SNIP_THREADS` and `SNIP_TRACE` use.
+fn env_tier_cap(value: Option<&str>) -> (u8, bool) {
+    use snip_obs::env::EnvValue;
+    const FULL: u8 = u8::MAX;
+    match snip_obs::env::parse(value, tier_cap_of) {
+        EnvValue::Parsed(cap) => (cap, false),
+        EnvValue::Unset => (FULL, false),
+        EnvValue::Unrecognized => (FULL, true),
+    }
 }
 
 /// The widest backend the CPU supports (ignoring `SNIP_SIMD`), or scalar
@@ -173,11 +186,10 @@ fn detect_backend() -> Backend {
     let raw = std::env::var("SNIP_SIMD").ok();
     let (cap, unrecognized) = env_tier_cap(raw.as_deref());
     if unrecognized {
-        eprintln!(
-            "snip-tensor: unrecognized SNIP_SIMD value {:?}; accepted values are \
-             1/on/true (full), 0/off/false/scalar, avx2/neon (tier-1 cap), avx512 \
-             (tier-2 cap) — proceeding with full SIMD dispatch",
-            raw.as_deref().unwrap_or("")
+        snip_obs::env::warn_unrecognized(
+            "SNIP_SIMD",
+            raw.as_deref().unwrap_or(""),
+            SNIP_SIMD_ACCEPTED,
         );
     }
     let detected = detect_cpu_backend();

@@ -56,6 +56,11 @@ mod tensor;
 
 pub use engine::simd;
 pub use packed::{CodeWidth, GroupLayout, QOperandRef, QTensor};
+// The shared env-var parse + warn-once helper. It lives in `snip-obs`
+// (which sits below this crate so telemetry can instrument the kernels),
+// but `snip-tensor` is its canonical address for the rest of the stack:
+// `SNIP_SIMD`, `SNIP_THREADS` and `SNIP_TRACE` all parse through it.
+pub use snip_obs::env;
 pub use tensor::Tensor;
 
 /// Commonly used items, re-exported for convenience.

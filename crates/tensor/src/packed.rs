@@ -117,8 +117,9 @@ impl GroupLayout {
     }
 
     /// Scale groups per row-band of columns (the stride between consecutive
-    /// row groups in the scale vector).
-    fn col_groups(&self, cols: usize) -> usize {
+    /// row groups in the scale vector). Public so telemetry (`snip-quant`'s
+    /// pack-signal extraction) can map elements to their scale group.
+    pub fn col_groups(&self, cols: usize) -> usize {
         match *self {
             GroupLayout::Tensorwise | GroupLayout::Rowwise => 1,
             GroupLayout::Columnwise => cols,
@@ -128,8 +129,10 @@ impl GroupLayout {
 
     /// Index into the scale vector for element `(r, c)`. Group order matches
     /// `snip-quant`'s `Granularity::for_each_group` iteration order.
+    /// `col_groups` must come from [`GroupLayout::col_groups`] for the same
+    /// `cols`.
     #[inline]
-    fn group_index(&self, r: usize, c: usize, col_groups: usize) -> usize {
+    pub fn group_index(&self, r: usize, c: usize, col_groups: usize) -> usize {
         match *self {
             GroupLayout::Tensorwise => 0,
             GroupLayout::Rowwise => r,

@@ -151,6 +151,10 @@ struct Job {
     /// tier on every thread that serves it (thread-locals don't cross the
     /// pool on their own).
     forced_backend: Option<crate::engine::simd::Backend>,
+    /// Submit time against the trace epoch, captured only when telemetry
+    /// collection is on; workers turn it into the `pool.queue_wait_ns`
+    /// histogram when they pop a board entry.
+    submitted_ns: Option<u64>,
 }
 
 // SAFETY: `task` is only dereferenced while the dispatching caller is
@@ -215,22 +219,17 @@ thread_local! {
 }
 
 fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("SNIP_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(n) => return n.max(1),
-            Err(_) => {
-                // Fall back loudly: silently ignoring a typo'd override
-                // would leave the operator convinced parallelism is pinned.
-                eprintln!(
-                    "snip-tensor: ignoring unparsable SNIP_THREADS={v:?}; \
-                     using available parallelism"
-                );
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // Shared parse + warn-once idiom (`crate::env`): an unparsable
+    // override falls back loudly — silently ignoring a typo'd value would
+    // leave the operator convinced parallelism is pinned.
+    snip_obs::env::read("SNIP_THREADS", "a positive integer (thread count)", |v| {
+        v.parse::<usize>().ok().map(|n| n.max(1))
+    })
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 fn pool() -> &'static Pool {
@@ -256,6 +255,12 @@ fn pool() -> &'static Pool {
                             q = board.available.wait(q).expect("job board poisoned");
                         }
                     };
+                    if let Some(submitted) = job.submitted_ns {
+                        snip_obs::hist_record(
+                            "pool.queue_wait_ns",
+                            snip_obs::trace::now_ns().saturating_sub(submitted),
+                        );
+                    }
                     job.drain();
                 })
                 .expect("failed to spawn GEMM pool worker");
@@ -309,6 +314,13 @@ pub(crate) fn run(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let p = pool();
+    // Telemetry observes only (zero-bit contract): the disabled path costs
+    // this one relaxed load per parallel region.
+    let obs = snip_obs::enabled();
+    if obs {
+        snip_obs::counter_add("pool.jobs", 1);
+        snip_obs::counter_add("pool.tasks", tasks as u64);
+    }
     let job = Arc::new(Job {
         task: unsafe {
             // SAFETY: erase the caller-stack lifetime; `run` blocks until
@@ -322,6 +334,7 @@ pub(crate) fn run(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         finished: Condvar::new(),
         panic: Mutex::new(None),
         forced_backend: crate::engine::simd::forced_backend(),
+        submitted_ns: obs.then(snip_obs::trace::now_ns),
     });
     // One board entry per helper we could use; each popped entry drains the
     // job, so more entries than `threads - 1` would only wake workers to
@@ -343,6 +356,12 @@ pub(crate) fn run(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         done = job.finished.wait(done).expect("job latch poisoned");
     }
     drop(done);
+    if let Some(submitted) = job.submitted_ns {
+        snip_obs::hist_record(
+            "pool.job_ns",
+            snip_obs::trace::now_ns().saturating_sub(submitted),
+        );
+    }
     let payload = job.panic.lock().expect("job panic slot poisoned").take();
     if let Some(payload) = payload {
         resume_unwind(payload);
