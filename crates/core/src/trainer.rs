@@ -160,6 +160,25 @@ impl Trainer {
         &mut self,
         hook: &mut dyn FnMut(&mut Model),
     ) -> StepOutput {
+        match self.step_core::<std::convert::Infallible>(&mut |model| {
+            hook(model);
+            Ok(())
+        }) {
+            Ok(out) => out,
+            Err(e) => match e {},
+        }
+    }
+
+    /// The fallible step body shared by the infallible and recoverable
+    /// paths. A hook error aborts the step **before** clipping, the
+    /// optimizer update, the step-count bump and the telemetry counters —
+    /// but the batch stream, data-order RNG and gradients have already
+    /// advanced, so recovery needs [`Trainer::try_train_step_with_grad_hook`]'s
+    /// snapshot/restore on top.
+    fn step_core<E>(
+        &mut self,
+        hook: &mut dyn FnMut(&mut Model) -> Result<(), E>,
+    ) -> Result<StepOutput, E> {
         let _span = snip_obs::span("train_step");
         let lr = self.cfg.schedule.lr_at(self.step);
         self.optimizer.set_lr(lr);
@@ -168,7 +187,7 @@ impl Trainer {
         let out = self
             .model
             .step(&batch, &mut self.rng, &StepOptions::train());
-        hook(&mut self.model);
+        hook(&mut self.model)?;
         if let Some(max) = self.cfg.grad_clip {
             clip_global_norm(&mut self.model, max);
         }
@@ -179,7 +198,38 @@ impl Trainer {
             snip_obs::counter_add("trainer.steps", 1);
             snip_obs::gauge_set("trainer.loss", out.loss);
         }
-        out
+        Ok(out)
+    }
+
+    /// The recovery hook for distributed training: one training step whose
+    /// gradient hook may fail (e.g. an all-reduce over a faulted
+    /// transport). On `Ok` the step completed exactly as
+    /// [`Trainer::train_step_with_grad_hook`] would have. On `Err` the
+    /// trainer is restored **bit-for-bit** to its pre-step state — model,
+    /// optimizer, batch stream and RNG rewind as if the step never started
+    /// — so a launcher that restarts the world can retry the step from the
+    /// last good parameters and reach the same final state an unfaulted run
+    /// produces.
+    ///
+    /// The pre-step snapshot is a full trainer clone, so this costs one
+    /// deep copy per step; the infallible paths skip it entirely.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the hook returned; the step's effects are rolled
+    /// back.
+    pub fn try_train_step_with_grad_hook<E>(
+        &mut self,
+        hook: &mut dyn FnMut(&mut Model) -> Result<(), E>,
+    ) -> Result<f64, E> {
+        let snapshot = self.clone();
+        match self.step_core(hook) {
+            Ok(out) => Ok(out.loss),
+            Err(e) => {
+                *self = snapshot;
+                Err(e)
+            }
+        }
     }
 
     /// Runs `n` steps of [`Trainer::train_step_with_grad_hook`], returning
@@ -338,6 +388,28 @@ mod tests {
         let b = restored.train(3);
         assert_eq!(a, b, "checkpoint resume must be bit-exact");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_step_rolls_back_to_bit_identical_state() {
+        let mut t = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let _ = t.train(4);
+        let before = serde_json::to_vec(&t).unwrap();
+        let failed = t.try_train_step_with_grad_hook(&mut |_model| Err("link died"));
+        assert_eq!(failed, Err("link died"));
+        let after = serde_json::to_vec(&t).unwrap();
+        assert_eq!(
+            before, after,
+            "a failed step must leave no trace — model, optimizer, stream and RNG rewind"
+        );
+        // And the retried step matches a trainer that never saw the fault.
+        let mut calm = Trainer::new(TrainerConfig::tiny()).unwrap();
+        let _ = calm.train(4);
+        let retried = t
+            .try_train_step_with_grad_hook::<&str>(&mut |_model| Ok(()))
+            .unwrap();
+        assert_eq!(retried, calm.train(1)[0]);
+        assert_eq!(t.step_count(), 5);
     }
 
     #[test]

@@ -12,8 +12,14 @@ use snip_nn::ModelConfig;
 use snip_pipeline::collective::{
     exact_sum, relative_error, ring_reduce_scatter, CollectiveResult, QuantizePolicy, Wire,
 };
+use snip_pipeline::transport::chaos::{chaos_reduce_scatter, ChaosPlan};
 use snip_pipeline::transport::threaded_reduce_scatter;
 use snip_tensor::rng::Rng;
+
+/// Per-frame delay bound (microseconds) for the `--chaos` schedule — large
+/// enough to shuffle thread interleavings, small enough that the sweep
+/// still finishes promptly.
+const CHAOS_DELAY_MICROS: u64 = 300;
 
 /// Which rank fabric the sweep runs over.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -48,13 +54,41 @@ fn transport_requested() -> Transport {
     }
 }
 
+/// `--chaos <seed>` (or `--chaos=<seed>`) re-runs every threaded
+/// reduce-scatter under a seeded delay-only fault schedule (no kills, no
+/// corruption) and asserts the tables are unchanged: injected link delays
+/// must cost wall-clock only, never bits or bytes.
+fn chaos_requested() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = a
+            .strip_prefix("--chaos=")
+            .map(String::from)
+            .or_else(|| (a == "--chaos").then(|| args.get(i + 1).cloned()).flatten());
+        if let Some(v) = value {
+            return Some(
+                v.parse().unwrap_or_else(|_| {
+                    panic!("--chaos needs an unsigned integer seed, got {v:?}")
+                }),
+            );
+        }
+    }
+    None
+}
+
 fn main() {
     // If this process is a spawned rank worker (`--transport process`
     // re-executes this binary), divert it before any experiment work.
     #[cfg(unix)]
     snip_pipeline::transport::proc::worker_boot();
     let p = ExpParams::from_args();
-    let transport = transport_requested();
+    let chaos_seed = chaos_requested();
+    let transport = match (transport_requested(), chaos_seed) {
+        // The chaos schedule decorates a real fabric; the in-proc oracle
+        // has no links to delay, so `--chaos` implies the threaded mesh.
+        (Transport::Simulated, Some(_)) => Transport::Threads,
+        (t, _) => t,
+    };
     #[cfg(not(unix))]
     assert!(
         transport != Transport::Process,
@@ -62,7 +96,7 @@ fn main() {
     );
     println!("# Low-precision ring reduce-scatter: error vs bytes (paper §2.2 future work)");
     println!(
-        "# transport: {}\n",
+        "# transport: {}",
         match transport {
             Transport::Threads => "threads (OS-thread ranks, serialized frames, measured bytes)",
             Transport::Process =>
@@ -70,6 +104,13 @@ fn main() {
             Transport::Simulated => "simulated (in-proc oracle, analytic bytes)",
         }
     );
+    if let Some(seed) = chaos_seed {
+        println!(
+            "# chaos: delay-only schedule, seed {seed}, ≤{CHAOS_DELAY_MICROS}µs per frame — \
+             every row is cross-checked bit-identical to the calm run"
+        );
+    }
+    println!();
     let ckpt = checkpoint(ModelConfig::tinyllama_1b_sim(), p.ckpt_unit, &p);
     let cfg = ckpt.config().model.clone();
     let record = checkpoint_record(&ckpt);
@@ -118,7 +159,37 @@ fn main() {
                 let rngs: Vec<Rng> = (0..grads.len())
                     .map(|r| Rng::seed_from(0x2000 + r as u64))
                     .collect();
-                threaded_reduce_scatter(grads, wire, policy, &rngs).0
+                let calm = threaded_reduce_scatter(grads, wire, policy, &rngs).0;
+                if let Some(seed) = chaos_seed {
+                    // Replay the identical collective under a seeded
+                    // delay-only chaos schedule: link delays may reorder
+                    // thread wakeups but never frames, so every shard and
+                    // every byte counter must come back unchanged.
+                    let plan = ChaosPlan::delay_all_links(seed, grads.len(), CHAOS_DELAY_MICROS);
+                    let (outcomes, stats) = chaos_reduce_scatter(grads, wire, policy, &rngs, &plan);
+                    for (rank, outcome) in outcomes.into_iter().enumerate() {
+                        let chunk = outcome.expect("delay-only chaos must not fail a rank");
+                        assert_eq!(
+                            (chunk.lo, chunk.hi),
+                            calm.owned[rank],
+                            "chaos delay changed rank {rank}'s chunk bounds"
+                        );
+                        assert_eq!(
+                            chunk.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            calm.per_rank[rank]
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect::<Vec<_>>(),
+                            "chaos delay changed rank {rank}'s reduce-scatter bits"
+                        );
+                    }
+                    assert_eq!(
+                        stats.total_payload_bytes(),
+                        calm.bytes_on_wire,
+                        "chaos delay changed bytes on the wire"
+                    );
+                }
+                calm
             }
             Transport::Simulated => {
                 let mut rng = Rng::seed_from(2);

@@ -25,7 +25,14 @@
 
 use super::frame::FrameError;
 use snip_quant::StreamError;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Default bound on how long a `recv_frame` waits for a stalled peer before
+/// failing with [`TransportError::Timeout`]. Generous enough for any
+/// in-repo collective; small enough that a wedged rank becomes a diagnosed
+/// error instead of an indefinite hang.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(120);
 
 /// A transport-level failure observed by one rank.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,12 +51,28 @@ pub enum TransportError {
         error: FrameError,
     },
     /// A peer's byte stream itself was damaged (bad length prefix, stream
-    /// cut mid-frame).
+    /// cut mid-frame, checksum mismatch).
     Stream {
         /// The sending peer.
         src: usize,
         /// The stream-layer defect.
         error: StreamError,
+    },
+    /// No frame arrived from a peer within the recv deadline — the peer is
+    /// alive (its link is open) but stalled. Distinct from
+    /// [`TransportError::PeerClosed`]: the link did *not* close.
+    Timeout {
+        /// The peer the rank was waiting on.
+        src: usize,
+        /// How long the rank actually waited.
+        elapsed: Duration,
+    },
+    /// This rank was killed by its chaos schedule (fault injection only —
+    /// real deployments observe the *peer-side* [`TransportError::PeerClosed`]
+    /// cascade instead).
+    Killed {
+        /// The rank that was killed.
+        rank: usize,
     },
     /// An OS-level I/O failure on a link.
     Io {
@@ -72,6 +95,16 @@ impl std::fmt::Display for TransportError {
             TransportError::Stream { src, error } => {
                 write!(f, "damaged stream from rank {src}: {error}")
             }
+            TransportError::Timeout { src, elapsed } => {
+                write!(
+                    f,
+                    "timed out after {:.3}s waiting for a frame from rank {src}",
+                    elapsed.as_secs_f64()
+                )
+            }
+            TransportError::Killed { rank } => {
+                write!(f, "rank {rank} was killed by its chaos schedule")
+            }
             TransportError::Io { rank, message } => {
                 write!(f, "i/o failure on the link to rank {rank}: {message}")
             }
@@ -80,6 +113,17 @@ impl std::fmt::Display for TransportError {
 }
 
 impl std::error::Error for TransportError {}
+
+/// `true` when an error's message marks it as a *secondary* failure — the
+/// cascade a primary fault (kill, corruption, panic) induces at the ranks
+/// that were merely waiting on the faulted one. Launchers use this for
+/// root-cause attribution: report the first non-cascade error, because the
+/// `PeerClosed`/`Timeout` storm around it is a consequence, not a cause.
+pub fn is_cascade_error(message: &str) -> bool {
+    message.contains("mid-collective")
+        || message.contains("PeerClosed")
+        || message.contains("timed out after")
+}
 
 /// A full mesh of per-link FIFO byte channels connecting `world` ranks.
 ///
@@ -101,8 +145,17 @@ pub trait Fabric {
     fn send_frame(&mut self, dst: usize, frame: Vec<u8>) -> Result<u64, TransportError>;
 
     /// Blocks for the next frame from `src` (per-link FIFO). Returns the
-    /// frame and the wire bytes it occupied.
+    /// frame and the wire bytes it occupied. Waits at most the recv
+    /// deadline ([`DEFAULT_RECV_DEADLINE`] unless lowered via
+    /// [`Fabric::set_recv_deadline`]) before failing with
+    /// [`TransportError::Timeout`].
     fn recv_frame(&mut self, src: usize) -> Result<(Vec<u8>, u64), TransportError>;
+
+    /// Bounds how long [`Fabric::recv_frame`] waits for a stalled peer.
+    /// The default implementation is a no-op for backends that cannot
+    /// block indefinitely; both shipped backends (channels, sockets)
+    /// override it.
+    fn set_recv_deadline(&mut self, _deadline: Duration) {}
 }
 
 /// The in-process backend: ranks on OS threads, one unbounded mpsc channel
@@ -118,6 +171,8 @@ pub struct ChannelFabric {
     senders: Vec<Sender<Vec<u8>>>,
     /// `receivers[src]` — the receiving half of link `src → rank`.
     receivers: Vec<Receiver<Vec<u8>>>,
+    /// Longest a `recv_frame` waits before reporting a stalled peer.
+    deadline: Duration,
 }
 
 /// Builds the `world × world` channel mesh, returning one fabric per rank
@@ -150,6 +205,7 @@ pub fn channel_mesh(world: usize) -> Vec<ChannelFabric> {
             world,
             senders: senders.into_iter().map(|s| s.expect("filled")).collect(),
             receivers: receivers.into_iter().map(|r| r.expect("filled")).collect(),
+            deadline: DEFAULT_RECV_DEADLINE,
         })
         .collect()
 }
@@ -172,10 +228,21 @@ impl Fabric for ChannelFabric {
     }
 
     fn recv_frame(&mut self, src: usize) -> Result<(Vec<u8>, u64), TransportError> {
+        let start = Instant::now();
         let frame = self.receivers[src]
-            .recv()
-            .map_err(|_| TransportError::PeerClosed { rank: src })?;
+            .recv_timeout(self.deadline)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout {
+                    src,
+                    elapsed: start.elapsed(),
+                },
+                RecvTimeoutError::Disconnected => TransportError::PeerClosed { rank: src },
+            })?;
         let wire = frame.len() as u64;
         Ok((frame, wire))
+    }
+
+    fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
     }
 }

@@ -219,5 +219,32 @@ mod tests {
                 prop_assert!(decode_frame(&frame[..cut]).is_err());
             }
         }
+
+        /// Chaos corruption at the frame layer: XOR one byte of a valid
+        /// frame of every wire kind. The decoder must return a *value* —
+        /// a typed error for structural damage, or a decoded payload when
+        /// only content bytes changed (content integrity is the stream
+        /// envelope CRC's job, pinned in snip-quant's `wire_stream`
+        /// tests). A lying element count is always a typed error.
+        #[test]
+        fn single_byte_flips_never_panic_and_count_lies_are_caught(
+            n in 0usize..20,
+            at_sel in 0usize..200,
+            flip in 1u8..=255,
+            kind in 0usize..4,
+        ) {
+            let wires = [Wire::exact(), Wire::bf16(), Wire::fp4(8), Wire::fp8(16)];
+            let payload: Vec<f32> = (0..n).map(|i| i as f32 * 0.37 - 2.0).collect();
+            let mut rng = Rng::seed_from(9);
+            let (mut frame, _) = encode_frame(&wires[kind], &payload, &mut rng);
+            let tag = frame[0];
+            let at = at_sel % frame.len();
+            frame[at] ^= flip;
+            let outcome = decode_frame(&frame);
+            if (tag == TAG_EXACT || tag == TAG_BF16) && (1..5).contains(&at) {
+                // The element count now disagrees with the frame length.
+                prop_assert!(matches!(outcome, Err(FrameError::Length { .. })));
+            }
+        }
     }
 }

@@ -53,12 +53,19 @@
 //! failure cascades along whichever links ranks are blocked on — the mesh
 //! fails fast instead of deadlocking, on threads and processes alike.
 
+pub mod chaos;
 pub mod fabric;
 pub mod frame;
 #[cfg(unix)]
 pub mod proc;
 
-pub use fabric::{channel_mesh, ChannelFabric, Fabric, TransportError};
+pub use chaos::{
+    chaos_all_reduce, chaos_reduce_scatter, data_parallel_train_chaos,
+    data_parallel_train_with_recovery, ChaosFabric, ChaosPlan, Fault,
+};
+pub use fabric::{
+    channel_mesh, is_cascade_error, ChannelFabric, Fabric, TransportError, DEFAULT_RECV_DEADLINE,
+};
 pub use frame::FrameError;
 
 use crate::collective::{chunk_bounds, CollectiveResult, QuantizePolicy, Wire};
@@ -67,6 +74,7 @@ use snip_core::Trainer;
 use snip_tensor::rng::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shared per-link counters. Sender ranks write the `tx_*` matrices,
 /// receiver ranks the `rx_*` matrices; both are indexed `src * world + dst`.
@@ -189,6 +197,48 @@ impl TransportStats {
     }
 }
 
+/// Bumps the failure counter matching a typed transport error —
+/// `transport.{peer_closed,frame_error,timeout,killed,io_error}` — under
+/// the usual zero-bit contract (one relaxed load when telemetry is off).
+/// [`Endpoint::send`] / [`Endpoint::recv`] call it on every error path,
+/// so the telemetry report counts faults exactly where ranks observe
+/// them.
+pub(crate) fn note_transport_failure(error: &TransportError) {
+    if !snip_obs::enabled() {
+        return;
+    }
+    let name = match error {
+        TransportError::PeerClosed { .. } => "transport.peer_closed",
+        TransportError::Frame { .. } | TransportError::Stream { .. } => "transport.frame_error",
+        TransportError::Timeout { .. } => "transport.timeout",
+        TransportError::Killed { .. } => "transport.killed",
+        TransportError::Io { .. } => "transport.io_error",
+    };
+    snip_obs::counter_add(name, 1);
+}
+
+/// [`note_transport_failure`] for failures that only survive as display
+/// strings — worker processes report errors over the control socket as
+/// text, so the launcher classifies them by the typed errors' own
+/// `Display` wording.
+pub(crate) fn note_failure_message(message: &str) {
+    if !snip_obs::enabled() {
+        return;
+    }
+    let name = if message.contains("mid-collective") || message.contains("PeerClosed") {
+        "transport.peer_closed"
+    } else if message.contains("damaged stream") || message.contains("corrupt frame") {
+        "transport.frame_error"
+    } else if message.contains("timed out after") {
+        "transport.timeout"
+    } else if message.contains("chaos schedule") {
+        "transport.killed"
+    } else {
+        "transport.io_error"
+    };
+    snip_obs::counter_add(name, 1);
+}
+
 /// Exports a measured [`TransportStats`] snapshot into the `snip-obs`
 /// registry: bumps the global `transport.{payload_bytes,envelope_bytes,
 /// frames}` counters and replaces the report's `"transport"` section with
@@ -211,6 +261,27 @@ pub fn publish_transport_stats(stats: &TransportStats) {
     snip_obs::counter_add("transport.envelope_bytes", envelope);
     snip_obs::counter_add("transport.frames", frames);
     use serde::Content;
+    // Failure counters accumulate globally (across every rank thread and
+    // every run in the process), so the report's transport section shows
+    // the run's cumulative fault picture next to its traffic.
+    let failures = Content::Map(
+        [
+            ("peer_closed", "transport.peer_closed"),
+            ("frame_error", "transport.frame_error"),
+            ("timeout", "transport.timeout"),
+            ("killed", "transport.killed"),
+            ("io_error", "transport.io_error"),
+            ("retries", "transport.retries"),
+        ]
+        .iter()
+        .map(|(key, counter)| {
+            (
+                String::from(*key),
+                Content::U64(snip_obs::counter_value(counter)),
+            )
+        })
+        .collect(),
+    );
     snip_obs::report::set_section(
         "transport",
         Content::Map(vec![
@@ -219,6 +290,7 @@ pub fn publish_transport_stats(stats: &TransportStats) {
             ("envelope_bytes".into(), Content::U64(envelope)),
             ("frames".into(), Content::U64(frames)),
             ("two_sided".into(), Content::Bool(stats.two_sided())),
+            ("failures".into(), failures),
         ]),
     );
 }
@@ -269,6 +341,13 @@ impl<F: Fabric> Endpoint<F> {
         TransportStats::snapshot(&self.counters)
     }
 
+    /// Bounds how long a blocking receive waits for a stalled peer before
+    /// failing with [`TransportError::Timeout`]
+    /// ([`fabric::DEFAULT_RECV_DEADLINE`] until changed).
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.fabric.set_recv_deadline(deadline);
+    }
+
     /// Point-to-point send (pipeline p2p): quantizes `payload` through the
     /// wire's codec, serializes, and ships the frame to `dst`. Returns the
     /// payload bytes moved (counted on the `self → dst` link).
@@ -285,7 +364,10 @@ impl<F: Fabric> Endpoint<F> {
         rng: &mut Rng,
     ) -> Result<u64, TransportError> {
         let (frame, bytes) = encode_frame(wire, payload, rng);
-        let wire_len = self.fabric.send_frame(dst, frame)?;
+        let wire_len = self
+            .fabric
+            .send_frame(dst, frame)
+            .inspect_err(note_transport_failure)?;
         self.counters
             .record_tx(self.rank(), dst, bytes, wire_len - bytes);
         Ok(bytes)
@@ -300,9 +382,15 @@ impl<F: Fabric> Endpoint<F> {
     /// [`TransportError::Frame`] / [`TransportError::Stream`] if it
     /// delivered damaged bytes.
     pub fn recv(&mut self, src: usize) -> Result<Vec<f32>, TransportError> {
-        let (frame, wire_len) = self.fabric.recv_frame(src)?;
-        let (payload, bytes) =
-            decode_frame(&frame).map_err(|error| TransportError::Frame { src, error })?;
+        let (frame, wire_len) = self
+            .fabric
+            .recv_frame(src)
+            .inspect_err(note_transport_failure)?;
+        let (payload, bytes) = decode_frame(&frame).map_err(|error| {
+            let e = TransportError::Frame { src, error };
+            note_transport_failure(&e);
+            e
+        })?;
         self.counters
             .record_rx(src, self.rank(), bytes, wire_len - bytes);
         Ok(payload)
@@ -443,17 +531,34 @@ pub fn pipeline_relay<F: Fabric>(
     Ok(received)
 }
 
+/// Derives the wire RNG one rank uses for one training step, keyed by the
+/// trainer's **absolute** step index. Restarting a per-step stream (rather
+/// than running one stream across the whole loop) is what makes failure
+/// recovery exact: a rank that rolls a faulted step back and retries it
+/// replays the identical wire bytes an unfaulted run would have sent at
+/// that step, wherever in the run the retry happens.
+pub(crate) fn step_comm_rng(comm_seed: u64, rank: usize, step: u64) -> Rng {
+    Rng::seed_from(
+        comm_seed
+            ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ step.wrapping_mul(0xD1B5_4A32_D192_ED03),
+    )
+}
+
 /// One rank's synchronous data-parallel training loop: `steps` steps of
 /// `trainer`, each all-reducing every parameter gradient through `wire`
 /// (then averaging) before clipping and the optimizer update. Shared by the
 /// threaded and process DP paths so both run the identical step code. Wire
-/// randomness is seeded from `comm_seed ^ rank`.
+/// randomness is re-derived every step from `(comm_seed, rank, absolute
+/// step index)` — see [`step_comm_rng`] — so the chaos recovery path
+/// ([`chaos::data_parallel_train_with_recovery`]) can replay a failed step
+/// bit-exactly.
 ///
 /// # Panics
 ///
 /// Panics if the all-reduce fails mid-step (a dead peer is unrecoverable
-/// for synchronous DP; the panic is the abort signal that closes this
-/// rank's links in turn).
+/// for synchronous DP without the chaos module's retry driver; the panic
+/// is the abort signal that closes this rank's links in turn).
 pub(crate) fn dp_train_loop<F: Fabric>(
     ep: &mut Endpoint<F>,
     trainer: &mut Trainer,
@@ -462,18 +567,23 @@ pub(crate) fn dp_train_loop<F: Fabric>(
     policy: QuantizePolicy,
     comm_seed: u64,
 ) -> Vec<f64> {
-    let mut rng = Rng::seed_from(comm_seed ^ ep.rank() as u64);
     let inv_world = 1.0 / ep.world() as f32;
-    trainer.train_with_grad_hook(steps, &mut |model| {
-        model.visit_params_mut(&mut |p| {
-            let reduced = ep
-                .ring_all_reduce(p.grad().as_slice(), wire, policy, &mut rng)
-                .expect("data-parallel all-reduce failed");
-            for (g, v) in p.grad_mut().as_mut_slice().iter_mut().zip(&reduced) {
-                *g = v * inv_world;
-            }
+    let mut losses = Vec::with_capacity(steps as usize);
+    for _ in 0..steps {
+        let mut rng = step_comm_rng(comm_seed, ep.rank(), trainer.step_count());
+        let out = trainer.train_step_output_with_grad_hook(&mut |model| {
+            model.visit_params_mut(&mut |p| {
+                let reduced = ep
+                    .ring_all_reduce(p.grad().as_slice(), wire, policy, &mut rng)
+                    .expect("data-parallel all-reduce failed");
+                for (g, v) in p.grad_mut().as_mut_slice().iter_mut().zip(&reduced) {
+                    *g = v * inv_world;
+                }
+            });
         });
-    })
+        losses.push(out.loss);
+    }
+    losses
 }
 
 /// Builds a `world`-rank threaded mesh and runs `f` once per rank, each on
@@ -497,6 +607,25 @@ where
         .into_iter()
         .map(|fab| Endpoint::with_counters(fab, Arc::clone(&counters)))
         .collect();
+    drive_endpoints(endpoints, counters, f)
+}
+
+/// The shared mesh driver behind [`run_ranks`] and
+/// [`chaos::chaos_run_ranks`]: runs `f` once per endpoint, each on its own
+/// scoped OS thread, joins them all, propagates the root-cause panic (the
+/// first whose message is not an [`is_cascade_error`] cascade of somebody
+/// else's failure), then snapshots and publishes the shared counters.
+pub(crate) fn drive_endpoints<Fb, T, F>(
+    endpoints: Vec<Endpoint<Fb>>,
+    counters: Arc<LinkCounters>,
+    f: F,
+) -> (Vec<T>, TransportStats)
+where
+    Fb: Fabric + Send,
+    T: Send,
+    F: Fn(&mut Endpoint<Fb>) -> T + Send + Sync,
+{
+    let world = endpoints.len();
     let results = std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = endpoints
@@ -520,7 +649,7 @@ where
                     .downcast_ref::<String>()
                     .map(String::as_str)
                     .or_else(|| p.downcast_ref::<&str>().copied());
-                text.is_some_and(|s| s.contains("mid-collective") || s.contains("PeerClosed"))
+                text.is_some_and(is_cascade_error)
             };
             let root = panics.iter().position(|p| !is_cascade(p)).unwrap_or(0);
             std::panic::resume_unwind(panics.swap_remove(root));
@@ -608,7 +737,7 @@ pub fn threaded_pipeline_relay(
     })
 }
 
-fn check_world(grads: &[Vec<f32>], rngs: &[Rng]) {
+pub(crate) fn check_world(grads: &[Vec<f32>], rngs: &[Rng]) {
     assert!(!grads.is_empty(), "no ranks");
     let n = grads[0].len();
     assert!(
@@ -625,9 +754,11 @@ fn check_world(grads: &[Vec<f32>], rngs: &[Rng]) {
 /// would see. Returns the trainers (advanced `steps` steps), each rank's
 /// per-step losses, and the measured traffic.
 ///
-/// Wire randomness is per rank, seeded from `comm_seed ^ rank` — identical
-/// to [`proc::proc_data_parallel_train`], which must reproduce this run bit
-/// for bit.
+/// Wire randomness is derived per rank *and per step* from `comm_seed` and
+/// the absolute step index (`step_comm_rng`) — identical to
+/// [`proc::proc_data_parallel_train`], which must reproduce this run bit
+/// for bit, and to the chaos recovery driver, whose retried steps must
+/// replay this run's exact wire streams.
 ///
 /// # Panics
 ///

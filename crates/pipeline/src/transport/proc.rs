@@ -37,10 +37,12 @@
 //! 5. the parent merges both sides of every link's counters — they must
 //!    agree exactly — and reaps the workers.
 //!
-//! Frames on mesh streams are length-prefixed ([`snip_quant::wire`]'s
-//! stream codec) and reassembled from arbitrarily chunked reads by a
-//! dedicated reader thread per link, which also keeps every socket drained
-//! so ring steps can never deadlock on full kernel buffers.
+//! Frames on mesh streams carry [`snip_quant::wire`]'s stream envelope —
+//! a length prefix plus a CRC32 of the body, so in-flight corruption is a
+//! typed [`snip_quant::StreamError::Crc`] at decode instead of a silently
+//! damaged gradient — and are reassembled from arbitrarily chunked reads
+//! by a dedicated reader thread per link, which also keeps every socket
+//! drained so ring steps can never deadlock on full kernel buffers.
 //!
 //! # Abort semantics
 //!
@@ -51,12 +53,15 @@
 //! mesh exactly as it does on threads. The parent reports the root cause
 //! from the failing worker's `ERROR` message.
 
-use super::fabric::{Fabric, TransportError};
+use super::chaos::{ChaosFabric, ChaosPlan};
+use super::fabric::{is_cascade_error, Fabric, TransportError, DEFAULT_RECV_DEADLINE};
 use super::{dp_train_loop, pipeline_relay, Endpoint, TransportStats};
 use crate::collective::{CollectiveResult, QuantizePolicy, Wire};
 use serde::{Deserialize, Serialize};
 use snip_core::{Trainer, TrainerConfig};
-use snip_quant::{stream_frame, StreamDecoder, STREAM_MAX_FRAME_BYTES, STREAM_PREFIX_BYTES};
+use snip_quant::{
+    crc32, stream_frame, StreamDecoder, STREAM_ENVELOPE_BYTES, STREAM_MAX_FRAME_BYTES,
+};
 use snip_tensor::rng::Rng;
 use std::io::{ErrorKind, Read, Write};
 use std::net::Shutdown;
@@ -64,13 +69,17 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant, SystemTime};
 
 const ENV_WORKER: &str = "SNIP_RANK_WORKER";
 const ENV_DIR: &str = "SNIP_RANK_DIR";
 const ENV_RANK: &str = "SNIP_RANK_ID";
 const ENV_WORLD: &str = "SNIP_RANK_WORLD";
+/// Chaos-harness hook: a worker whose rank matches this variable's value
+/// exits before reporting READY, simulating a rank that dies during spawn.
+/// Public so the chaos harness can set it; unset in normal operation.
+pub const ENV_EXIT_BEFORE_READY: &str = "SNIP_CHAOS_EXIT_BEFORE_READY";
 
 /// How long the parent waits for workers to connect and report ready.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(120);
@@ -142,17 +151,25 @@ fn ctrl_send(stream: &mut UnixStream, body: &[u8]) -> std::io::Result<()> {
 }
 
 fn ctrl_recv(stream: &mut UnixStream) -> std::io::Result<Vec<u8>> {
-    let mut prefix = [0u8; STREAM_PREFIX_BYTES];
-    stream.read_exact(&mut prefix)?;
-    let len = u32::from_le_bytes(prefix) as usize;
+    let mut envelope = [0u8; STREAM_ENVELOPE_BYTES];
+    stream.read_exact(&mut envelope)?;
+    let len = u32::from_le_bytes(envelope[..4].try_into().expect("4 bytes")) as usize;
     if len > STREAM_MAX_FRAME_BYTES {
         return Err(std::io::Error::new(
             ErrorKind::InvalidData,
             format!("control frame length {len} exceeds the sanity bound"),
         ));
     }
+    let expect = u32::from_le_bytes(envelope[4..].try_into().expect("4 bytes"));
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
+    let got = crc32(&body);
+    if got != expect {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("control frame crc mismatch: envelope says {expect:#010x}, body hashes to {got:#010x}"),
+        ));
+    }
     Ok(body)
 }
 
@@ -265,6 +282,13 @@ struct TaskMeta {
     steps: u64,
     comm_seed: u64,
     trainer: Option<TrainerConfig>,
+    /// When present, the worker wraps its socket fabric in a
+    /// [`ChaosFabric`] driven by this plan (and applies the plan's recv
+    /// deadline) — the launcher's handle for injecting deterministic
+    /// faults into a live process mesh. Defaults to `None` so specs from
+    /// older launchers still decode.
+    #[serde(default)]
+    chaos: Option<ChaosPlan>,
 }
 
 struct TaskSpec {
@@ -322,6 +346,8 @@ pub struct SocketFabric {
     world: usize,
     writers: Vec<Option<UnixStream>>,
     inboxes: Vec<Option<Receiver<LinkFrame>>>,
+    /// Longest a `recv_frame` waits before reporting a stalled peer.
+    deadline: Duration,
 }
 
 fn mesh_sock(dir: &Path, rank: usize) -> PathBuf {
@@ -388,6 +414,7 @@ impl SocketFabric {
             world,
             writers: streams,
             inboxes,
+            deadline: DEFAULT_RECV_DEADLINE,
         })
     }
 }
@@ -446,9 +473,10 @@ impl Fabric for SocketFabric {
         let Some(writer) = self.writers.get_mut(dst).and_then(Option::as_mut) else {
             return Err(TransportError::PeerClosed { rank: dst });
         };
-        let wire = (STREAM_PREFIX_BYTES + frame.len()) as u64;
+        let wire = (STREAM_ENVELOPE_BYTES + frame.len()) as u64;
         let write = |w: &mut UnixStream| -> std::io::Result<()> {
             w.write_all(&(frame.len() as u32).to_le_bytes())?;
+            w.write_all(&crc32(&frame).to_le_bytes())?;
             w.write_all(&frame)
         };
         write(writer).map_err(|e| match e.kind() {
@@ -464,14 +492,23 @@ impl Fabric for SocketFabric {
         let Some(inbox) = self.inboxes.get(src).and_then(Option::as_ref) else {
             return Err(TransportError::PeerClosed { rank: src });
         };
-        match inbox.recv() {
+        let start = Instant::now();
+        match inbox.recv_timeout(self.deadline) {
             Ok(Ok(frame)) => {
-                let wire = (STREAM_PREFIX_BYTES + frame.len()) as u64;
+                let wire = (STREAM_ENVELOPE_BYTES + frame.len()) as u64;
                 Ok((frame, wire))
             }
             Ok(Err(e)) => Err(e),
-            Err(_) => Err(TransportError::PeerClosed { rank: src }),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
+                src,
+                elapsed: start.elapsed(),
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::PeerClosed { rank: src }),
         }
+    }
+
+    fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
     }
 }
 
@@ -527,6 +564,55 @@ fn accept_deadline(listener: &UnixListener, deadline: Instant) -> std::io::Resul
     }
 }
 
+/// Accepts one control connection during the READY handshake, failing fast
+/// with [`ProcError::Worker`] if a worker whose READY is still outstanding
+/// (no control stream yet in `ctrls`) has already exited.
+fn accept_ready(
+    listener: &UnixListener,
+    deadline: Instant,
+    guard: &mut WorkerGuard,
+    ctrls: &[Option<UnixStream>],
+) -> Result<UnixStream, ProcError> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| ProcError::Launch(format!("control stream: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                for (rank, child) in guard.children.iter_mut().enumerate() {
+                    if ctrls[rank].is_some() {
+                        continue;
+                    }
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(ProcError::Worker {
+                            rank,
+                            message: format!("worker exited with {status} before reporting READY"),
+                        });
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(ProcError::Launch(
+                        "timed out waiting for workers to report ready — does the \
+                         launching binary's main() call transport::proc::worker_boot() \
+                         first?"
+                            .into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(ProcError::Launch(format!(
+                    "waiting for workers to report ready: {e}"
+                )))
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Worker side.
 // ---------------------------------------------------------------------------
@@ -563,6 +649,13 @@ fn worker_run() -> Result<(), String> {
     if rank >= world {
         return Err(format!("rank {rank} out of range for world {world}"));
     }
+    // Chaos-harness hook: die before the READY handshake, exercising the
+    // launcher's fail-fast path for a worker that never comes up. Workers
+    // inherit the launcher's environment, so a test sets this around one
+    // launch.
+    if std::env::var(ENV_EXIT_BEFORE_READY).ok().as_deref() == Some(&rank.to_string()) {
+        std::process::exit(17);
+    }
     let listener = UnixListener::bind(mesh_sock(&dir, rank))
         .map_err(|e| format!("binding the mesh listener: {e}"))?;
     let mut ctrl = connect_retry(&dir.join("c"), HANDSHAKE_TIMEOUT)
@@ -581,9 +674,28 @@ fn worker_run() -> Result<(), String> {
     let spec = TaskSpec::decode(c.take(start.len() - 1)?)?;
 
     let fabric = SocketFabric::connect(listener, &dir, rank, world)?;
-    let mut ep = Endpoint::new(fabric);
+    match spec.meta.chaos.clone() {
+        Some(plan) => {
+            let mut chaos = ChaosFabric::new(fabric, plan.clone());
+            if let Some(micros) = plan.recv_deadline_micros {
+                chaos.set_recv_deadline(Duration::from_micros(micros));
+            }
+            worker_execute(Endpoint::new(chaos), &spec, &mut ctrl, rank)
+        }
+        None => worker_execute(Endpoint::new(fabric), &spec, &mut ctrl, rank),
+    }
+}
+
+/// Runs the assigned task over an already-connected endpoint (bare socket
+/// fabric or chaos-wrapped) and reports the outcome on the control stream.
+fn worker_execute<F: Fabric>(
+    mut ep: Endpoint<F>,
+    spec: &TaskSpec,
+    ctrl: &mut UnixStream,
+    rank: usize,
+) -> Result<(), String> {
     let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task(&mut ep, &spec)));
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task(&mut ep, spec)));
     let report = match outcome {
         Ok(Ok(result)) => {
             let stats = ep.stats();
@@ -611,7 +723,7 @@ fn worker_run() -> Result<(), String> {
     };
     // Drop the endpoint (closing the mesh) only after the report is staged:
     // peers may still be draining our buffered frames.
-    ctrl_send(&mut ctrl, &report).map_err(|e| format!("sending the result: {e}"))?;
+    ctrl_send(ctrl, &report).map_err(|e| format!("sending the result: {e}"))?;
     drop(ep);
     if report[0] == MSG_ERROR {
         return Err(String::from_utf8_lossy(&report[1..]).into_owned());
@@ -621,7 +733,7 @@ fn worker_run() -> Result<(), String> {
 
 /// Runs the task a worker was assigned; the returned bytes are the
 /// task-specific result payload.
-fn run_task(ep: &mut Endpoint<SocketFabric>, spec: &TaskSpec) -> Result<Vec<u8>, String> {
+fn run_task<F: Fabric>(ep: &mut Endpoint<F>, spec: &TaskSpec) -> Result<Vec<u8>, String> {
     let meta = &spec.meta;
     let terr = |e: TransportError| format!("transport: {e}");
     match spec.kind {
@@ -809,22 +921,20 @@ pub fn run_ranks_proc(specs: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, TransportSta
                 .map_err(|e| ProcError::Launch(format!("spawning rank {rank}: {e}")))
         })
         .collect::<Result<_, _>>()?;
-    let guard = WorkerGuard {
+    let mut guard = WorkerGuard {
         children,
         armed: true,
     };
 
     // Handshake: accept one control connection per rank, identified by its
-    // READY message.
+    // READY message. Between accept polls, check whether any worker whose
+    // READY is still outstanding has already died — a rank that exits
+    // before reporting in fails the launch *now*, with a typed error naming
+    // it, instead of stalling the parent until the handshake deadline.
     let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
     let mut ctrls: Vec<Option<UnixStream>> = (0..world).map(|_| None).collect();
     for _ in 0..world {
-        let mut stream = accept_deadline(&listener, deadline).map_err(|e| {
-            ProcError::Launch(format!(
-                "waiting for workers to report ready: {e} — does the launching \
-                 binary's main() call transport::proc::worker_boot() first?"
-            ))
-        })?;
+        let mut stream = accept_ready(&listener, deadline, &mut guard, &ctrls)?;
         stream
             .set_read_timeout(Some(RESULT_TIMEOUT))
             .map_err(|e| ProcError::Launch(format!("control stream: {e}")))?;
@@ -886,9 +996,21 @@ pub fn run_ranks_proc(specs: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, TransportSta
         }
     }
     if !errors.is_empty() {
+        // Workers never publish telemetry (their registries die with them),
+        // so the launcher classifies their failure reports into the
+        // transport failure counters here.
+        for (_, message) in &errors {
+            super::note_failure_message(message);
+        }
+        // Root-cause attribution: the first *primary* fault. Everything
+        // matching the cascade shapes (`PeerClosed` at a rank waiting on
+        // the dead one, a timeout induced by a stalled neighbour) is a
+        // consequence of the primary, not a cause; if the primary never
+        // reported (e.g. a kill so abrupt even its ERROR was lost), fall
+        // back to the first cascade.
         let root = errors
             .iter()
-            .position(|(_, m)| !m.contains("mid-collective") && !m.contains("PeerClosed"))
+            .position(|(_, m)| !is_cascade_error(m))
             .unwrap_or(0);
         let (rank, message) = errors.swap_remove(root);
         return Err(ProcError::Worker { rank, message });
@@ -999,6 +1121,7 @@ fn collective_specs(
     wire: &Wire,
     policy: QuantizePolicy,
     seeds: &[u64],
+    chaos: Option<&ChaosPlan>,
 ) -> Vec<Vec<u8>> {
     assert_eq!(seeds.len(), grads.len(), "need one seed per rank");
     grads
@@ -1013,6 +1136,7 @@ fn collective_specs(
                     steps: 0,
                     comm_seed: 0,
                     trainer: None,
+                    chaos: chaos.cloned(),
                 },
                 seed,
                 payload: grad.clone(),
@@ -1040,7 +1164,29 @@ pub fn proc_reduce_scatter(
     policy: QuantizePolicy,
     seeds: &[u64],
 ) -> Result<ProcCollective, ProcError> {
-    let specs = collective_specs(TASK_REDUCE_SCATTER, grads, wire, policy, seeds);
+    proc_reduce_scatter_chaos(grads, wire, policy, seeds, None)
+}
+
+/// [`proc_reduce_scatter`] with an optional chaos plan every worker applies
+/// to its fabric. With `None` (or [`ChaosPlan::none`]) the run is
+/// bit-identical to the undecorated launch.
+///
+/// # Errors
+///
+/// Any [`ProcError`] from the launch or the workers — including the typed
+/// fault a chaos schedule injects.
+///
+/// # Panics
+///
+/// Panics if `grads` is empty or `seeds.len()` differs.
+pub fn proc_reduce_scatter_chaos(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    seeds: &[u64],
+    chaos: Option<&ChaosPlan>,
+) -> Result<ProcCollective, ProcError> {
+    let specs = collective_specs(TASK_REDUCE_SCATTER, grads, wire, policy, seeds, chaos);
     let (raw, stats) = run_ranks_proc(specs)?;
     let mut per_rank = Vec::with_capacity(raw.len());
     let mut owned = Vec::with_capacity(raw.len());
@@ -1086,8 +1232,29 @@ pub fn proc_all_reduce(
     policy: QuantizePolicy,
     seeds: &[u64],
 ) -> Result<ProcCollective, ProcError> {
+    proc_all_reduce_chaos(grads, wire, policy, seeds, None)
+}
+
+/// [`proc_all_reduce`] with an optional chaos plan every worker applies to
+/// its fabric; see [`proc_reduce_scatter_chaos`].
+///
+/// # Errors
+///
+/// Any [`ProcError`] from the launch or the workers — including the typed
+/// fault a chaos schedule injects.
+///
+/// # Panics
+///
+/// Panics if `grads` is empty or `seeds.len()` differs.
+pub fn proc_all_reduce_chaos(
+    grads: &[Vec<f32>],
+    wire: &Wire,
+    policy: QuantizePolicy,
+    seeds: &[u64],
+    chaos: Option<&ChaosPlan>,
+) -> Result<ProcCollective, ProcError> {
     let n = grads.first().map_or(0, Vec::len);
-    let specs = collective_specs(TASK_ALL_REDUCE, grads, wire, policy, seeds);
+    let specs = collective_specs(TASK_ALL_REDUCE, grads, wire, policy, seeds, chaos);
     let (raw, stats) = run_ranks_proc(specs)?;
     let mut per_rank = Vec::with_capacity(raw.len());
     let mut fingerprints = Vec::with_capacity(raw.len());
@@ -1142,6 +1309,7 @@ pub fn proc_pipeline_relay(
                     steps: 0,
                     comm_seed: 0,
                     trainer: None,
+                    chaos: None,
                 },
                 seed,
                 // Only the head of the pipeline owns the payload.
@@ -1178,9 +1346,10 @@ pub fn proc_pipeline_relay(
 
 /// Synchronous data-parallel training over the process fabric: each worker
 /// builds its own [`Trainer`] from its config and runs the same grad-hook
-/// loop as [`super::data_parallel_train`] (wire randomness seeded from
-/// `comm_seed ^ rank`), so the two backends produce bit-identical losses
-/// and final parameters for the same configs.
+/// loop as [`super::data_parallel_train`] (wire randomness re-derived per
+/// rank and per step from `comm_seed` and the absolute step index), so the
+/// two backends produce bit-identical losses and final parameters for the
+/// same configs.
 ///
 /// # Errors
 ///
@@ -1209,6 +1378,7 @@ pub fn proc_data_parallel_train(
                     steps,
                     comm_seed,
                     trainer: Some(cfg.clone()),
+                    chaos: None,
                 },
                 seed: 0,
                 payload: Vec::new(),

@@ -62,9 +62,19 @@ use snip_tensor::{GroupLayout, QTensor};
 /// Size of the fixed frame header preceding the payload.
 pub const WIRE_HEADER_BYTES: usize = 36;
 
-/// Bytes the stream layer prepends to each frame: a little-endian `u32`
-/// length prefix.
+/// Bytes of the little-endian `u32` length prefix at the head of each
+/// stream frame envelope.
 pub const STREAM_PREFIX_BYTES: usize = 4;
+
+/// Bytes of the little-endian `u32` CRC32 checksum that follows the length
+/// prefix and covers the frame body.
+pub const STREAM_CRC_BYTES: usize = 4;
+
+/// Total per-frame stream overhead: `[u32 length][u32 crc32(body)]`. The
+/// checksum catches in-flight payload corruption at the framing layer —
+/// before any frame content is interpreted, and long before a damaged
+/// gradient could be silently reduced.
+pub const STREAM_ENVELOPE_BYTES: usize = STREAM_PREFIX_BYTES + STREAM_CRC_BYTES;
 
 /// Upper bound on a single stream frame's body. A length prefix above this
 /// is treated as corruption ([`StreamError::Oversize`]) rather than an
@@ -477,6 +487,40 @@ impl PackedTensor {
     }
 }
 
+/// IEEE 802.3 CRC32 lookup table (reflected polynomial `0xEDB88320`),
+/// built at compile time — the dependency-free checksum behind the stream
+/// envelope.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 (the zlib/Ethernet polynomial) of `bytes`. Table-driven and
+/// dependency-free; used by [`stream_frame`] / [`StreamDecoder`] to detect
+/// payload corruption at the framing layer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Everything that can go wrong at the byte-stream framing layer (the
 /// length-prefixed encoding a socket transport uses to delimit frames on a
 /// continuous stream). Deliberately separate from [`WireError`]: a stream
@@ -492,10 +536,18 @@ pub enum StreamError {
     },
     /// The stream ended mid-frame (peer closed or truncated the stream).
     Truncated {
-        /// Bytes the pending frame still needs (prefix + body).
+        /// Bytes the pending frame still needs (envelope + body).
         need: usize,
         /// Bytes actually buffered for it.
         got: usize,
+    },
+    /// The frame body does not hash to the CRC32 in its envelope — bytes
+    /// were damaged in flight.
+    Crc {
+        /// The checksum the envelope carries.
+        expect: u32,
+        /// The checksum the received body hashes to.
+        got: u32,
     },
 }
 
@@ -508,16 +560,23 @@ impl std::fmt::Display for StreamError {
             StreamError::Truncated { need, got } => {
                 write!(f, "stream ended mid-frame: need {need} bytes, got {got}")
             }
+            StreamError::Crc { expect, got } => {
+                write!(
+                    f,
+                    "stream frame crc mismatch: envelope says {expect:#010x}, body hashes to {got:#010x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for StreamError {}
 
-/// Wraps a frame body for a byte stream: a [`STREAM_PREFIX_BYTES`]-byte
-/// little-endian length followed by the body. The inverse is
+/// Wraps a frame body for a byte stream: a [`STREAM_ENVELOPE_BYTES`]-byte
+/// envelope — little-endian `u32` length, then little-endian `u32`
+/// [`crc32`] of the body — followed by the body. The inverse is
 /// [`StreamDecoder`], which reassembles frames from arbitrarily chunked
-/// reads.
+/// reads and verifies the checksum before releasing a body.
 ///
 /// # Panics
 ///
@@ -529,8 +588,9 @@ pub fn stream_frame(body: &[u8]) -> Vec<u8> {
         "frame body of {} bytes exceeds the stream bound",
         body.len()
     );
-    let mut out = Vec::with_capacity(STREAM_PREFIX_BYTES + body.len());
+    let mut out = Vec::with_capacity(STREAM_ENVELOPE_BYTES + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
     out.extend_from_slice(body);
     out
 }
@@ -570,22 +630,30 @@ impl StreamDecoder {
     }
 
     /// Pops the next complete frame body, `Ok(None)` if more bytes are
-    /// needed, or [`StreamError::Oversize`] if the pending length prefix is
-    /// not a plausible frame.
+    /// needed, [`StreamError::Oversize`] if the pending length prefix is
+    /// not a plausible frame, or [`StreamError::Crc`] if the body fails its
+    /// envelope checksum.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, StreamError> {
         if self.pending_len() < STREAM_PREFIX_BYTES {
             return Ok(None);
         }
         let at = self.read;
         let len = u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+        // Judge the length as soon as the prefix is in: an implausible
+        // prefix fails fast without waiting for the rest of the envelope.
         if len > STREAM_MAX_FRAME_BYTES {
             return Err(StreamError::Oversize { len: len as u32 });
         }
-        if self.pending_len() < STREAM_PREFIX_BYTES + len {
+        if self.pending_len() < STREAM_ENVELOPE_BYTES + len {
             return Ok(None);
         }
-        let body = self.buf[at + STREAM_PREFIX_BYTES..at + STREAM_PREFIX_BYTES + len].to_vec();
-        self.read = at + STREAM_PREFIX_BYTES + len;
+        let expect = u32::from_le_bytes(self.buf[at + 4..at + 8].try_into().expect("4 bytes"));
+        let body = self.buf[at + STREAM_ENVELOPE_BYTES..at + STREAM_ENVELOPE_BYTES + len].to_vec();
+        let got = crc32(&body);
+        if got != expect {
+            return Err(StreamError::Crc { expect, got });
+        }
+        self.read = at + STREAM_ENVELOPE_BYTES + len;
         // Compact once the consumed prefix dominates, so the buffer does not
         // grow without bound across a long-lived link.
         if self.read > 4096 && self.read * 2 > self.buf.len() {
@@ -606,9 +674,9 @@ impl StreamDecoder {
             let at = self.read;
             let len =
                 u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("4 bytes")) as usize;
-            STREAM_PREFIX_BYTES + len
+            STREAM_ENVELOPE_BYTES + len
         } else {
-            STREAM_PREFIX_BYTES
+            STREAM_ENVELOPE_BYTES
         };
         Err(StreamError::Truncated { need, got: pending })
     }

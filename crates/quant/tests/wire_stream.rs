@@ -1,18 +1,21 @@
-//! Property tests for the length-prefixed stream frame codec.
+//! Property tests for the length-prefixed, CRC-checked stream frame codec.
 //!
 //! A socket delivers bytes in arbitrary chunks: a frame may be split inside
-//! its length prefix, inside its body, or arrive glued to its neighbours.
-//! These tests pin the decoder's contract under that adversarial chunking:
-//! **any** split of a valid frame sequence reassembles to exactly the
-//! original frames, and truncated or garbage-prefixed streams surface a
-//! typed `StreamError` — never a panic, never a bogus frame.
+//! its envelope, inside its body, or arrive glued to its neighbours — and a
+//! damaged link can flip, drop, or lie about any byte in flight. These
+//! tests pin the decoder's contract under that adversarial input: **any**
+//! split of a valid frame sequence reassembles to exactly the original
+//! frames, while truncation, garbage prefixes, and chaos-generated
+//! corruption (bit flips, length-prefix lies) surface a typed
+//! `StreamError` — never a panic, never an out-of-bounds read, never a
+//! silently damaged frame.
 
 use proptest::prelude::*;
 use snip_quant::format::FloatFormat;
 use snip_quant::granularity::Granularity;
 use snip_quant::{
-    stream_frame, PackedQuantize, PackedTensor, Quantizer, Rounding, StreamDecoder, StreamError,
-    STREAM_MAX_FRAME_BYTES, STREAM_PREFIX_BYTES,
+    crc32, stream_frame, PackedQuantize, PackedTensor, Quantizer, Rounding, StreamDecoder,
+    StreamError, STREAM_ENVELOPE_BYTES, STREAM_MAX_FRAME_BYTES,
 };
 use snip_tensor::rng::Rng;
 use snip_tensor::Tensor;
@@ -110,6 +113,66 @@ proptest! {
             Err(StreamError::Oversize { len: huge as u32 })
         );
     }
+
+    /// Chaos corruption: XOR one byte anywhere in a valid stream — body,
+    /// checksum, or length prefix — and decoding reports a typed error
+    /// (`Crc` for payload damage, `Truncated`/`Oversize` when the length
+    /// field lies), never a panic and never a silently altered frame. Any
+    /// frames decoded before the damage are bit-exact originals.
+    #[test]
+    fn single_byte_corruption_is_always_caught(
+        bodies in bodies_strategy(),
+        chunks in proptest::collection::vec(0u8..=255, 0..24),
+        at_sel in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(&stream_frame(body));
+        }
+        if !stream.is_empty() {
+            let at = at_sel % stream.len();
+            stream[at] ^= flip;
+            match decode_chunked(&stream, &chunks) {
+                Ok(_) => panic!("corruption at byte {at} went undetected"),
+                Err(StreamError::Crc { expect, got }) => prop_assert_ne!(expect, got),
+                Err(StreamError::Truncated { need, got }) => prop_assert!(got < need),
+                Err(StreamError::Oversize { len }) => {
+                    prop_assert!(len as usize > STREAM_MAX_FRAME_BYTES)
+                }
+            }
+        }
+    }
+
+    /// Length-prefix lies *within* the sanity bound: rewrite a frame's
+    /// length field to a different plausible value (keeping the stream's
+    /// byte count). The shifted frame boundary breaks either the checksum
+    /// or the framing — a typed error, never a fabricated frame.
+    #[test]
+    fn in_bounds_length_lies_are_caught(
+        body in proptest::collection::vec(0u8..=255, 0..60),
+        lie in 0u32..2_000,
+        chunks in proptest::collection::vec(0u8..=255, 0..8),
+    ) {
+        if lie as usize != body.len() {
+            let mut stream = stream_frame(&body);
+            stream[..4].copy_from_slice(&lie.to_le_bytes());
+            match decode_chunked(&stream, &chunks) {
+                Ok(_) => {
+                    panic!("length lie {lie} for a {}-byte body went undetected", body.len())
+                }
+                Err(StreamError::Crc { .. }) | Err(StreamError::Truncated { .. }) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn crc32_matches_the_ieee_check_vector() {
+    // The canonical CRC-32/ISO-HDLC check value: crc32("123456789").
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
 }
 
 #[test]
@@ -144,8 +207,10 @@ fn empty_and_boundary_streams() {
     let mut dec = StreamDecoder::new();
     assert_eq!(dec.next_frame(), Ok(None));
     assert_eq!(dec.finish(), Ok(()));
-    // A lone empty frame is 4 zero bytes.
-    dec.feed(&stream_frame(&[]));
+    // A lone empty frame is a bare envelope: zero length + crc of nothing.
+    let empty = stream_frame(&[]);
+    assert_eq!(empty.len(), STREAM_ENVELOPE_BYTES);
+    dec.feed(&empty);
     assert_eq!(dec.next_frame(), Ok(Some(Vec::new())));
     assert_eq!(dec.next_frame(), Ok(None));
     assert_eq!(dec.finish(), Ok(()));
@@ -154,7 +219,7 @@ fn empty_and_boundary_streams() {
     assert_eq!(
         dec.finish(),
         Err(StreamError::Truncated {
-            need: STREAM_PREFIX_BYTES,
+            need: STREAM_ENVELOPE_BYTES,
             got: 2
         })
     );
